@@ -1,0 +1,13 @@
+// Figure 3 — AlexNet 16-bit fixed point on 2 FPGAs: II vs resource
+// constraint (a) and vs average FPGA utilization (b), for GP+A, MINLP
+// (β = 0) and MINLP+G (α = 1, β = 0.7; Table 4).
+#include "bench/common.hpp"
+#include "hls/paper.hpp"
+
+int main() {
+  mfa::bench::run_figure(mfa::hls::paper::case_alex16_2fpga(),
+                         mfa::alloc::constraint_range(0.55, 0.85, 0.025),
+                         "fig3_alex16",
+                         "Fig. 3: Alex-16 on 2 FPGAs (alpha=1, beta=0.7)");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 4 — AlexNet 32-bit floating point on 4 FPGAs: II vs resource
+// constraint (a) and vs average FPGA utilization (b), for GP+A, MINLP
+// (β = 0) and MINLP+G (α = 1, β = 6; Table 4).
+//
+// Paper detail to reproduce: the MINLP points coincide (the solver
+// reaches the minimum II without saturating any FPGA), while GP+A and
+// MINLP+G trade up to ~25 % of II at the tightest constraint for ~40 %
+// lower average utilization.
+#include "bench/common.hpp"
+#include "hls/paper.hpp"
+
+int main() {
+  mfa::bench::run_figure(mfa::hls::paper::case_alex32_4fpga(),
+                         mfa::alloc::constraint_range(0.65, 0.75, 0.025),
+                         "fig4_alex32",
+                         "Fig. 4: Alex-32 on 4 FPGAs (alpha=1, beta=6)");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 5 — VGG 16-bit fixed point on 8 FPGAs: II vs resource
+// constraint (a) and vs average FPGA utilization (b), for GP+A, MINLP
+// (β = 0) and MINLP+G (α = 1, β = 50; Table 4).
+//
+// This is the paper's largest case (17 kernels × 8 FPGAs = 136 integer
+// variables in the raw MINLP); exact points here are budget-capped
+// incumbents ('*') exactly as Couenne runs were time-limited.
+#include "bench/common.hpp"
+#include "hls/paper.hpp"
+
+int main() {
+  mfa::bench::run_figure(mfa::hls::paper::case_vgg_8fpga(),
+                         mfa::alloc::constraint_range(0.55, 0.80, 0.03),
+                         "fig5_vgg",
+                         "Fig. 5: VGG on 8 FPGAs (alpha=1, beta=50)");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// §4 runtime comparison — "the CPU time of GP+A ranges between 0.78 s
+// (Alex-16 on 2 FPGAs) to 4.4 s (VGG on 8 FPGAs), whereas that of MINLP
+// and MINLP+G ranges from around one minute to several hours, with a
+// speedup that ranges from around 100x to around 1000x."
+//
+// Absolute times differ (2011 Core i7 + GPkit/Couenne vs this
+// from-scratch C++ stack, which is much faster on both sides); the claim
+// to reproduce is the orders-of-magnitude gap between the heuristic and
+// the exact search, measured here over a constraint sweep per case.
+#include <chrono>
+#include <functional>
+#include <cstdio>
+
+#include "alloc/gpa.hpp"
+#include "bench/common.hpp"
+#include "hls/paper.hpp"
+#include "solver/exact.hpp"
+#include "solver/naive.hpp"
+
+namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  struct Case {
+    mfa::core::Problem problem;
+    std::vector<double> constraints;
+  };
+  const Case cases[] = {
+      {mfa::hls::paper::case_alex16_2fpga(),
+       mfa::alloc::constraint_range(0.55, 0.85, 0.025)},
+      {mfa::hls::paper::case_alex32_4fpga(),
+       mfa::alloc::constraint_range(0.65, 0.75, 0.025)},
+      {mfa::hls::paper::case_vgg_8fpga(),
+       mfa::alloc::constraint_range(0.55, 0.80, 0.03)},
+  };
+
+  std::printf("== Runtime: GP+A vs structured exact vs general B&B "
+              "(full sweep per case) ==\n\n");
+  mfa::io::TextTable t({"Case", "points", "GP+A (s)",
+                        "struct. exact (s)", "naive B&B (s)",
+                        "exact/GP+A", "naive/GP+A", "naive done?"});
+  for (const Case& c : cases) {
+    double gpa_seconds = 0.0;
+    double exact_seconds = 0.0;
+    double naive_seconds = 0.0;
+    bool naive_completed = true;
+    for (double rc : c.constraints) {
+      mfa::core::Problem p = c.problem;
+      p.resource_fraction = rc;
+      gpa_seconds += seconds_of([&] {
+        auto r = mfa::alloc::GpaSolver().solve(p);
+        (void)r;
+      });
+      mfa::solver::ExactOptions opts;
+      opts.max_nodes = 3'000'000;
+      opts.max_seconds = 15.0;
+      exact_seconds += seconds_of([&] {
+        auto r = mfa::solver::ExactSolver(opts).solve(p);
+        (void)r;
+      });
+      // The general spatial-B&B role (Couenne in the paper): capped at
+      // one second per point — it does not finish the larger cases,
+      // which is exactly the paper's point.
+      naive_seconds += seconds_of([&] {
+        mfa::solver::NaiveMinlp naive(
+            mfa::solver::Budget(50'000'000, 1.0));
+        auto r = naive.solve(p);
+        if (!r.is_ok() || !r.value().proved_optimal) {
+          naive_completed = false;
+        }
+      });
+    }
+    t.add_row({c.problem.app.name + "/" +
+                   std::to_string(c.problem.num_fpgas()) + "FPGA",
+               mfa::io::TextTable::fmt_int(
+                   static_cast<long long>(c.constraints.size())),
+               mfa::io::TextTable::fmt(gpa_seconds, 4),
+               mfa::io::TextTable::fmt(exact_seconds, 4),
+               mfa::io::TextTable::fmt(naive_seconds, 4),
+               mfa::io::TextTable::fmt(
+                   exact_seconds / std::max(gpa_seconds, 1e-9), 1) + "x",
+               mfa::io::TextTable::fmt(
+                   naive_seconds / std::max(gpa_seconds, 1e-9), 1) + "x",
+               naive_completed ? "yes" : "capped"});
+  }
+  mfa::bench::emit_table(t, "runtime_comparison");
+  std::printf("\nExpected shape: GP+A is orders of magnitude faster "
+              "than a general branch-and-bound over n_kf (the Couenne "
+              "role; capped runs are lower bounds on its true cost). "
+              "The structured exact solver narrows but does not close "
+              "the gap on the large case.\n");
+  return 0;
+}

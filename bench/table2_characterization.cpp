@@ -1,0 +1,58 @@
+// Table 2 — characterization of the AlexNet kernels (32-bit float and
+// 16-bit fixed point), per CU, on one AWS F1 FPGA.
+//
+// Prints (a) the paper's measured dataset verbatim — the input every
+// figure bench optimizes over — and (b) the analytical cost model's
+// characterization of the same layers, the substitute for re-running the
+// paper's SDAccel/F1 measurement flow (DESIGN.md §2).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "hls/cost_model.hpp"
+#include "hls/layers.hpp"
+#include "hls/paper.hpp"
+
+namespace {
+
+using mfa::core::Application;
+using mfa::core::Resource;
+using mfa::io::TextTable;
+
+void print_app(const Application& app, const char* title,
+               const std::string& stem) {
+  std::printf("--- %s ---\n", title);
+  TextTable t({"Kernel", "BRAM (%)", "DSP (%)", "BW (%)", "WCET (ms)"});
+  for (const auto& k : app.kernels) {
+    t.add_row({k.name, TextTable::fmt(k.res[Resource::kBram], 2),
+               TextTable::fmt(k.res[Resource::kDsp], 2),
+               TextTable::fmt(k.bw, 2), TextTable::fmt(k.wcet_ms, 3)});
+  }
+  t.add_row({"SUM", TextTable::fmt(app.total_resources()[Resource::kBram], 2),
+             TextTable::fmt(app.total_resources()[Resource::kDsp], 2),
+             TextTable::fmt(app.total_bw(), 2),
+             TextTable::fmt(app.total_wcet(), 2)});
+  mfa::bench::emit_table(t, stem);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 2: AlexNet kernel characterization ==\n\n");
+  print_app(mfa::hls::paper::alex32(), "Alex-32 (paper dataset)",
+            "table2_alex32_paper");
+  print_app(mfa::hls::paper::alex16(), "Alex-16 (paper dataset)",
+            "table2_alex16_paper");
+
+  const mfa::hls::CostModel model(mfa::hls::Device::vu9p());
+  const mfa::hls::Network net = mfa::hls::alexnet();
+  print_app(model.characterize_network(net, mfa::hls::DataType::kFloat32,
+                                       /*dsp_budget_pct=*/38.0),
+            "Alex-32 (analytical cost model, ~Table-2 DSP budget)",
+            "table2_alex32_model");
+  print_app(model.characterize_network(net, mfa::hls::DataType::kFixed16,
+                                       /*dsp_budget_pct=*/8.0),
+            "Alex-16 (analytical cost model, ~Table-2 DSP budget)",
+            "table2_alex16_model");
+  return 0;
+}

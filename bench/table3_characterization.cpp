@@ -1,0 +1,47 @@
+// Table 3 — characterization of the VGG-16 kernels (16-bit fixed point),
+// per CU, on one AWS F1 FPGA. Paper dataset + analytical cost model.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "hls/cost_model.hpp"
+#include "hls/layers.hpp"
+#include "hls/paper.hpp"
+
+namespace {
+
+using mfa::core::Application;
+using mfa::core::Resource;
+using mfa::io::TextTable;
+
+void print_app(const Application& app, const char* title,
+               const std::string& stem) {
+  std::printf("--- %s ---\n", title);
+  TextTable t({"Kernel", "BRAM (%)", "DSP (%)", "BW (%)", "WCET (ms)"});
+  for (const auto& k : app.kernels) {
+    t.add_row({k.name, TextTable::fmt(k.res[Resource::kBram], 2),
+               TextTable::fmt(k.res[Resource::kDsp], 2),
+               TextTable::fmt(k.bw, 2), TextTable::fmt(k.wcet_ms, 2)});
+  }
+  t.add_row({"SUM", TextTable::fmt(app.total_resources()[Resource::kBram], 2),
+             TextTable::fmt(app.total_resources()[Resource::kDsp], 2),
+             TextTable::fmt(app.total_bw(), 2),
+             TextTable::fmt(app.total_wcet() / 1000.0, 2) + " (s)"});
+  mfa::bench::emit_table(t, stem);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 3: VGG-16 kernel characterization ==\n\n");
+  print_app(mfa::hls::paper::vgg16(), "VGG (paper dataset, 16-bit fixed)",
+            "table3_vgg_paper");
+
+  const mfa::hls::CostModel model(mfa::hls::Device::vu9p());
+  print_app(model.characterize_network(mfa::hls::vgg16(),
+                                       mfa::hls::DataType::kFixed16,
+                                       /*dsp_budget_pct=*/15.0),
+            "VGG (analytical cost model, ~Table-3 DSP budget)",
+            "table3_vgg_model");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 4 — the α/β weights of the three representative cases.
+//
+// The paper chooses β "to equalize the relative importance of II and φ
+// in the optimization function g" (§4). Besides printing the published
+// weights, this bench computes the equalizing ratio α·II/φ from the β=0
+// exact solution of each case at a representative constraint, showing
+// the published values are indeed of that magnitude.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "hls/paper.hpp"
+#include "solver/exact.hpp"
+
+int main() {
+  struct Case {
+    mfa::core::Problem problem;
+    double paper_beta;
+    double rc;
+  };
+  const Case cases[] = {
+      {mfa::hls::paper::case_alex16_2fpga(), 0.7, 0.70},
+      {mfa::hls::paper::case_alex32_4fpga(), 6.0, 0.70},
+      {mfa::hls::paper::case_vgg_8fpga(), 50.0, 0.70},
+  };
+
+  std::printf("== Table 4: parameters for the spreading function ==\n\n");
+  mfa::io::TextTable t({"Application", "alpha", "beta (paper)",
+                        "II@beta=0 (ms)", "phi@beta=0",
+                        "equalizing beta = alpha*II/phi"});
+  for (const Case& c : cases) {
+    mfa::core::Problem p = c.problem;
+    p.resource_fraction = c.rc;
+    p.beta = 0.0;
+    mfa::solver::ExactOptions opts;
+    opts.max_nodes = 30'000'000;
+    opts.max_seconds = 10.0;
+    auto r = mfa::solver::ExactSolver(opts).solve(p);
+    std::string ii = "-";
+    std::string phi = "-";
+    std::string beta_eq = "-";
+    if (r.is_ok()) {
+      ii = mfa::io::TextTable::fmt(r.value().ii, 3);
+      phi = mfa::io::TextTable::fmt(r.value().phi, 3);
+      if (r.value().phi > 0.0) {
+        beta_eq = mfa::io::TextTable::fmt(
+            c.problem.alpha * r.value().ii / r.value().phi, 2);
+      }
+    }
+    t.add_row({c.problem.app.name + " on " +
+                   std::to_string(c.problem.num_fpgas()) + " FPGAs",
+               mfa::io::TextTable::fmt(c.problem.alpha, 1),
+               mfa::io::TextTable::fmt(c.paper_beta, 1), ii, phi, beta_eq});
+  }
+  mfa::bench::emit_table(t, "table4_weights");
+  std::printf("\nPaper values: 0.7 (Alex-16/2), 6 (Alex-32/4), 50 (VGG/8) "
+              "- same order as the equalizing ratio.\n");
+  return 0;
+}

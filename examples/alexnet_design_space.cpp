@@ -1,0 +1,57 @@
+// Design-space exploration of AlexNet across FPGA counts and resource
+// constraints — the workflow the paper's heuristic exists for (§1: the
+// number of choices "quickly grows out of control", so the solver must
+// be fast enough to sit in an exploration loop).
+//
+//   $ ./examples/alexnet_design_space
+//
+// For both precisions (Table 2), sweeps F = 1..4 FPGAs × a constraint
+// range with GP+A and prints throughput (images/s), utilization and the
+// solve time of every point.
+#include <cstdio>
+
+#include "alloc/gpa.hpp"
+#include "hls/paper.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using mfa::io::TextTable;
+
+  for (const bool fixed16 : {true, false}) {
+    const mfa::core::Application app = fixed16 ? mfa::hls::paper::alex16()
+                                               : mfa::hls::paper::alex32();
+    std::printf("=== %s: GP+A design-space sweep ===\n", app.name.c_str());
+    TextTable t({"FPGAs", "R (%)", "II (ms)", "images/s", "avg util %",
+                 "phi", "solve ms"});
+    for (int fpgas = 1; fpgas <= 4; ++fpgas) {
+      for (double rc : {0.5, 0.7, 0.9}) {
+        mfa::core::Problem p;
+        p.app = app;
+        p.platform = mfa::hls::paper::f1(fpgas);
+        p.resource_fraction = rc;
+        p.alpha = 1.0;
+        p.beta = 0.7;
+        auto r = mfa::alloc::GpaSolver().solve(p);
+        if (!r.is_ok()) {
+          t.add_row({std::to_string(fpgas), TextTable::fmt(100 * rc, 0),
+                     "-", "-", "-", "-", "-"});
+          continue;
+        }
+        const mfa::core::Allocation& a = r.value().allocation;
+        t.add_row({std::to_string(fpgas), TextTable::fmt(100 * rc, 0),
+                   TextTable::fmt(a.ii(), 3),
+                   TextTable::fmt(1000.0 / a.ii(), 1),
+                   TextTable::fmt(100 * a.average_utilization(), 1),
+                   TextTable::fmt(a.phi(), 3),
+                   TextTable::fmt(1e3 * r.value().seconds_total(), 3)});
+      }
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf("Reading: throughput scales with FPGA count until the\n"
+              "slowest kernel stops splitting; 16-bit kernels need ~5x\n"
+              "fewer DSPs, so Alex-16 reaches a given II with fewer\n"
+              "FPGAs than Alex-32.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Characterizing a CNN with the analytical HLS cost model and feeding
+// the result straight into the optimizer — the substitute for the
+// paper's SDAccel + AWS F1 measurement flow (DESIGN.md §2), usable for
+// any network expressed as hls::Layer records.
+//
+//   $ ./examples/characterize_network [alexnet|vgg16] [fx16|fp32]
+#include <cstdio>
+#include <cstring>
+
+#include "alloc/gpa.hpp"
+#include "hls/cost_model.hpp"
+#include "hls/paper.hpp"
+#include "io/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool use_vgg = argc > 1 && std::strcmp(argv[1], "vgg16") == 0;
+  const bool fp32 = argc > 2 && std::strcmp(argv[2], "fp32") == 0;
+  const mfa::hls::Network net =
+      use_vgg ? mfa::hls::vgg16() : mfa::hls::alexnet();
+  const mfa::hls::DataType dtype = fp32 ? mfa::hls::DataType::kFloat32
+                                        : mfa::hls::DataType::kFixed16;
+
+  const mfa::hls::CostModel model(mfa::hls::Device::vu9p());
+  std::printf("Device: %s — %d DSP, %d BRAM18K, %.0f MHz, %.0f GB/s\n\n",
+              model.device().name.c_str(), model.device().dsp,
+              model.device().bram18k, model.device().clock_mhz,
+              model.device().dram_gbps);
+
+  // Per-layer characterization at a chosen DSP budget per CU.
+  const double dsp_budget = fp32 ? 38.0 : 15.0;
+  mfa::io::TextTable t({"Layer", "kind", "Tm", "Tn", "WCET (ms)",
+                        "DSP %", "BRAM %", "LUT %", "BW %"});
+  for (const mfa::hls::Layer& layer : net.layers) {
+    const auto cfg = model.pick_unroll(layer, dtype, dsp_budget);
+    const mfa::core::Kernel k = model.characterize(layer, dtype, cfg);
+    t.add_row({layer.name, mfa::hls::layer_kind_name(layer.kind),
+               std::to_string(cfg.tm), std::to_string(cfg.tn),
+               mfa::io::TextTable::fmt(k.wcet_ms, 3),
+               mfa::io::TextTable::fmt(k.res[mfa::core::Resource::kDsp], 2),
+               mfa::io::TextTable::fmt(k.res[mfa::core::Resource::kBram], 2),
+               mfa::io::TextTable::fmt(k.res[mfa::core::Resource::kLut], 2),
+               mfa::io::TextTable::fmt(k.bw, 2)});
+  }
+  std::printf("%s (%s), DSP budget %.0f%%/CU:\n%s\n", net.name.c_str(),
+              mfa::hls::datatype_name(dtype), dsp_budget,
+              t.to_string().c_str());
+
+  // Straight into the optimizer.
+  mfa::core::Problem p;
+  p.app = model.characterize_network(net, dtype, dsp_budget);
+  p.platform = mfa::hls::paper::f1(4);
+  p.resource_fraction = 0.8;
+  p.alpha = 1.0;
+  p.beta = 1.0;
+  auto r = mfa::alloc::GpaSolver().solve(p);
+  if (!r.is_ok()) {
+    std::printf("GP+A: %s\n", r.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("GP+A mapping onto 4 FPGAs at 80%%:\n%s",
+              r.value().allocation.to_string().c_str());
+  std::printf("=> %.1f images/s\n", 1000.0 / r.value().allocation.ii());
+  return 0;
+}

@@ -1,0 +1,195 @@
+// mfalloc_cli — command-line front end over the library, for scripting
+// design-space exploration without writing C++.
+//
+//   mfalloc_cli solve    <problem.json> [--exact] [--json]
+//   mfalloc_cli sweep    <problem.json> <lo%> <hi%> <step%> [--method gpa|minlp|minlpg]
+//   mfalloc_cli simulate <problem.json> [--images N]
+//
+// The problem file format is documented in src/io/serialize.hpp and
+// examples/data/custom_pipeline.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "alloc/gpa.hpp"
+#include "alloc/sweep.hpp"
+#include "io/serialize.hpp"
+#include "io/table.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "solver/exact.hpp"
+
+namespace {
+
+using mfa::io::TextTable;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s solve    <problem.json> [--exact] [--json]\n"
+               "  %s sweep    <problem.json> <lo%%> <hi%%> <step%%> "
+               "[--method gpa|minlp|minlpg]\n"
+               "  %s simulate <problem.json> [--images N]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+const char* flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+mfa::StatusOr<mfa::core::Problem> load(const char* path) {
+  auto text = mfa::io::read_file(path);
+  if (!text.is_ok()) return text.status();
+  auto problem = mfa::io::problem_from_text(text.value());
+  if (!problem.is_ok()) return problem.status();
+  if (mfa::Status valid = problem.value().validate(); !valid.is_ok()) {
+    return valid;
+  }
+  return problem;
+}
+
+int cmd_solve(const mfa::core::Problem& p, int argc, char** argv) {
+  const bool as_json = has_flag(argc, argv, "--json");
+  if (has_flag(argc, argv, "--exact")) {
+    auto r = mfa::solver::ExactSolver().solve(p);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "exact: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    if (as_json) {
+      std::printf("%s\n",
+                  mfa::io::to_json(r.value().allocation).dump(2).c_str());
+    } else {
+      std::printf("%s", r.value().allocation.to_string().c_str());
+      std::printf("proved optimal: %s (%lld nodes, %.3f s)\n",
+                  r.value().proved_optimal ? "yes" : "no",
+                  static_cast<long long>(r.value().nodes),
+                  r.value().seconds);
+    }
+    return 0;
+  }
+  auto r = mfa::alloc::GpaSolver().solve(p);
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "GP+A: %s\n", r.status().to_string().c_str());
+    return 1;
+  }
+  if (as_json) {
+    std::printf("%s\n",
+                mfa::io::to_json(r.value().allocation).dump(2).c_str());
+  } else {
+    std::printf("relaxed II %.4f ms -> discretized %.4f ms\n",
+                r.value().relaxed_ii, r.value().discrete_ii);
+    std::printf("%s", r.value().allocation.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const mfa::core::Problem& p, int argc, char** argv) {
+  if (argc < 3) return 2;
+  const double lo = std::atof(argv[0]) / 100.0;
+  const double hi = std::atof(argv[1]) / 100.0;
+  const double step = std::atof(argv[2]) / 100.0;
+  if (lo <= 0.0 || hi < lo || step <= 0.0) return 2;
+
+  mfa::alloc::Method method = mfa::alloc::Method::kGpa;
+  if (const char* m = flag_value(argc, argv, "--method"); m != nullptr) {
+    if (std::strcmp(m, "minlp") == 0) {
+      method = mfa::alloc::Method::kMinlp;
+    } else if (std::strcmp(m, "minlpg") == 0) {
+      method = mfa::alloc::Method::kMinlpG;
+    } else if (std::strcmp(m, "gpa") != 0) {
+      return 2;
+    }
+  }
+
+  mfa::alloc::SweepConfig cfg;
+  cfg.constraints = mfa::alloc::constraint_range(lo, hi, step);
+  cfg.exact.max_nodes = 5'000'000;
+  cfg.exact.max_seconds = 30.0;
+  const mfa::alloc::SweepSeries series =
+      mfa::alloc::run_sweep(p, method, cfg);
+
+  TextTable t({"R (%)", "II (ms)", "phi", "goal", "avg util %",
+               "seconds"});
+  for (const mfa::alloc::SweepPoint& pt : series.points) {
+    if (!pt.feasible) {
+      t.add_row({TextTable::fmt(100 * pt.constraint, 1), "-", "-", "-",
+                 "-", TextTable::fmt(pt.seconds, 4)});
+      continue;
+    }
+    std::string ii = TextTable::fmt(pt.ii, 3);
+    if (!pt.proved_optimal) ii += "*";
+    t.add_row({TextTable::fmt(100 * pt.constraint, 1), ii,
+               TextTable::fmt(pt.phi, 3), TextTable::fmt(pt.goal, 3),
+               TextTable::fmt(100 * pt.avg_utilization, 1),
+               TextTable::fmt(pt.seconds, 4)});
+  }
+  std::printf("method: %s\n%s", mfa::alloc::method_name(series.method),
+              t.to_string().c_str());
+  return 0;
+}
+
+int cmd_simulate(const mfa::core::Problem& p, int argc, char** argv) {
+  auto r = mfa::alloc::GpaSolver().solve(p);
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "GP+A: %s\n", r.status().to_string().c_str());
+    return 1;
+  }
+  mfa::sim::SimConfig cfg;
+  if (const char* n = flag_value(argc, argv, "--images"); n != nullptr) {
+    cfg.num_images = std::atoi(n);
+    cfg.warmup_images = cfg.num_images / 4;
+    if (cfg.num_images <= cfg.warmup_images) return 2;
+  }
+  const mfa::sim::SimResult sim =
+      mfa::sim::PipelineSimulator(cfg).run(r.value().allocation);
+  std::printf("%s", r.value().allocation.to_string().c_str());
+  std::printf(
+      "simulated %d images: II %.3f ms (model %.3f), %.1f images/s, "
+      "latency %.2f ms, worst throttle %.2fx\n",
+      cfg.num_images, sim.measured_ii_ms, r.value().allocation.ii(),
+      sim.throughput_ips, sim.pipeline_latency_ms, sim.max_throttle);
+  TextTable t({"kernel", "busy %"});
+  for (std::size_t k = 0; k < sim.stage_busy.size(); ++k) {
+    t.add_row({p.app.kernels[k].name,
+               TextTable::fmt(100 * sim.stage_busy[k], 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string command = argv[1];
+  auto problem = load(argv[2]);
+  if (!problem.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 problem.status().to_string().c_str());
+    return 2;
+  }
+  if (command == "solve") {
+    return cmd_solve(problem.value(), argc - 3, argv + 3);
+  }
+  if (command == "sweep") {
+    const int rc = cmd_sweep(problem.value(), argc - 3, argv + 3);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (command == "simulate") {
+    return cmd_simulate(problem.value(), argc - 3, argv + 3);
+  }
+  return usage(argv[0]);
+}

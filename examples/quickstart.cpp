@@ -1,0 +1,70 @@
+// Quickstart: define a small pipeline, solve it with the GP+A heuristic
+// and the exact solver, and compare.
+//
+//   $ ./examples/quickstart
+//
+// The application here is a synthetic three-kernel pipeline; see
+// examples/alexnet_design_space.cpp and examples/vgg_cluster.cpp for the
+// paper's real workloads.
+#include <cstdio>
+
+#include "alloc/gpa.hpp"
+#include "core/problem.hpp"
+#include "solver/exact.hpp"
+
+int main() {
+  using namespace mfa;
+
+  // ---- 1. Describe the application: a linear pipeline of kernels,
+  // each characterized per CU (WCET, resources in % of one FPGA,
+  // DRAM bandwidth in % of one FPGA).
+  core::Problem problem;
+  problem.app.name = "demo-pipeline";
+  problem.app.kernels = {
+      // name      WCET(ms)  (BRAM, DSP, LUT, FF)%            BW%
+      {"ingest",   6.0, core::ResourceVec(8.0, 12.0, 5.0, 4.0), 4.0},
+      {"transform", 14.0, core::ResourceVec(6.0, 20.0, 7.0, 6.0), 3.0},
+      {"reduce",   4.0, core::ResourceVec(4.0, 9.0, 3.0, 2.0), 6.0},
+  };
+
+  // ---- 2. Describe the platform: two identical FPGAs, and allow the
+  // optimizer to use at most 70 % of each one's resources.
+  problem.platform = core::Platform{"demo-board", 2};
+  problem.resource_fraction = 0.70;
+  problem.alpha = 1.0;  // weight of the initiation interval
+  problem.beta = 0.5;   // weight of the spreading penalty
+
+  // ---- 3. Solve with the paper's heuristic: GP relaxation →
+  // branch-and-bound discretization → greedy allocation (Algorithm 1).
+  alloc::GpaSolver gpa;
+  auto heuristic = gpa.solve(problem);
+  if (!heuristic.is_ok()) {
+    std::printf("GP+A failed: %s\n", heuristic.status().to_string().c_str());
+    return 1;
+  }
+  const alloc::GpaResult& h = heuristic.value();
+  std::printf("=== GP+A (heuristic) ===\n");
+  std::printf("relaxed II = %.4f ms, discretized II = %.4f ms\n",
+              h.relaxed_ii, h.discrete_ii);
+  std::printf("%s\n", h.allocation.to_string().c_str());
+
+  // ---- 4. Solve exactly (the paper's MINLP reference).
+  solver::ExactSolver exact;
+  auto optimal = exact.solve(problem);
+  if (!optimal.is_ok()) {
+    std::printf("exact failed: %s\n", optimal.status().to_string().c_str());
+    return 1;
+  }
+  const solver::ExactResult& e = optimal.value();
+  std::printf("=== exact (MINLP+G role) ===\n");
+  std::printf("proved optimal: %s, nodes: %lld\n",
+              e.proved_optimal ? "yes" : "no",
+              static_cast<long long>(e.nodes));
+  std::printf("%s\n", e.allocation.to_string().c_str());
+
+  std::printf("heuristic goal / optimal goal = %.4f / %.4f (gap %.1f%%)\n",
+              h.allocation.goal(), e.goal,
+              100.0 * (h.allocation.goal() - e.goal) /
+                  (e.goal > 0 ? e.goal : 1.0));
+  return 0;
+}

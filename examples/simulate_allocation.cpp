@@ -1,0 +1,57 @@
+// Why eq. 10 (the DRAM bandwidth constraint) matters: simulate the same
+// pipeline under a bandwidth-feasible allocation and an over-committed
+// one, and watch the second lose throughput to DRAM contention.
+//
+//   $ ./examples/simulate_allocation
+#include <cstdio>
+
+#include "core/allocation.hpp"
+#include "sim/pipeline_sim.hpp"
+
+int main() {
+  // A bandwidth-hungry three-stage pipeline on one FPGA.
+  mfa::core::Problem p;
+  p.app.name = "streaming-etl";
+  p.app.kernels = {
+      {"decode", 8.0, mfa::core::ResourceVec(5, 8, 3, 3), 30.0},
+      {"filter", 10.0, mfa::core::ResourceVec(4, 12, 4, 3), 25.0},
+      {"encode", 7.0, mfa::core::ResourceVec(6, 9, 3, 2), 35.0},
+  };
+  p.platform = mfa::core::Platform{"single-fpga", 1};
+
+  mfa::sim::PipelineSimulator simulator;
+
+  // --- Allocation A: one CU each — 90 % aggregate BW, always feasible.
+  mfa::core::Allocation feasible(p);
+  feasible.set_cu(0, 0, 1);
+  feasible.set_cu(1, 0, 1);
+  feasible.set_cu(2, 0, 1);
+  const auto ra = simulator.run(feasible);
+  std::printf("A: one CU per kernel (aggregate BW 90%%)\n");
+  std::printf("   model II %.2f ms, measured II %.2f ms, throttle "
+              "%.2fx\n\n",
+              feasible.ii(), ra.measured_ii_ms, ra.max_throttle);
+
+  // --- Allocation B: double the filter stage. The model promises
+  // II = 8 ms, but peak demand 30+2*25+35 = 115 % > 100 % — eq. 10 is
+  // violated and the simulator shows the promised II is not achieved.
+  mfa::core::Allocation greedy(p);
+  greedy.set_cu(0, 0, 1);
+  greedy.set_cu(1, 0, 2);
+  greedy.set_cu(2, 0, 1);
+  const auto rb = simulator.run(greedy);
+  std::printf("B: filter doubled (peak BW 115%% — violates eq. 10)\n");
+  std::printf("   model II %.2f ms, measured II %.2f ms, throttle "
+              "%.2fx\n",
+              greedy.ii(), rb.measured_ii_ms, rb.max_throttle);
+  for (const std::string& v : greedy.check()) {
+    std::printf("   violation: %s\n", v.c_str());
+  }
+
+  std::printf("\nThe optimizer's bandwidth constraint exists precisely "
+              "so that allocation B is never chosen: its measured II "
+              "(%.2f ms) is worse than what the model claims "
+              "(%.2f ms).\n",
+              rb.measured_ii_ms, greedy.ii());
+  return 0;
+}

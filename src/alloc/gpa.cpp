@@ -1,0 +1,56 @@
+#include "alloc/gpa.hpp"
+
+#include <chrono>
+
+namespace mfa::alloc {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+StatusOr<GpaResult> GpaSolver::solve(const core::Problem& problem) const {
+  const Status valid = problem.validate();
+  if (!valid.is_ok()) return valid;
+
+  // ---- Step 1: continuous relaxation (paper §3.2.1).
+  auto t0 = std::chrono::steady_clock::now();
+  StatusOr<core::RelaxedSolution> relaxed =
+      options_.use_interior_point
+          ? core::solve_relaxation_gp(problem, options_.gp)
+          : core::solve_relaxation(problem);
+  const double seconds_relax = seconds_since(t0);
+  if (!relaxed.is_ok()) return relaxed.status();
+
+  // ---- Step 2: branch-and-bound discretization (§3.2.2, first half).
+  t0 = std::chrono::steady_clock::now();
+  solver::Discretizer discretizer(options_.discretize);
+  StatusOr<solver::DiscretizeResult> discrete =
+      discretizer.run(problem, relaxed.value());
+  const double seconds_discretize = seconds_since(t0);
+  if (!discrete.is_ok()) return discrete.status();
+
+  // ---- Step 3: greedy allocation (Algorithm 1).
+  t0 = std::chrono::steady_clock::now();
+  GreedyAllocator allocator(options_.greedy);
+  StatusOr<GreedyResult> greedy =
+      allocator.allocate(problem, discrete.value().totals);
+  const double seconds_allocate = seconds_since(t0);
+  if (!greedy.is_ok()) return greedy.status();
+
+  GpaResult result{std::move(greedy.value().allocation),
+                   relaxed.value().ii,
+                   discrete.value().ii,
+                   discrete.value().totals,
+                   greedy.value().used_fraction,
+                   discrete.value().nodes,
+                   seconds_relax,
+                   seconds_discretize,
+                   seconds_allocate};
+  return result;
+}
+
+}  // namespace mfa::alloc

@@ -1,0 +1,168 @@
+#include "core/allocation.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace mfa::core {
+
+Allocation::Allocation(const Problem& problem)
+    : problem_(&problem),
+      counts_(problem.num_kernels(),
+              std::vector<int>(static_cast<std::size_t>(problem.num_fpgas()),
+                               0)) {}
+
+int Allocation::cu(std::size_t k, int f) const {
+  MFA_ASSERT(k < counts_.size());
+  MFA_ASSERT(f >= 0 && f < num_fpgas());
+  return counts_[k][static_cast<std::size_t>(f)];
+}
+
+void Allocation::set_cu(std::size_t k, int f, int count) {
+  MFA_ASSERT(k < counts_.size());
+  MFA_ASSERT(f >= 0 && f < num_fpgas());
+  MFA_ASSERT_MSG(count >= 0, "CU counts cannot be negative");
+  counts_[k][static_cast<std::size_t>(f)] = count;
+}
+
+int Allocation::total_cu(std::size_t k) const {
+  MFA_ASSERT(k < counts_.size());
+  int total = 0;
+  for (int n : counts_[k]) total += n;
+  return total;
+}
+
+double Allocation::et(std::size_t k) const {
+  const int n = total_cu(k);
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  return problem_->app.kernels[k].wcet_ms / n;
+}
+
+double Allocation::ii() const {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    worst = std::max(worst, et(k));
+  }
+  return worst;
+}
+
+double Allocation::phi_k(std::size_t k) const {
+  MFA_ASSERT(k < counts_.size());
+  double acc = 0.0;
+  for (int n : counts_[k]) {
+    acc += static_cast<double>(n) / (1.0 + n);
+  }
+  return acc;
+}
+
+double Allocation::phi() const {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    worst = std::max(worst, phi_k(k));
+  }
+  return worst;
+}
+
+double Allocation::goal() const {
+  return problem_->alpha * ii() + problem_->beta * phi();
+}
+
+int Allocation::fpgas_used_by(std::size_t k) const {
+  MFA_ASSERT(k < counts_.size());
+  int used = 0;
+  for (int n : counts_[k]) used += (n > 0) ? 1 : 0;
+  return used;
+}
+
+ResourceVec Allocation::fpga_resources(int f) const {
+  MFA_ASSERT(f >= 0 && f < num_fpgas());
+  ResourceVec acc;
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    const int n = counts_[k][static_cast<std::size_t>(f)];
+    if (n > 0) acc += problem_->app.kernels[k].res * static_cast<double>(n);
+  }
+  return acc;
+}
+
+double Allocation::fpga_bw(int f) const {
+  MFA_ASSERT(f >= 0 && f < num_fpgas());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    acc += problem_->app.kernels[k].bw *
+           counts_[k][static_cast<std::size_t>(f)];
+  }
+  return acc;
+}
+
+double Allocation::fpga_utilization(int f) const {
+  return fpga_resources(f).max_ratio(problem_->platform.capacity);
+}
+
+double Allocation::average_utilization() const {
+  double acc = 0.0;
+  for (int f = 0; f < num_fpgas(); ++f) acc += fpga_utilization(f);
+  return acc / num_fpgas();
+}
+
+std::vector<std::string> Allocation::check() const {
+  std::vector<std::string> violations;
+  char buf[256];
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    if (total_cu(k) < 1) {
+      std::snprintf(buf, sizeof(buf), "kernel '%s' has no CU (eq. 8)",
+                    problem_->app.kernels[k].name.c_str());
+      violations.emplace_back(buf);
+    }
+  }
+  const ResourceVec cap = problem_->cap();
+  const double bw_cap = problem_->bw_cap();
+  for (int f = 0; f < num_fpgas(); ++f) {
+    const ResourceVec used = fpga_resources(f);
+    if (!used.fits_within(cap, 1e-6)) {
+      std::snprintf(buf, sizeof(buf),
+                    "FPGA %d exceeds resource cap (eq. 9): used [%s] vs "
+                    "cap [%s]",
+                    f + 1, used.to_string().c_str(), cap.to_string().c_str());
+      violations.emplace_back(buf);
+    }
+    const double bw = fpga_bw(f);
+    if (bw > bw_cap + 1e-6) {
+      std::snprintf(buf, sizeof(buf),
+                    "FPGA %d exceeds bandwidth cap (eq. 10): %.3f%% vs "
+                    "%.3f%%",
+                    f + 1, bw, bw_cap);
+      violations.emplace_back(buf);
+    }
+  }
+  return violations;
+}
+
+std::string Allocation::to_string() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-12s", "kernel");
+  out += buf;
+  for (int f = 0; f < num_fpgas(); ++f) {
+    std::snprintf(buf, sizeof(buf), "  F%-3d", f + 1);
+    out += buf;
+  }
+  out += "   N_k    ET(ms)\n";
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    std::snprintf(buf, sizeof(buf), "%-12s",
+                  problem_->app.kernels[k].name.c_str());
+    out += buf;
+    for (int f = 0; f < num_fpgas(); ++f) {
+      std::snprintf(buf, sizeof(buf), "  %-4d", cu(k, f));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "   %-4d  %.3f\n", total_cu(k), et(k));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "II = %.4f ms   phi = %.4f   g = %.4f   avg util = %.1f%%\n",
+                ii(), phi(), goal(), 100.0 * average_utilization());
+  out += buf;
+  return out;
+}
+
+}  // namespace mfa::core

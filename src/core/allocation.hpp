@@ -1,0 +1,87 @@
+// The decision variables n_{k,f} and every metric derived from them.
+//
+// An Allocation owns the integer CU-placement matrix and evaluates the
+// paper's quantities: ET_k (eq. 1), II (eq. 2), N_k (eq. 3), the
+// spreading function φ_k and φ (eqs. 4, 7), the goal g (eq. 5), per-FPGA
+// utilization and the feasibility checks (eqs. 8–10).
+//
+// Lifetime: an Allocation references the Problem it was built for; the
+// Problem must outlive the Allocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace mfa::core {
+
+class Allocation {
+ public:
+  /// Starts with n_{k,f} = 0 everywhere.
+  explicit Allocation(const Problem& problem);
+
+  [[nodiscard]] const Problem& problem() const { return *problem_; }
+  [[nodiscard]] std::size_t num_kernels() const { return counts_.size(); }
+  [[nodiscard]] int num_fpgas() const { return problem_->num_fpgas(); }
+
+  /// CUs of kernel k on FPGA f (n_{k,f}).
+  [[nodiscard]] int cu(std::size_t k, int f) const;
+
+  /// Sets n_{k,f}; count must be ≥ 0 (feasibility is checked separately).
+  void set_cu(std::size_t k, int f, int count);
+  void add_cu(std::size_t k, int f, int delta) {
+    set_cu(k, f, cu(k, f) + delta);
+  }
+
+  /// N_k = Σ_f n_{k,f} (eq. 3).
+  [[nodiscard]] int total_cu(std::size_t k) const;
+
+  /// ET_k = WCET_k / N_k (eq. 1); +inf when N_k = 0.
+  [[nodiscard]] double et(std::size_t k) const;
+
+  /// II = max_k ET_k (eq. 2).
+  [[nodiscard]] double ii() const;
+
+  /// φ_k = Σ_f n_{k,f} / (1 + n_{k,f}) (eq. 4).
+  [[nodiscard]] double phi_k(std::size_t k) const;
+
+  /// φ = max_k φ_k (the tight value of constraint 7 when minimizing).
+  [[nodiscard]] double phi() const;
+
+  /// g = α·II + β·φ (eq. 5) with this problem's weights.
+  [[nodiscard]] double goal() const;
+
+  /// Number of distinct FPGAs hosting at least one CU of kernel k.
+  [[nodiscard]] int fpgas_used_by(std::size_t k) const;
+
+  /// Resource sum of all CUs on FPGA f (left side of eq. 9).
+  [[nodiscard]] ResourceVec fpga_resources(int f) const;
+
+  /// Bandwidth sum on FPGA f (left side of eq. 10).
+  [[nodiscard]] double fpga_bw(int f) const;
+
+  /// Utilization of FPGA f: max over resource axes of used/full-capacity.
+  /// Note: measured against the *full* platform capacity (the figures'
+  /// "Average Resource (%)" axis), not the swept constraint.
+  [[nodiscard]] double fpga_utilization(int f) const;
+
+  /// Mean of fpga_utilization over all F FPGAs (x-axis of the right-hand
+  /// graphs of Figs. 3–5).
+  [[nodiscard]] double average_utilization() const;
+
+  /// Human-readable violations of eqs. 8–10 against the effective caps;
+  /// empty iff the allocation is feasible.
+  [[nodiscard]] std::vector<std::string> check() const;
+
+  [[nodiscard]] bool feasible() const { return check().empty(); }
+
+  /// Multi-line table of the placement matrix, for logs and examples.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  const Problem* problem_;
+  std::vector<std::vector<int>> counts_;  // [kernel][fpga]
+};
+
+}  // namespace mfa::core

@@ -1,0 +1,78 @@
+#include "core/problem.hpp"
+
+#include <cmath>
+
+namespace mfa::core {
+
+double Application::total_wcet() const {
+  double acc = 0.0;
+  for (const Kernel& k : kernels) acc += k.wcet_ms;
+  return acc;
+}
+
+ResourceVec Application::total_resources() const {
+  ResourceVec acc;
+  for (const Kernel& k : kernels) acc += k.res;
+  return acc;
+}
+
+double Application::total_bw() const {
+  double acc = 0.0;
+  for (const Kernel& k : kernels) acc += k.bw;
+  return acc;
+}
+
+int Problem::max_cu_per_fpga(std::size_t k) const {
+  MFA_ASSERT(k < app.size());
+  const Kernel& kern = app.kernels[k];
+  // A CU with zero demand on every axis could replicate without bound;
+  // cap at a generous constant so search spaces stay finite.
+  constexpr int kUnboundedCus = 1024;
+  int q = kern.res.max_multiples(cap(), kUnboundedCus);
+  if (kern.bw > 0.0) {
+    const double by_bw = bw_cap() * (1.0 + 1e-12) / kern.bw;
+    q = std::min(q, static_cast<int>(std::floor(by_bw + 1e-9)));
+  }
+  return std::max(q, 0);
+}
+
+int Problem::max_cu_total(std::size_t k) const {
+  return num_fpgas() * max_cu_per_fpga(k);
+}
+
+Status Problem::validate() const {
+  if (app.kernels.empty()) {
+    return {Code::kInvalid, "application has no kernels"};
+  }
+  if (platform.num_fpgas < 1) {
+    return {Code::kInvalid, "platform must have at least one FPGA"};
+  }
+  if (resource_fraction <= 0.0 || bw_fraction <= 0.0) {
+    return {Code::kInvalid, "constraint fractions must be positive"};
+  }
+  if (alpha < 0.0 || beta < 0.0) {
+    return {Code::kInvalid, "objective weights must be non-negative"};
+  }
+  if (!platform.capacity.non_negative() || platform.bw_capacity < 0.0) {
+    return {Code::kInvalid, "platform capacities must be non-negative"};
+  }
+  for (std::size_t k = 0; k < app.size(); ++k) {
+    const Kernel& kern = app.kernels[k];
+    if (!(kern.wcet_ms > 0.0) || !std::isfinite(kern.wcet_ms)) {
+      return {Code::kInvalid, "kernel '" + kern.name +
+                                  "' must have a positive finite WCET"};
+    }
+    if (!kern.res.non_negative() || kern.bw < 0.0) {
+      return {Code::kInvalid,
+              "kernel '" + kern.name + "' has negative resource demand"};
+    }
+    if (max_cu_per_fpga(k) < 1) {
+      return {Code::kInfeasible, "kernel '" + kern.name +
+                                     "' cannot place even one CU under the "
+                                     "resource constraint"};
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace mfa::core

@@ -1,0 +1,93 @@
+// The multi-FPGA allocation problem instance (paper §3, Table 1).
+//
+// An Application is a linear pipeline of kernels, each characterized by
+// its one-CU worst-case execution time (WCET_k), per-CU resource vector
+// (R_k) and per-CU DRAM bandwidth (B_k). A Platform is F identical FPGAs
+// with a capacity vector and a bandwidth cap. A Problem adds the swept
+// "resource constraint" fraction and the objective weights α, β of eq. 5.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "support/status.hpp"
+
+namespace mfa::core {
+
+/// One pipeline stage, characterized per CU (rows of Tables 2–3).
+struct Kernel {
+  std::string name;
+  double wcet_ms = 0.0;  ///< latency with a single CU (ms), eq. 1
+  ResourceVec res;       ///< resources per CU, % of one FPGA (R_k)
+  double bw = 0.0;       ///< DRAM bandwidth per CU, % of one FPGA (B_k)
+};
+
+/// A linear task-level pipeline of kernels (paper's K).
+struct Application {
+  std::string name;
+  std::vector<Kernel> kernels;
+
+  [[nodiscard]] std::size_t size() const { return kernels.size(); }
+
+  /// Σ_k WCET_k — the single-CU pipeline II (useful scale reference).
+  [[nodiscard]] double total_wcet() const;
+
+  /// Σ_k R_k and Σ_k B_k — the "SUM" rows of Tables 2–3.
+  [[nodiscard]] ResourceVec total_resources() const;
+  [[nodiscard]] double total_bw() const;
+};
+
+/// F identical FPGAs (e.g. the AWS F1 instance of Fig. 1).
+struct Platform {
+  std::string name;
+  int num_fpgas = 1;
+  ResourceVec capacity = ResourceVec::uniform(100.0);  ///< full FPGA = 100 %
+  double bw_capacity = 100.0;                          ///< full DRAM BW
+};
+
+/// A complete problem instance: application + platform + constraint
+/// fractions + objective weights.
+struct Problem {
+  Application app;
+  Platform platform;
+
+  /// The swept "Resource Constraint (%)" of Figs. 2–5, as a fraction of
+  /// the platform capacity applied uniformly to all resource axes (R in
+  /// eq. 9 is capacity · resource_fraction).
+  double resource_fraction = 1.0;
+
+  /// Fraction of the DRAM bandwidth cap available to CUs (B in eq. 10).
+  /// The paper's sweeps keep this at 1.
+  double bw_fraction = 1.0;
+
+  double alpha = 1.0;  ///< II weight in eq. 5
+  double beta = 0.0;   ///< spreading weight in eq. 5
+
+  [[nodiscard]] std::size_t num_kernels() const { return app.size(); }
+  [[nodiscard]] int num_fpgas() const { return platform.num_fpgas; }
+
+  /// Effective per-FPGA resource cap R (eq. 9 right-hand side).
+  [[nodiscard]] ResourceVec cap() const {
+    return platform.capacity * resource_fraction;
+  }
+  /// Effective per-FPGA bandwidth cap B (eq. 10 right-hand side).
+  [[nodiscard]] double bw_cap() const {
+    return platform.bw_capacity * bw_fraction;
+  }
+
+  /// Largest number of CUs of kernel k that fit on one (empty) FPGA
+  /// under the effective caps. Zero means kernel k is unplaceable.
+  [[nodiscard]] int max_cu_per_fpga(std::size_t k) const;
+
+  /// Upper bound on N_k: F · max_cu_per_fpga(k).
+  [[nodiscard]] int max_cu_total(std::size_t k) const;
+
+  /// Structural validation: non-empty pipeline, positive WCETs,
+  /// non-negative demands, F ≥ 1, positive caps, and at least one CU of
+  /// every kernel placeable (a necessary feasibility condition).
+  [[nodiscard]] Status validate() const;
+};
+
+}  // namespace mfa::core

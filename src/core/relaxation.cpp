@@ -1,0 +1,212 @@
+#include "core/relaxation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mfa::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Cheapest N̂ meeting target t under bounds: max(L_k, WCET_k/t).
+std::vector<double> cheapest_n(const Problem& p, const CuBounds& b,
+                               double t) {
+  std::vector<double> n(p.num_kernels());
+  for (std::size_t k = 0; k < p.num_kernels(); ++k) {
+    n[k] = std::max(b.lower[k], p.app.kernels[k].wcet_ms / t);
+  }
+  return n;
+}
+
+/// Pooled resource feasibility of a candidate N̂ (eqs. 17–18 with bounds).
+bool pooled_feasible(const Problem& p, const CuBounds& b,
+                     const std::vector<double>& n) {
+  const double f = p.num_fpgas();
+  for (std::size_t k = 0; k < p.num_kernels(); ++k) {
+    if (n[k] > b.upper[k] * (1.0 + 1e-12) + 1e-12) return false;
+  }
+  const ResourceVec cap = p.cap();
+  for (std::size_t axis = 0; axis < kNumResources; ++axis) {
+    double used = 0.0;
+    for (std::size_t k = 0; k < p.num_kernels(); ++k) {
+      used += n[k] * p.app.kernels[k].res.axis(axis);
+    }
+    if (used > f * cap.axis(axis) * (1.0 + 1e-12) + 1e-12) return false;
+  }
+  double bw = 0.0;
+  for (std::size_t k = 0; k < p.num_kernels(); ++k) {
+    bw += n[k] * p.app.kernels[k].bw;
+  }
+  return bw <= f * p.bw_cap() * (1.0 + 1e-12) + 1e-12;
+}
+
+}  // namespace
+
+CuBounds CuBounds::defaults(const Problem& problem) {
+  CuBounds b;
+  b.lower.assign(problem.num_kernels(), 1.0);
+  b.upper.resize(problem.num_kernels());
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    const int cap = problem.max_cu_total(k);
+    b.upper[k] = cap > 0 ? static_cast<double>(cap) : 0.0;
+  }
+  return b;
+}
+
+StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
+                                           const CuBounds& bounds) {
+  MFA_ASSERT(bounds.lower.size() == problem.num_kernels());
+  MFA_ASSERT(bounds.upper.size() == problem.num_kernels());
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    MFA_ASSERT_MSG(bounds.lower[k] >= 0.0, "negative CU lower bound");
+    if (bounds.lower[k] > bounds.upper[k]) {
+      return Status{Code::kInfeasible, "empty CU bound interval"};
+    }
+  }
+
+  // Bracket the optimum: below t_lo some kernel cannot meet the target
+  // even at its upper bound; above t_hi the cheapest N̂ stops changing.
+  double t_lo = 0.0;
+  double t_hi = 0.0;
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    const double wcet = problem.app.kernels[k].wcet_ms;
+    if (bounds.upper[k] > 0.0 && std::isfinite(bounds.upper[k])) {
+      t_lo = std::max(t_lo, wcet / bounds.upper[k]);
+    }
+    t_hi = std::max(t_hi, wcet / std::max(bounds.lower[k], 1e-12));
+  }
+  if (t_lo == 0.0) t_lo = 1e-12;
+  t_hi = std::max(t_hi, t_lo);
+
+  if (!pooled_feasible(problem, bounds, cheapest_n(problem, bounds, t_hi))) {
+    return Status{Code::kInfeasible,
+                  "pooled resource constraints violated at minimum CUs"};
+  }
+
+  RelaxedSolution sol;
+  if (pooled_feasible(problem, bounds, cheapest_n(problem, bounds, t_lo))) {
+    sol.ii = t_lo;  // bound-limited: cannot go below t_lo by construction
+  } else {
+    // Monotone bisection: infeasible at lo, feasible at hi.
+    double lo = t_lo;
+    double hi = t_hi;
+    for (int iter = 0; iter < 200 && (hi - lo) > 1e-14 * hi; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (pooled_feasible(problem, bounds, cheapest_n(problem, bounds, mid))) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    sol.ii = hi;
+  }
+  sol.n_hat = cheapest_n(problem, bounds, sol.ii);
+  return sol;
+}
+
+StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem) {
+  return solve_relaxation(problem, CuBounds::defaults(problem));
+}
+
+gp::GpProblem build_relaxation_gp(const Problem& problem,
+                                  const CuBounds& bounds) {
+  using gp::Monomial;
+  using gp::Posynomial;
+
+  gp::GpProblem model;
+  const gp::VarId ii = model.add_variable("II");
+  std::vector<gp::VarId> n_vars;
+  n_vars.reserve(problem.num_kernels());
+  for (const Kernel& k : problem.app.kernels) {
+    n_vars.push_back(model.add_variable("N_" + k.name));
+  }
+
+  model.set_objective(Monomial::var(ii));
+
+  const double f = problem.num_fpgas();
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    const Kernel& kern = problem.app.kernels[k];
+    // WCET_k · II⁻¹ · N_k⁻¹ ≤ 1  (eq. 15).
+    model.add_le1(Monomial(kern.wcet_ms) * Monomial::var(ii).inverse() *
+                      Monomial::var(n_vars[k]).inverse(),
+                  "latency " + kern.name);
+    // L_k / N_k ≤ 1 (eq. 16 generalized to the node lower bound) and
+    // N_k / U_k ≤ 1 for finite node upper bounds. Both carry a relative
+    // 1e-9 slack so a collapsed interval L = U (an equality, common when
+    // capacity allows exactly one CU) keeps a strict interior for the
+    // barrier method; the optimum shifts by O(1e-9) at most.
+    constexpr double kBoundSlack = 1e-9;
+    if (bounds.lower[k] > 0.0) {
+      model.add_le1(Monomial(bounds.lower[k] * (1.0 - kBoundSlack)) *
+                        Monomial::var(n_vars[k]).inverse(),
+                    "min CU " + kern.name);
+    }
+    if (std::isfinite(bounds.upper[k]) && bounds.upper[k] > 0.0) {
+      model.add_le1(Monomial(1.0 / (bounds.upper[k] * (1.0 + kBoundSlack))) *
+                        Monomial::var(n_vars[k]),
+                    "max CU " + kern.name);
+    }
+  }
+
+  // Σ_k N_k·R_k/(F·R) ≤ 1 per resource axis with non-trivial demand
+  // (eq. 17), and the bandwidth twin (eq. 18).
+  const ResourceVec cap = problem.cap();
+  for (std::size_t axis = 0; axis < kNumResources; ++axis) {
+    Posynomial sum;
+    bool any = false;
+    for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+      const double demand = problem.app.kernels[k].res.axis(axis);
+      if (demand <= 0.0) continue;
+      MFA_ASSERT_MSG(cap.axis(axis) > 0.0,
+                     "demand on a zero-capacity axis (validate() first)");
+      sum += Monomial(demand / (f * cap.axis(axis))) *
+             Monomial::var(n_vars[k]);
+      any = true;
+    }
+    if (any) {
+      model.add_le1(sum,
+                    std::string("resource ") +
+                        resource_name(static_cast<Resource>(axis)));
+    }
+  }
+  Posynomial bw_sum;
+  bool any_bw = false;
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    const double demand = problem.app.kernels[k].bw;
+    if (demand <= 0.0) continue;
+    MFA_ASSERT_MSG(problem.bw_cap() > 0.0,
+                   "bandwidth demand with zero bandwidth cap");
+    bw_sum += Monomial(demand / (f * problem.bw_cap())) *
+              Monomial::var(n_vars[k]);
+    any_bw = true;
+  }
+  if (any_bw) model.add_le1(bw_sum, "bandwidth");
+
+  return model;
+}
+
+StatusOr<RelaxedSolution> solve_relaxation_gp(
+    const Problem& problem, const gp::SolverOptions& options) {
+  const CuBounds bounds = CuBounds::defaults(problem);
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    if (bounds.lower[k] > bounds.upper[k]) {
+      return Status{Code::kInfeasible, "empty CU bound interval"};
+    }
+  }
+  gp::GpProblem model = build_relaxation_gp(problem, bounds);
+  const gp::GpSolution gp_sol = gp::GpSolver(options).solve(model);
+  if (gp_sol.status == gp::GpStatus::kInfeasible) {
+    return Status{Code::kInfeasible, "GP phase I proved infeasibility"};
+  }
+  if (!gp_sol.ok()) {
+    return Status{Code::kNumeric,
+                  std::string("GP solver: ") + to_string(gp_sol.status)};
+  }
+  RelaxedSolution sol;
+  sol.ii = gp_sol.x[0];
+  sol.n_hat.assign(gp_sol.x.begin() + 1, gp_sol.x.end());
+  return sol;
+}
+
+}  // namespace mfa::core

@@ -1,0 +1,63 @@
+// The symmetric continuous relaxation (paper §3.2.1, eqs. 14–18).
+//
+// With β = 0 and n_{k,f} ∈ R the problem is symmetric across the F
+// identical FPGAs, so only the totals N̂_k matter:
+//
+//   minimize ÎI  s.t.  ÎI ≥ WCET_k/N̂_k,  N̂_k ≥ 1,
+//                      Σ_k N̂_k·R_k ≤ F·R,  Σ_k N̂_k·B_k ≤ F·B.
+//
+// Two independent solvers are provided:
+//  * solve()    — exact bisection on the target ÎI. For a target t the
+//                 cheapest feasible choice is N̂_k(t) = max(L_k, WCET_k/t)
+//                 and resource use is monotone in t, so feasibility is a
+//                 monotone predicate. This is the paper's "GP step" in
+//                 closed form, and it accepts per-kernel bounds, which is
+//                 what the discretizer's branch-and-bound nodes need.
+//  * solve_gp() — the same model through the general gp::GpSolver, as the
+//                 paper does with GPkit. Used for cross-validation and to
+//                 exercise the GP substrate on the real problem.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "gp/solver.hpp"
+#include "support/status.hpp"
+
+namespace mfa::core {
+
+/// Per-kernel interval bounds on the *total* CU count N_k, used by the
+/// discretizer's branch-and-bound. Defaults to [1, max_cu_total(k)].
+struct CuBounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  /// Default bounds for a problem: L_k = 1, U_k = F · max-per-FPGA.
+  static CuBounds defaults(const Problem& problem);
+};
+
+/// Result of the continuous relaxation.
+struct RelaxedSolution {
+  double ii = 0.0;             ///< optimal relaxed ÎI (ms)
+  std::vector<double> n_hat;   ///< N̂_k, the relaxed total CUs per kernel
+};
+
+/// Solves the relaxation exactly by bisection. Returns kInfeasible when
+/// even N̂_k = L_k violates a pooled resource constraint or L > U.
+StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
+                                           const CuBounds& bounds);
+
+/// Convenience overload with default bounds.
+StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem);
+
+/// Builds the GP model (14)–(18) for the problem, with bounds folded in
+/// as monomial constraints. Variable 0 is ÎI; variable 1+k is N̂_k.
+gp::GpProblem build_relaxation_gp(const Problem& problem,
+                                  const CuBounds& bounds);
+
+/// Solves the relaxation through the interior-point GP solver.
+StatusOr<RelaxedSolution> solve_relaxation_gp(
+    const Problem& problem, const gp::SolverOptions& options = {});
+
+}  // namespace mfa::core

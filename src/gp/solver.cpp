@@ -1,0 +1,295 @@
+#include "gp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstdio>
+#include <functional>
+#include <limits>
+
+#include "linalg/decompose.hpp"
+
+namespace mfa::gp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Evaluates one LSE function's value, gradient and Hessian at y.
+struct Derivatives {
+  double value;
+  Vector grad;
+  Matrix hess;
+};
+
+Derivatives eval_full(const LseFunction& f, const Vector& y) {
+  Derivatives d{f.value(y), Vector(y.size()), Matrix(y.size(), y.size())};
+  f.add_derivatives(y, 1.0, d.grad, d.hess);
+  return d;
+}
+
+/// The barrier-method working set: objective + inequality constraints in
+/// log space, with the Newton centering loop shared by both phases.
+class Barrier {
+ public:
+  Barrier(LseFunction objective, std::vector<LseFunction> constraints,
+          const SolverOptions& opts)
+      : objective_(std::move(objective)),
+        constraints_(std::move(constraints)),
+        opts_(opts) {}
+
+  /// h(y) = t·F0(y) − Σ log(−F_i(y)), +inf outside the domain.
+  double merit(const Vector& y, double t) const {
+    double h = t * objective_.value(y);
+    for (const LseFunction& c : constraints_) {
+      const double fi = c.value(y);
+      if (fi >= 0.0) return std::numeric_limits<double>::infinity();
+      h -= std::log(-fi);
+    }
+    return h;
+  }
+
+  /// Newton-minimizes the centering merit from y in place.
+  /// Returns false on an unrecoverable numeric failure.
+  /// `early_stop` (optional) is checked after every accepted step.
+  bool center(Vector& y, double t, int& newton_budget,
+              const std::function<bool(const Vector&)>& early_stop) const {
+    const std::size_t n = y.size();
+    while (newton_budget > 0) {
+      --newton_budget;
+      ++newton_used_;
+      // Assemble gradient and Hessian of the merit.
+      Derivatives obj = eval_full(objective_, y);
+      Vector grad = obj.grad * t;
+      Matrix hess = obj.hess * t;
+      for (const LseFunction& c : constraints_) {
+        Derivatives ci = eval_full(c, y);
+        MFA_ASSERT_MSG(ci.value < 0.0, "centering left the barrier domain");
+        const double inv = 1.0 / (-ci.value);
+        for (std::size_t i = 0; i < n; ++i) {
+          grad[i] += inv * ci.grad[i];
+          for (std::size_t j = 0; j < n; ++j) {
+            hess(i, j) += inv * ci.hess(i, j) +
+                          inv * inv * ci.grad[i] * ci.grad[j];
+          }
+        }
+      }
+      // Newton step.
+      Vector rhs = grad * -1.0;
+      auto step = linalg::solve_spd(hess, rhs);
+      if (!step) return false;
+      const double decrement = -linalg::dot(grad, *step) / 2.0;
+      if (decrement < opts_.newton_tol) return true;  // centered
+      // Trust region in log space: far from all constraints the barrier
+      // Hessian vanishes and the Newton step explodes along affine
+      // directions; cap the step so iterates move at most a factor
+      // e^±kMaxLogStep per coordinate per iteration.
+      constexpr double kMaxLogStep = 8.0;
+      const double step_len = linalg::norm_inf(*step);
+      if (step_len > kMaxLogStep) *step *= kMaxLogStep / step_len;
+      // Backtracking line search on the merit (Armijo, slope 0.3).
+      const double h0 = merit(y, t);
+      const double slope = linalg::dot(grad, *step);
+      double alpha = 1.0;
+      Vector trial = y;
+      double h_trial = 0.0;
+      for (;;) {
+        trial = y;
+        trial += *step * alpha;
+        h_trial = merit(trial, t);
+        if (h_trial <= h0 + 0.3 * alpha * slope) break;
+        alpha *= 0.5;
+        if (alpha < 1e-14) return true;  // stalled: accept current center
+      }
+      y = trial;
+      // Set MFA_GP_TRACE=1 to stream per-step centering diagnostics.
+      static const bool trace = std::getenv("MFA_GP_TRACE") != nullptr;
+      if (trace) {
+        std::fprintf(stderr,
+                     "[gp] t=%.3g h0=%.6g h=%.6g alpha=%.3g dec=%.3g "
+                     "y0=%.4g slen=%.3g\n",
+                     t, h0, h_trial, alpha, decrement, y[0], step_len);
+      }
+      if (early_stop && early_stop(y)) return true;
+      // Numerical floor: when the merit stops moving, further Newton
+      // steps only burn budget — declare the point centered.
+      if (h0 - h_trial < 1e-13 * (1.0 + std::fabs(h0))) return true;
+    }
+    return true;  // budget exhausted; caller checks newton_budget
+  }
+
+  struct PathResult {
+    int outer = 0;
+    bool converged = false;   ///< duality-gap bound met (or early_stop hit)
+    bool numeric_ok = true;   ///< no unrecoverable Newton failure
+  };
+
+  /// Full barrier path from a strictly feasible y; y ends at the solution.
+  PathResult path(Vector& y, int& newton_budget,
+                  const std::function<bool(const Vector&)>& early_stop) const {
+    const double m = static_cast<double>(constraints_.size());
+    double t = opts_.t0;
+    PathResult res;
+    while (res.outer < opts_.max_outer) {
+      ++res.outer;
+      if (!center(y, t, newton_budget, early_stop)) {
+        res.numeric_ok = false;
+        return res;
+      }
+      if (early_stop && early_stop(y)) {
+        res.converged = true;
+        return res;
+      }
+      if (m == 0.0 || m / t < opts_.tolerance) {
+        res.converged = true;
+        return res;
+      }
+      if (newton_budget <= 0) return res;
+      t *= opts_.mu;
+    }
+    return res;
+  }
+
+  [[nodiscard]] double max_constraint(const Vector& y) const {
+    double worst = -std::numeric_limits<double>::infinity();
+    for (const LseFunction& c : constraints_) {
+      worst = std::max(worst, c.value(y));
+    }
+    return worst;
+  }
+
+  [[nodiscard]] int newton_used() const { return newton_used_; }
+
+ private:
+  LseFunction objective_;
+  std::vector<LseFunction> constraints_;
+  const SolverOptions& opts_;
+  mutable int newton_used_ = 0;
+};
+
+/// Widens every LSE row with one extra trailing variable s, coefficient
+/// −s inside each exponent — turning F(y) ≤ 0 into F(y) − s ≤ 0 while
+/// remaining log-sum-exp in (y, s).
+LseFunction augment_with_slack(const LseFunction& f) {
+  LseFunction out;
+  out.a = Matrix(f.a.rows(), f.a.cols() + 1);
+  out.b = f.b;
+  for (std::size_t r = 0; r < f.a.rows(); ++r) {
+    for (std::size_t c = 0; c < f.a.cols(); ++c) out.a(r, c) = f.a(r, c);
+    out.a(r, f.a.cols()) = -1.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(GpStatus status) {
+  switch (status) {
+    case GpStatus::kOptimal:
+      return "optimal";
+    case GpStatus::kInfeasible:
+      return "infeasible";
+    case GpStatus::kIterLimit:
+      return "iteration-limit";
+    case GpStatus::kNumeric:
+      return "numeric-failure";
+  }
+  return "unknown";
+}
+
+GpSolution GpSolver::solve(const GpProblem& problem) const {
+  const std::size_t n = problem.num_variables();
+  GpSolution sol;
+  sol.x.assign(n, 1.0);
+
+  LseFunction obj = problem.compile(problem.objective());
+  std::vector<LseFunction> cons;
+  cons.reserve(problem.constraints().size() + 2 * n);
+  for (const Posynomial& p : problem.constraints()) {
+    cons.push_back(problem.compile(p));
+  }
+  // Box constraints |y_j| ≤ Y keep both phases bounded: without them the
+  // phase-I merit is unbounded below (riding a free direction to ∞
+  // collects −log barrier rewards from ever-slacker constraints faster
+  // than t·s charges for the violated ones), and phase II can drift
+  // along flat objective directions. Y = 46 allows x ∈ [1e-20, 1e20],
+  // far beyond any meaningful allocation quantity.
+  const double box = options_.variable_box;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (double sign : {1.0, -1.0}) {
+      LseFunction bound;
+      bound.a = Matrix(1, n);
+      bound.a(0, j) = sign;
+      bound.b = Vector(1);
+      bound.b[0] = -box;
+      cons.push_back(std::move(bound));
+    }
+  }
+
+  int newton_budget = options_.max_newton * options_.max_outer;
+  Vector y(n, 0.0);
+
+  // ---- Phase I: find a strictly feasible y (skipped if y = 0 already is).
+  Barrier main_barrier(obj, cons, options_);
+  if (!cons.empty() && main_barrier.max_constraint(y) >= -options_.feas_margin) {
+    // Build the slack-augmented problem in (y, s).
+    LseFunction slack_obj;
+    slack_obj.a = Matrix(1, n + 1);
+    slack_obj.a(0, n) = 1.0;  // F0(y, s) = s
+    slack_obj.b = Vector(1);
+    std::vector<LseFunction> slack_cons;
+    slack_cons.reserve(cons.size());
+    for (const LseFunction& c : cons) slack_cons.push_back(augment_with_slack(c));
+
+    Barrier phase1(std::move(slack_obj), std::move(slack_cons), options_);
+    Vector ys(n + 1, 0.0);
+    // s0 strictly above the worst violation keeps the start interior.
+    ys[n] = main_barrier.max_constraint(y) + 1.0;
+    const double margin = options_.feas_margin;
+    auto feasible_found = [&](const Vector& p) {
+      // Check the *original* constraints at the y part of the iterate.
+      Vector yy(n);
+      for (std::size_t i = 0; i < n; ++i) yy[i] = p[i];
+      return main_barrier.max_constraint(yy) < -margin;
+    };
+    const Barrier::PathResult p1 = phase1.path(ys, newton_budget, feasible_found);
+    sol.newton_iterations += phase1.newton_used();
+
+    Vector y_candidate(n);
+    for (std::size_t i = 0; i < n; ++i) y_candidate[i] = ys[i];
+    if (main_barrier.max_constraint(y_candidate) >= -margin) {
+      // Phase I finished without reaching s < 0: either the problem is
+      // infeasible (phase I converged) or we ran out of budget.
+      sol.status = p1.converged && newton_budget > 0 ? GpStatus::kInfeasible
+                   : p1.numeric_ok                   ? GpStatus::kIterLimit
+                                                     : GpStatus::kNumeric;
+      for (std::size_t i = 0; i < n; ++i) sol.x[i] = std::exp(y_candidate[i]);
+      sol.objective = problem.objective().eval(sol.x);
+      sol.max_violation =
+          std::exp(main_barrier.max_constraint(y_candidate)) - 1.0;
+      return sol;
+    }
+    y = y_candidate;
+  }
+
+  // ---- Phase II: barrier path on the true objective.
+  const Barrier::PathResult p2 = main_barrier.path(y, newton_budget, nullptr);
+  sol.outer_iterations = p2.outer;
+  sol.newton_iterations += main_barrier.newton_used();
+
+  // Clamp before exponentiating: a flat objective can let y drift far
+  // along a null direction, and exp() must stay positive and finite.
+  for (std::size_t i = 0; i < n; ++i) {
+    sol.x[i] = std::exp(std::clamp(y[i], -700.0, 700.0));
+    if (sol.x[i] == 0.0) sol.x[i] = 1e-300;
+  }
+  sol.objective = problem.objective().eval(sol.x);
+  sol.max_violation =
+      cons.empty() ? 0.0 : std::exp(main_barrier.max_constraint(y)) - 1.0;
+  sol.status = p2.converged    ? GpStatus::kOptimal
+               : p2.numeric_ok ? GpStatus::kIterLimit
+                               : GpStatus::kNumeric;
+  return sol;
+}
+
+}  // namespace mfa::gp

@@ -1,0 +1,175 @@
+#include "hls/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfa::hls {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  MFA_ASSERT(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// 18 kb BRAM blocks needed for `bytes` of storage, double-buffered.
+int bram_blocks(std::int64_t bytes) {
+  constexpr std::int64_t kBytesPer18k = 18 * 1024 / 8;
+  return static_cast<int>(ceil_div(2 * bytes, kBytesPer18k));
+}
+
+}  // namespace
+
+const char* datatype_name(DataType t) {
+  return t == DataType::kFloat32 ? "fp32" : "fx16";
+}
+
+int bytes_of(DataType t) { return t == DataType::kFloat32 ? 4 : 2; }
+
+int dsp_per_mac(DataType t) { return t == DataType::kFloat32 ? 5 : 1; }
+
+Device Device::vu9p() {
+  return Device{"VU9P (AWS F1)", 6840,      4320, 1'182'240,
+                2'364'480,       250.0,     60.0};
+}
+
+core::Kernel CostModel::characterize(const Layer& layer, DataType dtype,
+                                     UnrollConfig config) const {
+  MFA_ASSERT(config.tm >= 1 && config.tn >= 1);
+  const int tm = std::min(config.tm, layer.out_channels);
+  const int tn = std::min(config.tn, layer.in_channels);
+  const int bytes = bytes_of(dtype);
+
+  // ---- Latency: tiled loop nest, inner spatial loop pipelined at II=1.
+  const std::int64_t spatial =
+      static_cast<std::int64_t>(layer.out_rows) * layer.out_cols;
+  std::int64_t cycles = 0;
+  int dsp = 0;
+  std::int64_t lut = 0;
+  switch (layer.kind) {
+    case LayerKind::kConv:
+    case LayerKind::kFullyConnected:
+      cycles = ceil_div(layer.out_channels, tm) *
+               ceil_div(layer.in_channels, tn) * spatial * layer.kernel *
+               layer.kernel;
+      dsp = tm * tn * dsp_per_mac(dtype);
+      // Datapath + control: muxing and accumulation trees scale with the
+      // lane count; a fixed AXI/control harness underlies every CU.
+      lut = 8'000 + 220LL * tm * tn * (dtype == DataType::kFloat32 ? 3 : 1);
+      break;
+    case LayerKind::kPool:
+      // Channel-parallel comparator lanes; no DSP consumption.
+      cycles = ceil_div(layer.in_channels, tn) * spatial * layer.kernel *
+               layer.kernel;
+      dsp = 0;
+      lut = 6'000 + 150LL * tn * bytes;
+      break;
+    case LayerKind::kNorm:
+      // LRN: channel window accumulation plus a pointwise power/scale
+      // unit per lane (a handful of DSPs in fp32, ~none in fixed point).
+      cycles = ceil_div(layer.in_channels, tn) * spatial * layer.kernel *
+               layer.kernel;
+      dsp = tn * (dtype == DataType::kFloat32 ? 6 : 1);
+      lut = 7'000 + 300LL * tn * bytes;
+      break;
+  }
+  const double compute_ms =
+      static_cast<double>(cycles) / (device_.clock_mhz * 1e3);
+
+  // ---- On-chip buffers (double-buffered tiles), row-tiled: one output
+  // row of Tm channels in flight, its input halo, and the weight tile.
+  const std::int64_t in_tile_bytes =
+      static_cast<std::int64_t>(tn) *
+      (layer.stride + layer.kernel - 1) *
+      (static_cast<std::int64_t>(layer.out_cols) * layer.stride +
+       layer.kernel - 1) *
+      bytes;
+  const std::int64_t out_tile_bytes =
+      static_cast<std::int64_t>(tm) * layer.out_cols * bytes;
+  const std::int64_t weight_tile_bytes =
+      layer.weight_elements() == 0
+          ? 0
+          : static_cast<std::int64_t>(tm) * tn * layer.kernel * layer.kernel *
+                bytes;
+  const int brams = bram_blocks(in_tile_bytes) + bram_blocks(out_tile_bytes) +
+                    (weight_tile_bytes > 0 ? bram_blocks(weight_tile_bytes)
+                                           : 0);
+
+  // ---- DRAM traffic per image: inputs re-read once per output-channel
+  // tile group (row tiling reuses them within a group), weights streamed
+  // once, outputs written once (quartered when a max-pool is fused).
+  const std::int64_t in_reads =
+      layer.weight_elements() == 0 ? 1 : ceil_div(layer.out_channels, tm);
+  std::int64_t out_elems = layer.output_elements();
+  if (layer.fused_pool) out_elems /= 4;
+  const std::int64_t traffic_bytes =
+      (layer.input_elements() * in_reads + layer.weight_elements() +
+       out_elems) *
+      bytes;
+
+  // ---- Roofline: a CU streams through one AXI/DDR port, so its latency
+  // is the max of the compute and memory phases (Zhang et al.'s model).
+  const double port_gbps = device_.dram_gbps / 4.0;  // one of four channels
+  const double memory_ms =
+      static_cast<double>(traffic_bytes) / (port_gbps * 1e6);
+  const double wcet_ms = std::max(compute_ms, memory_ms);
+  const double wcet_s = wcet_ms / 1e3;
+  const double gbps = static_cast<double>(traffic_bytes) / wcet_s / 1e9;
+
+  core::Kernel kernel;
+  kernel.name = layer.name;
+  kernel.wcet_ms = wcet_ms;
+  kernel.res[core::Resource::kDsp] = 100.0 * dsp / device_.dsp;
+  kernel.res[core::Resource::kBram] = 100.0 * brams / device_.bram18k;
+  kernel.res[core::Resource::kLut] =
+      100.0 * static_cast<double>(lut) / static_cast<double>(device_.luts);
+  // Registers track LUTs closely in pipelined HLS datapaths.
+  kernel.res[core::Resource::kFf] =
+      100.0 * static_cast<double>(lut) * 1.1 /
+      static_cast<double>(device_.ffs);
+  kernel.bw = 100.0 * gbps / device_.dram_gbps;
+  return kernel;
+}
+
+UnrollConfig CostModel::pick_unroll(const Layer& layer, DataType dtype,
+                                    double dsp_budget_pct) const {
+  const bool weighted = layer.weight_elements() > 0;
+  const int dsp_budget =
+      static_cast<int>(dsp_budget_pct / 100.0 * device_.dsp);
+
+  UnrollConfig best;
+  for (int tn = 1; tn <= 64; tn *= 2) {
+    if (tn > layer.in_channels * 2) break;
+    const int tm_limit = weighted ? 64 : 1;
+    for (int tm = 1; tm <= tm_limit; tm *= 2) {
+      if (tm > layer.out_channels * 2) break;
+      UnrollConfig cfg{tm, tn};
+      const int dsp_cost =
+          layer.kind == LayerKind::kNorm
+              ? tn * (dtype == DataType::kFloat32 ? 6 : 1)
+              : (layer.kind == LayerKind::kPool
+                     ? 0
+                     : cfg.lanes() * dsp_per_mac(dtype));
+      if (dsp_cost > dsp_budget && dsp_cost > 0) continue;
+      if (cfg.lanes() > best.lanes() ||
+          (cfg.lanes() == best.lanes() &&
+           std::abs(cfg.tm - cfg.tn) < std::abs(best.tm - best.tn))) {
+        best = cfg;
+      }
+    }
+  }
+  return best;
+}
+
+core::Application CostModel::characterize_network(
+    const Network& net, DataType dtype, double dsp_budget_pct) const {
+  core::Application app;
+  app.name = net.name + " (" + datatype_name(dtype) + ", modeled)";
+  app.kernels.reserve(net.size());
+  for (const Layer& layer : net.layers) {
+    const UnrollConfig cfg = pick_unroll(layer, dtype, dsp_budget_pct);
+    app.kernels.push_back(characterize(layer, dtype, cfg));
+  }
+  return app;
+}
+
+}  // namespace mfa::hls

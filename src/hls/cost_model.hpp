@@ -1,0 +1,83 @@
+// Analytical HLS cost model — the characterization substitute.
+//
+// The paper characterizes each kernel by synthesizing CU variants with
+// SDAccel and running them on AWS F1 hardware (§1, Tables 2–3). Without
+// that testbed, this module reproduces the characterization *code path*
+// with an analytical model in the style of Zhang et al., FPGA'15: a
+// tiled convolution engine with Tm × Tn parallel MACs, double-buffered
+// on-chip tiles, and burst DRAM transfers. The model maps a layer shape
+// plus an unroll configuration to exactly the quantities the optimizer
+// consumes — WCET, resource percentages and DRAM bandwidth share of one
+// FPGA — so any network, not just the two the paper measured, can be fed
+// to the allocator. Absolute fidelity to Tables 2–3 is not claimed (the
+// paper's exact constants are available in hls/paper.hpp); magnitudes
+// and trends are validated in tests/hls_test.cpp.
+#pragma once
+
+#include "core/problem.hpp"
+#include "hls/layers.hpp"
+
+namespace mfa::hls {
+
+enum class DataType { kFloat32, kFixed16 };
+
+const char* datatype_name(DataType t);
+int bytes_of(DataType t);
+
+/// DSP blocks consumed by one multiply-accumulate lane.
+/// UltraScale+ figures: fp32 MAC ≈ 5 DSP48E2 (3 mult + 2 add),
+/// 16-bit fixed MAC = 1.
+int dsp_per_mac(DataType t);
+
+/// FPGA device resource inventory.
+struct Device {
+  std::string name;
+  int dsp = 0;
+  int bram18k = 0;
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+  double clock_mhz = 0.0;   ///< achieved kernel clock
+  double dram_gbps = 0.0;   ///< usable per-FPGA DRAM bandwidth
+
+  /// Xilinx VU9P as deployed on an AWS F1 FPGA card (≈250 MHz kernels,
+  /// four DDR4 channels of which ~16 GB/s/channel usable).
+  static Device vu9p();
+};
+
+/// Unroll (parallelism) configuration of one CU: Tm output-channel ×
+/// Tn input-channel parallel MAC lanes.
+struct UnrollConfig {
+  int tm = 1;
+  int tn = 1;
+  [[nodiscard]] int lanes() const { return tm * tn; }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(Device device) : device_(std::move(device)) {}
+
+  [[nodiscard]] const Device& device() const { return device_; }
+
+  /// Characterizes one CU of the layer: WCET (ms), resource vector (% of
+  /// the device) and DRAM bandwidth (% of the device), ready for the
+  /// optimizer.
+  [[nodiscard]] core::Kernel characterize(const Layer& layer, DataType dtype,
+                                          UnrollConfig config) const;
+
+  /// Largest power-of-two unroll whose DSP share stays within
+  /// dsp_budget_pct (% of the device) — the knob the paper turns when
+  /// preparing per-kernel CU variants. Pool/norm layers unroll channels
+  /// only (tm = 1 lanes on tn).
+  [[nodiscard]] UnrollConfig pick_unroll(const Layer& layer, DataType dtype,
+                                         double dsp_budget_pct) const;
+
+  /// Characterizes a whole network into a pipeline Application, picking
+  /// each layer's unroll under the given per-CU DSP budget.
+  [[nodiscard]] core::Application characterize_network(
+      const Network& net, DataType dtype, double dsp_budget_pct) const;
+
+ private:
+  Device device_;
+};
+
+}  // namespace mfa::hls

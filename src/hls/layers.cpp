@@ -1,0 +1,128 @@
+#include "hls/layers.hpp"
+
+namespace mfa::hls {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kPool:
+      return "pool";
+    case LayerKind::kNorm:
+      return "norm";
+    case LayerKind::kFullyConnected:
+      return "fc";
+  }
+  return "?";
+}
+
+std::int64_t Layer::ops() const {
+  const std::int64_t spatial =
+      static_cast<std::int64_t>(out_rows) * out_cols;
+  switch (kind) {
+    case LayerKind::kConv:
+      return spatial * out_channels * in_channels * kernel * kernel;
+    case LayerKind::kPool:
+      return spatial * out_channels * kernel * kernel;
+    case LayerKind::kNorm:
+      // Local response normalization: one window of K² taps per element
+      // plus the pointwise power/scale, folded into the window count.
+      return spatial * out_channels * kernel * kernel;
+    case LayerKind::kFullyConnected:
+      return static_cast<std::int64_t>(out_channels) * in_channels;
+  }
+  return 0;
+}
+
+std::int64_t Layer::output_elements() const {
+  return static_cast<std::int64_t>(out_channels) * out_rows * out_cols;
+}
+
+std::int64_t Layer::input_elements() const {
+  return static_cast<std::int64_t>(in_channels) * (out_rows * stride) *
+         (out_cols * stride);
+}
+
+std::int64_t Layer::weight_elements() const {
+  switch (kind) {
+    case LayerKind::kConv:
+      return static_cast<std::int64_t>(out_channels) * in_channels * kernel *
+             kernel;
+    case LayerKind::kFullyConnected:
+      return static_cast<std::int64_t>(out_channels) * in_channels;
+    case LayerKind::kPool:
+    case LayerKind::kNorm:
+      return 0;
+  }
+  return 0;
+}
+
+std::int64_t Network::total_ops() const {
+  std::int64_t acc = 0;
+  for (const Layer& l : layers) acc += l.ops();
+  return acc;
+}
+
+namespace {
+
+Layer conv(std::string name, int n, int m, int out, int k, int s,
+           bool fused_pool = false) {
+  return Layer{std::move(name), LayerKind::kConv, n, m, out, out,
+               k,               s,                fused_pool};
+}
+
+Layer pool(std::string name, int ch, int out, int k, int s) {
+  return Layer{std::move(name), LayerKind::kPool, ch, ch, out, out, k, s,
+               false};
+}
+
+Layer norm(std::string name, int ch, int out) {
+  // AlexNet LRN uses a 5-wide channel window; model it as K = 5, S = 1.
+  return Layer{std::move(name), LayerKind::kNorm, ch, ch, out, out, 5, 1,
+               false};
+}
+
+}  // namespace
+
+Network alexnet() {
+  Network net;
+  net.name = "AlexNet";
+  net.layers = {
+      conv("CONV1", 3, 96, 55, 11, 4),
+      pool("POOL1", 96, 27, 3, 2),
+      norm("NORM1", 96, 27),
+      conv("CONV2", 96, 256, 27, 5, 1, /*fused_pool=*/true),
+      norm("NORM2", 256, 13),
+      conv("CONV3", 256, 384, 13, 3, 1),
+      conv("CONV4", 384, 384, 13, 3, 1),
+      conv("CONV5", 384, 256, 13, 3, 1, /*fused_pool=*/true),
+  };
+  return net;
+}
+
+Network vgg16() {
+  Network net;
+  net.name = "VGG16";
+  net.layers = {
+      conv("CONV1", 3, 64, 224, 3, 1),
+      conv("CONV2", 64, 64, 224, 3, 1),
+      pool("POOL2", 64, 112, 2, 2),
+      conv("CONV3", 64, 128, 112, 3, 1),
+      conv("CONV4", 128, 128, 112, 3, 1),
+      pool("POOL4", 128, 56, 2, 2),
+      conv("CONV5", 128, 256, 56, 3, 1),
+      conv("CONV6", 256, 256, 56, 3, 1),
+      conv("CONV7", 256, 256, 56, 3, 1),
+      pool("POOL7", 256, 28, 2, 2),
+      conv("CONV8", 256, 512, 28, 3, 1),
+      conv("CONV9", 512, 512, 28, 3, 1),
+      conv("CONV10", 512, 512, 28, 3, 1),
+      pool("POOL10", 512, 14, 2, 2),
+      conv("CONV11", 512, 512, 14, 3, 1),
+      conv("CONV12", 512, 512, 14, 3, 1),
+      conv("CONV13", 512, 512, 14, 3, 1, /*fused_pool=*/true),
+  };
+  return net;
+}
+
+}  // namespace mfa::hls

@@ -1,0 +1,72 @@
+// CNN layer shape records — the inputs to kernel characterization.
+//
+// The paper's flow starts from CNNs "already partitioned into kernels":
+// each convolutional / pooling / normalization layer becomes one pipeline
+// kernel (§1, §3; some max-pool layers are merged into the preceding
+// convolution, and fully connected layers are omitted — see footnote 1).
+// These records carry just enough geometry for the analytical cost model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mfa::hls {
+
+enum class LayerKind { kConv, kPool, kNorm, kFullyConnected };
+
+const char* layer_kind_name(LayerKind kind);
+
+/// One layer: geometry in the usual CNN notation.
+/// Convolution: N input channels × M output channels, K×K kernel,
+/// stride S, producing an R×C output map. Pool/Norm reuse the same
+/// fields with M = N. Fully connected: N inputs, M outputs, K=R=C=1.
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  int in_channels = 0;   ///< N
+  int out_channels = 0;  ///< M
+  int out_rows = 0;      ///< R
+  int out_cols = 0;      ///< C
+  int kernel = 1;        ///< K
+  int stride = 1;        ///< S
+  bool fused_pool = false;  ///< a max-pool merged into this conv
+
+  /// Multiply-accumulate operations per image (conv/FC), or compare/
+  /// accumulate operations (pool/norm).
+  [[nodiscard]] std::int64_t ops() const;
+
+  /// Output feature-map elements per image (M·R·C).
+  [[nodiscard]] std::int64_t output_elements() const;
+
+  /// Input feature-map elements consumed per image (N·R·S·C·S upper
+  /// bound, ignoring halos).
+  [[nodiscard]] std::int64_t input_elements() const;
+
+  /// Weight parameters (conv: M·N·K²; FC: M·N; pool/norm: 0).
+  [[nodiscard]] std::int64_t weight_elements() const;
+};
+
+/// An ordered CNN: the unit the characterization flow maps to a pipeline.
+struct Network {
+  std::string name;
+  std::vector<Layer> layers;
+
+  [[nodiscard]] std::size_t size() const { return layers.size(); }
+  [[nodiscard]] std::int64_t total_ops() const;
+};
+
+/// AlexNet (Krizhevsky et al. 2012) with the paper's kernel merging:
+/// 8 kernels — CONV1, POOL1, NORM1, CONV2(+pool), NORM2, CONV3, CONV4,
+/// CONV5(+pool). Fully connected layers omitted (paper footnote 1).
+Network alexnet();
+
+/// VGG-16 (Simonyan & Zisserman 2014) with the paper's merging:
+/// 17 kernels — CONV1..13 plus POOL2, POOL4, POOL7, POOL10 (pools after
+/// conv2/4/7/10 kept standalone, the final pool merged; FC omitted),
+/// matching the Fig. 6 legend.
+Network vgg16();
+
+}  // namespace mfa::hls

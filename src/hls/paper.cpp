@@ -1,0 +1,109 @@
+#include "hls/paper.hpp"
+
+namespace mfa::hls::paper {
+namespace {
+
+using core::Application;
+using core::Kernel;
+using core::Platform;
+using core::Problem;
+using core::ResourceVec;
+
+/// Table row → Kernel: (name, BRAM %, DSP %, BW %, WCET ms).
+Kernel row(const char* name, double bram, double dsp, double bw,
+           double wcet_ms) {
+  return Kernel{name, wcet_ms, ResourceVec(bram, dsp, 0.0, 0.0), bw};
+}
+
+}  // namespace
+
+Application alex32() {
+  Application app;
+  app.name = "Alex-32";
+  app.kernels = {
+      row("CONV1", 13.07, 21.24, 1.3, 13.0),
+      row("POOL1", 2.84, 0.0, 7.03, 1.78),
+      row("NORM1", 6.10, 2.11, 5.7, 0.839),
+      row("CONV2", 8.73, 37.59, 2.4, 7.19),
+      row("NORM2", 7.75, 2.11, 3.7, 0.807),
+      row("CONV3", 5.22, 28.13, 5.0, 7.78),
+      row("CONV4", 2.13, 37.50, 3.7, 9.08),
+      row("CONV5", 8.73, 37.50, 4.2, 4.84),
+  };
+  return app;
+}
+
+Application alex16() {
+  Application app;
+  app.name = "Alex-16";
+  app.kernels = {
+      row("CONV1", 10.59, 4.31, 1.8, 5.16),
+      row("POOL1", 0.05, 0.0, 3.5, 1.78),
+      row("NORM1", 2.53, 0.06, 3.1, 0.78),
+      row("CONV2", 4.39, 7.63, 2.1, 4.11),
+      row("NORM2", 6.66, 0.06, 2.2, 0.67),
+      row("CONV3", 2.63, 5.66, 2.9, 6.70),
+      row("CONV4", 1.91, 7.55, 3.2, 5.06),
+      row("CONV5", 4.39, 7.55, 3.1, 3.29),
+  };
+  return app;
+}
+
+Application vgg16() {
+  Application app;
+  app.name = "VGG";
+  app.kernels = {
+      row("CONV1", 3.67, 2.95, 2.0, 28.8),
+      row("CONV2", 9.97, 15.14, 2.1, 67.8),
+      row("POOL2", 11.62, 0.03, 5.2, 13.3),
+      row("CONV3", 9.97, 15.14, 2.3, 22.7),
+      row("CONV4", 9.97, 15.14, 2.4, 32.1),
+      row("POOL4", 2.94, 0.03, 5.1, 6.9),
+      row("CONV5", 8.32, 15.07, 2.0, 22.8),
+      row("CONV6", 8.32, 15.05, 2.3, 32.9),
+      row("CONV7", 8.32, 15.05, 2.3, 32.9),
+      row("POOL7", 1.50, 0.03, 5.0, 3.5),
+      row("CONV8", 2.12, 15.02, 2.1, 24.5),
+      row("CONV9", 2.12, 15.02, 2.5, 37.7),
+      row("CONV10", 2.12, 15.02, 2.5, 37.7),
+      row("POOL10", 0.05, 0.01, 4.0, 2.1),
+      row("CONV11", 2.12, 14.99, 2.6, 20.3),
+      row("CONV12", 2.12, 14.99, 2.6, 20.3),
+      row("CONV13", 2.12, 14.99, 2.6, 20.3),
+  };
+  return app;
+}
+
+Platform f1(int num_fpgas) {
+  MFA_ASSERT(num_fpgas >= 1);
+  return Platform{"AWS F1", num_fpgas, ResourceVec::uniform(100.0), 100.0};
+}
+
+Problem case_alex16_2fpga() {
+  Problem p;
+  p.app = alex16();
+  p.platform = f1(2);
+  p.alpha = 1.0;
+  p.beta = 0.7;  // Table 4
+  return p;
+}
+
+Problem case_alex32_4fpga() {
+  Problem p;
+  p.app = alex32();
+  p.platform = f1(4);
+  p.alpha = 1.0;
+  p.beta = 6.0;  // Table 4
+  return p;
+}
+
+Problem case_vgg_8fpga() {
+  Problem p;
+  p.app = vgg16();
+  p.platform = f1(8);
+  p.alpha = 1.0;
+  p.beta = 50.0;  // Table 4
+  return p;
+}
+
+}  // namespace mfa::hls::paper

@@ -1,0 +1,445 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfa::io {
+
+Json Json::boolean(bool v) {
+  Json j(Type::kBool);
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  MFA_ASSERT_MSG(std::isfinite(v), "JSON numbers must be finite");
+  Json j(Type::kNumber);
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j(Type::kString);
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() { return Json(Type::kArray); }
+Json Json::object() { return Json(Type::kObject); }
+
+bool Json::as_bool() const {
+  MFA_ASSERT(is_bool());
+  return bool_;
+}
+
+double Json::as_number() const {
+  MFA_ASSERT(is_number());
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  MFA_ASSERT(is_string());
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  MFA_ASSERT(is_array() && i < array_.size());
+  return array_[i];
+}
+
+void Json::push_back(Json v) {
+  MFA_ASSERT(is_array());
+  array_.push_back(std::move(v));
+}
+
+void Json::set(std::string key, Json v) {
+  MFA_ASSERT(is_object());
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+bool Json::has(std::string_view key) const { return find(key) != nullptr; }
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  MFA_ASSERT(is_object());
+  return object_;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double v) {
+  // Integers print without a fraction; everything else round-trips.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      number_into(out, number_);
+      return;
+    case Type::kString:
+      escape_into(out, string_);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(out, indent, depth + 1);
+        array_[i].dump_impl(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_indent(out, indent, depth + 1);
+        escape_into(out, object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_impl(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser with positional error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> parse_document() {
+    skip_ws();
+    StatusOr<Json> value = parse_value(0);
+    if (!value.is_ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status error(const std::string& what) const {
+    return {Code::kInvalid,
+            "JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  StatusOr<Json> parse_value(int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return error("nesting too deep");
+    if (eof()) return error("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (consume("null")) return Json::null();
+        return error("invalid literal");
+      case 't':
+        if (consume("true")) return Json::boolean(true);
+        return error("invalid literal");
+      case 'f':
+        if (consume("false")) return Json::boolean(false);
+        return error("invalid literal");
+      case '"':
+        return parse_string();
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  StatusOr<Json> parse_string() {
+    MFA_ASSERT(peek() == '"');
+    ++pos_;
+    std::string out;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Json::string(std::move(out));
+      if (c == '\\') {
+        if (eof()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return error("bad \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogates unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return error("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return error("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return error("unterminated string");
+  }
+
+  StatusOr<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    bool digits = false;
+    bool dot = false;
+    bool exp = false;
+    while (!eof()) {
+      const char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' && !dot && !exp) {
+        dot = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && digits && !exp) {
+        exp = true;
+        ++pos_;
+        if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return error("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return error("invalid number");
+    }
+    return Json::number(value);
+  }
+
+  StatusOr<Json> parse_array(int depth) {  // NOLINT(misc-no-recursion)
+    MFA_ASSERT(peek() == '[');
+    ++pos_;
+    Json arr = Json::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      skip_ws();
+      StatusOr<Json> v = parse_value(depth + 1);
+      if (!v.is_ok()) return v;
+      arr.push_back(std::move(v.value()));
+      skip_ws();
+      if (eof()) return error("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      return error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Json> parse_object(int depth) {  // NOLINT(misc-no-recursion)
+    MFA_ASSERT(peek() == '{');
+    ++pos_;
+    Json obj = Json::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') return error("expected object key");
+      StatusOr<Json> key = parse_string();
+      if (!key.is_ok()) return key;
+      skip_ws();
+      if (eof() || peek() != ':') return error("expected ':'");
+      ++pos_;
+      skip_ws();
+      StatusOr<Json> v = parse_value(depth + 1);
+      if (!v.is_ok()) return v;
+      obj.set(key.value().as_string(), std::move(v.value()));
+      skip_ws();
+      if (eof()) return error("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      return error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace mfa::io

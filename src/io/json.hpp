@@ -1,0 +1,78 @@
+// Minimal JSON value, parser and writer (no external dependencies).
+//
+// Covers the subset the library needs for problem/allocation files:
+// null, bool, finite numbers, strings with standard escapes, arrays and
+// objects (insertion-ordered). Parse errors are reported by position
+// through StatusOr rather than exceptions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace mfa::io {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; asserting the type matches (check first).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  // --- array interface ---
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  void push_back(Json v);
+
+  // --- object interface (insertion-ordered keys) ---
+  void set(std::string key, Json v);
+  [[nodiscard]] bool has(std::string_view key) const;
+  /// nullptr when absent.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+
+  /// Serializes; indent < 0 → compact, otherwise pretty with that many
+  /// spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed).
+  static StatusOr<Json> parse(std::string_view text);
+
+ private:
+  explicit Json(Type t) : type_(t) {}
+
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace mfa::io

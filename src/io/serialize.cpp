@@ -1,0 +1,213 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mfa::io {
+namespace {
+
+using core::Application;
+using core::Kernel;
+using core::Platform;
+using core::Problem;
+using core::Resource;
+using core::ResourceVec;
+
+/// Fetches a required finite number field.
+StatusOr<double> need_number(const Json& j, const char* key,
+                             const char* ctx) {
+  const Json* v = j.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status{Code::kInvalid, std::string(ctx) + ": missing or "
+                                      "non-numeric field '" +
+                                      key + "'"};
+  }
+  return v->as_number();
+}
+
+double optional_number(const Json& j, const char* key, double fallback) {
+  const Json* v = j.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string optional_string(const Json& j, const char* key,
+                            const std::string& fallback) {
+  const Json* v = j.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+}  // namespace
+
+Json to_json(const Kernel& kernel) {
+  Json j = Json::object();
+  j.set("name", Json::string(kernel.name));
+  j.set("wcet_ms", Json::number(kernel.wcet_ms));
+  j.set("bram", Json::number(kernel.res[Resource::kBram]));
+  j.set("dsp", Json::number(kernel.res[Resource::kDsp]));
+  j.set("lut", Json::number(kernel.res[Resource::kLut]));
+  j.set("ff", Json::number(kernel.res[Resource::kFf]));
+  j.set("bw", Json::number(kernel.bw));
+  return j;
+}
+
+Json to_json(const Application& app) {
+  Json j = Json::object();
+  j.set("name", Json::string(app.name));
+  Json kernels = Json::array();
+  for (const Kernel& k : app.kernels) kernels.push_back(to_json(k));
+  j.set("kernels", std::move(kernels));
+  return j;
+}
+
+Json to_json(const Platform& platform) {
+  Json j = Json::object();
+  j.set("name", Json::string(platform.name));
+  j.set("fpgas", Json::number(platform.num_fpgas));
+  Json cap = Json::object();
+  cap.set("bram", Json::number(platform.capacity[Resource::kBram]));
+  cap.set("dsp", Json::number(platform.capacity[Resource::kDsp]));
+  cap.set("lut", Json::number(platform.capacity[Resource::kLut]));
+  cap.set("ff", Json::number(platform.capacity[Resource::kFf]));
+  j.set("capacity", std::move(cap));
+  j.set("bw_capacity", Json::number(platform.bw_capacity));
+  return j;
+}
+
+Json to_json(const Problem& problem) {
+  Json j = Json::object();
+  j.set("application", to_json(problem.app));
+  j.set("platform", to_json(problem.platform));
+  j.set("resource_fraction", Json::number(problem.resource_fraction));
+  j.set("bw_fraction", Json::number(problem.bw_fraction));
+  j.set("alpha", Json::number(problem.alpha));
+  j.set("beta", Json::number(problem.beta));
+  return j;
+}
+
+Json to_json(const core::Allocation& alloc) {
+  Json j = Json::object();
+  Json matrix = Json::array();
+  for (std::size_t k = 0; k < alloc.num_kernels(); ++k) {
+    Json fpga_row = Json::array();
+    for (int f = 0; f < alloc.num_fpgas(); ++f) {
+      fpga_row.push_back(Json::number(alloc.cu(k, f)));
+    }
+    matrix.push_back(std::move(fpga_row));
+  }
+  j.set("matrix", std::move(matrix));
+  j.set("ii_ms", Json::number(alloc.ii()));
+  j.set("phi", Json::number(alloc.phi()));
+  j.set("goal", Json::number(alloc.goal()));
+  j.set("avg_utilization", Json::number(alloc.average_utilization()));
+  j.set("feasible", Json::boolean(alloc.feasible()));
+  return j;
+}
+
+StatusOr<Kernel> kernel_from_json(const Json& j) {
+  if (!j.is_object()) return Status{Code::kInvalid, "kernel: not an object"};
+  Kernel k;
+  k.name = optional_string(j, "name", "kernel");
+  StatusOr<double> wcet = need_number(j, "wcet_ms", k.name.c_str());
+  if (!wcet.is_ok()) return wcet.status();
+  k.wcet_ms = wcet.value();
+  k.res[Resource::kBram] = optional_number(j, "bram", 0.0);
+  k.res[Resource::kDsp] = optional_number(j, "dsp", 0.0);
+  k.res[Resource::kLut] = optional_number(j, "lut", 0.0);
+  k.res[Resource::kFf] = optional_number(j, "ff", 0.0);
+  k.bw = optional_number(j, "bw", 0.0);
+  return k;
+}
+
+StatusOr<Application> application_from_json(const Json& j) {
+  if (!j.is_object()) {
+    return Status{Code::kInvalid, "application: not an object"};
+  }
+  Application app;
+  app.name = optional_string(j, "name", "application");
+  const Json* kernels = j.find("kernels");
+  if (kernels == nullptr || !kernels->is_array() || kernels->size() == 0) {
+    return Status{Code::kInvalid,
+                  "application: 'kernels' must be a non-empty array"};
+  }
+  for (std::size_t i = 0; i < kernels->size(); ++i) {
+    StatusOr<Kernel> k = kernel_from_json(kernels->at(i));
+    if (!k.is_ok()) return k.status();
+    app.kernels.push_back(std::move(k.value()));
+  }
+  return app;
+}
+
+StatusOr<Platform> platform_from_json(const Json& j) {
+  if (!j.is_object()) {
+    return Status{Code::kInvalid, "platform: not an object"};
+  }
+  Platform p;
+  p.name = optional_string(j, "name", "platform");
+  StatusOr<double> fpgas = need_number(j, "fpgas", "platform");
+  if (!fpgas.is_ok()) return fpgas.status();
+  p.num_fpgas = static_cast<int>(fpgas.value());
+  if (p.num_fpgas < 1) {
+    return Status{Code::kInvalid, "platform: 'fpgas' must be >= 1"};
+  }
+  if (const Json* cap = j.find("capacity"); cap != nullptr) {
+    if (!cap->is_object()) {
+      return Status{Code::kInvalid, "platform: 'capacity' must be an object"};
+    }
+    p.capacity[Resource::kBram] = optional_number(*cap, "bram", 100.0);
+    p.capacity[Resource::kDsp] = optional_number(*cap, "dsp", 100.0);
+    p.capacity[Resource::kLut] = optional_number(*cap, "lut", 100.0);
+    p.capacity[Resource::kFf] = optional_number(*cap, "ff", 100.0);
+  }
+  p.bw_capacity = optional_number(j, "bw_capacity", 100.0);
+  return p;
+}
+
+StatusOr<Problem> problem_from_json(const Json& j) {
+  if (!j.is_object()) return Status{Code::kInvalid, "problem: not an object"};
+  const Json* app = j.find("application");
+  if (app == nullptr) {
+    return Status{Code::kInvalid, "problem: missing 'application'"};
+  }
+  StatusOr<Application> application = application_from_json(*app);
+  if (!application.is_ok()) return application.status();
+
+  const Json* plat = j.find("platform");
+  if (plat == nullptr) {
+    return Status{Code::kInvalid, "problem: missing 'platform'"};
+  }
+  StatusOr<Platform> platform = platform_from_json(*plat);
+  if (!platform.is_ok()) return platform.status();
+
+  Problem p;
+  p.app = std::move(application.value());
+  p.platform = std::move(platform.value());
+  p.resource_fraction = optional_number(j, "resource_fraction", 1.0);
+  p.bw_fraction = optional_number(j, "bw_fraction", 1.0);
+  p.alpha = optional_number(j, "alpha", 1.0);
+  p.beta = optional_number(j, "beta", 0.0);
+  return p;
+}
+
+StatusOr<Problem> problem_from_text(std::string_view text) {
+  StatusOr<Json> doc = Json::parse(text);
+  if (!doc.is_ok()) return doc.status();
+  return problem_from_json(doc.value());
+}
+
+StatusOr<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status{Code::kInvalid, "cannot open file: " + path};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status write_file(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status{Code::kInvalid, "cannot open file: " + path};
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return out ? Status::ok()
+             : Status{Code::kInvalid, "write failed: " + path};
+}
+
+}  // namespace mfa::io

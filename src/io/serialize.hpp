@@ -1,0 +1,48 @@
+// JSON (de)serialization of problem instances and allocations.
+//
+// The on-disk format is what examples/custom_app_json consumes — a
+// self-contained problem description a user can write by hand:
+//
+// {
+//   "application": {"name": "...", "kernels": [
+//       {"name": "CONV1", "wcet_ms": 13.0, "bram": 13.07, "dsp": 21.24,
+//        "lut": 0, "ff": 0, "bw": 1.3}, ...]},
+//   "platform": {"name": "AWS F1", "fpgas": 8, "bw_capacity": 100,
+//                "capacity": {"bram": 100, "dsp": 100, "lut": 100,
+//                             "ff": 100}},
+//   "resource_fraction": 0.75, "alpha": 1.0, "beta": 0.7
+// }
+//
+// Missing optional fields take the struct defaults; malformed input is
+// reported as Code::kInvalid with a field path.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "io/json.hpp"
+
+namespace mfa::io {
+
+Json to_json(const core::Kernel& kernel);
+Json to_json(const core::Application& app);
+Json to_json(const core::Platform& platform);
+Json to_json(const core::Problem& problem);
+
+/// Allocation → {"matrix": [[n_kf...]...], "ii": ..., "phi": ..., ...}.
+Json to_json(const core::Allocation& alloc);
+
+StatusOr<core::Kernel> kernel_from_json(const Json& j);
+StatusOr<core::Application> application_from_json(const Json& j);
+StatusOr<core::Platform> platform_from_json(const Json& j);
+StatusOr<core::Problem> problem_from_json(const Json& j);
+
+/// Convenience: parse text and build the problem in one step.
+StatusOr<core::Problem> problem_from_text(std::string_view text);
+
+/// Reads a whole file into a string (kInvalid on I/O failure).
+StatusOr<std::string> read_file(const std::string& path);
+
+/// Writes text to a file (kInvalid on I/O failure).
+Status write_file(const std::string& path, std::string_view text);
+
+}  // namespace mfa::io

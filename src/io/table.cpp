@@ -1,0 +1,124 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "io/serialize.hpp"
+
+namespace mfa::io {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MFA_ASSERT(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MFA_ASSERT_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+    }
+    // No trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+Status write_gnuplot(const std::string& dir, const std::string& stem,
+                     const std::string& title, const std::string& xlabel,
+                     const std::string& ylabel,
+                     const std::vector<PlotSeries>& series) {
+  std::string dat;
+  for (const PlotSeries& s : series) {
+    dat += "# " + s.label + "\n";
+    for (const auto& [x, y] : s.points) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6f %.6f\n", x, y);
+      dat += buf;
+    }
+    dat += "\n\n";  // gnuplot index separator
+  }
+  Status st = write_file(dir + "/" + stem + ".dat", dat);
+  if (!st.is_ok()) return st;
+
+  std::string gp;
+  gp += "set title '" + title + "'\n";
+  gp += "set xlabel '" + xlabel + "'\n";
+  gp += "set ylabel '" + ylabel + "'\n";
+  gp += "set key top right\n";
+  gp += "set grid\n";
+  gp += "set term pngcairo size 800,600\n";
+  gp += "set output '" + stem + ".png'\n";
+  gp += "plot ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) gp += ", \\\n     ";
+    gp += "'" + stem + ".dat' index " + std::to_string(i) +
+          " with linespoints title '" + series[i].label + "'";
+  }
+  gp += "\n";
+  return write_file(dir + "/" + stem + ".gp", gp);
+}
+
+}  // namespace mfa::io

@@ -1,0 +1,54 @@
+// Text/CSV tables and gnuplot emission for the benchmark harness.
+//
+// Every bench binary prints its table/figure as an aligned text table on
+// stdout (the rows the paper reports) and can additionally emit CSV and
+// a gnuplot script so the figures can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace mfa::io {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Aligned rendering with a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One plotted series (e.g. "GP+A" in Fig. 3a): x/y pairs with gaps
+/// allowed (infeasible sweep points are simply omitted).
+struct PlotSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Writes `<stem>.dat` (one block per series) and `<stem>.gp` (a gnuplot
+/// script reproducing the figure's layout) into `dir`.
+Status write_gnuplot(const std::string& dir, const std::string& stem,
+                     const std::string& title, const std::string& xlabel,
+                     const std::string& ylabel,
+                     const std::vector<PlotSeries>& series);
+
+}  // namespace mfa::io

@@ -1,0 +1,160 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mfa::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One (stage, image) job flowing through the pipeline.
+struct Job {
+  double remaining = 0.0;  ///< work left, in ms at full speed
+  bool active = false;
+  bool done = false;
+};
+
+}  // namespace
+
+SimResult PipelineSimulator::run(const core::Allocation& alloc) const {
+  const core::Problem& problem = alloc.problem();
+  const std::size_t stages = alloc.num_kernels();
+  const int fpgas = alloc.num_fpgas();
+  const int images = config_.num_images;
+  MFA_ASSERT(images > config_.warmup_images && config_.warmup_images >= 0);
+  for (std::size_t k = 0; k < stages; ++k) {
+    MFA_ASSERT_MSG(alloc.total_cu(k) >= 1,
+                   "simulation requires at least one CU per kernel");
+  }
+
+  // Per-stage nominal service time and per-FPGA bandwidth demand while
+  // the stage is active (all its CUs work on the same image).
+  std::vector<double> service(stages);
+  std::vector<std::vector<double>> stage_bw(
+      stages, std::vector<double>(static_cast<std::size_t>(fpgas), 0.0));
+  for (std::size_t k = 0; k < stages; ++k) {
+    service[k] = alloc.et(k);
+    for (int f = 0; f < fpgas; ++f) {
+      stage_bw[k][static_cast<std::size_t>(f)] =
+          problem.app.kernels[k].bw * alloc.cu(k, f);
+    }
+  }
+  const double bw_cap = problem.bw_cap();
+
+  // Pipeline state: each stage works on at most one image at a time;
+  // next_image[k] is the image index stage k will take next.
+  std::vector<Job> job(stages);
+  std::vector<int> next_image(stages, 0);
+  std::vector<int> upstream_done(stages, 0);  // images completed by k−1
+  std::vector<double> start_time(static_cast<std::size_t>(images), 0.0);
+  std::vector<double> finish_time(static_cast<std::size_t>(images), 0.0);
+  std::vector<double> busy(stages, 0.0);
+  std::vector<double> peak_bw(static_cast<std::size_t>(fpgas), 0.0);
+
+  double now = 0.0;
+  double max_throttle = 1.0;
+  int completed = 0;
+
+  auto try_start = [&](std::size_t k) {
+    if (job[k].active) return;
+    const int img = next_image[k];
+    if (img >= images) return;
+    const int avail = (k == 0) ? images : upstream_done[k];
+    if (img >= avail) return;
+    job[k].active = true;
+    job[k].remaining = service[k];
+    if (k == 0) start_time[static_cast<std::size_t>(img)] = now;
+  };
+
+  for (std::size_t k = 0; k < stages; ++k) try_start(k);
+
+  while (completed < images) {
+    // Processor-sharing rates: an active stage runs at the worst
+    // throttle among the FPGAs its CUs occupy.
+    std::vector<double> demand(static_cast<std::size_t>(fpgas), 0.0);
+    if (config_.model_bandwidth) {
+      for (std::size_t k = 0; k < stages; ++k) {
+        if (!job[k].active) continue;
+        for (int f = 0; f < fpgas; ++f) {
+          demand[static_cast<std::size_t>(f)] +=
+              stage_bw[k][static_cast<std::size_t>(f)];
+        }
+      }
+      for (int f = 0; f < fpgas; ++f) {
+        peak_bw[static_cast<std::size_t>(f)] =
+            std::max(peak_bw[static_cast<std::size_t>(f)],
+                     demand[static_cast<std::size_t>(f)]);
+      }
+    }
+    std::vector<double> rate(stages, 0.0);
+    double dt = kInf;
+    bool any_active = false;
+    for (std::size_t k = 0; k < stages; ++k) {
+      if (!job[k].active) continue;
+      any_active = true;
+      double r = 1.0;
+      if (config_.model_bandwidth && bw_cap > 0.0) {
+        for (int f = 0; f < fpgas; ++f) {
+          const double d = demand[static_cast<std::size_t>(f)];
+          if (stage_bw[k][static_cast<std::size_t>(f)] > 0.0 && d > bw_cap) {
+            r = std::min(r, bw_cap / d);
+          }
+        }
+      }
+      rate[k] = r;
+      if (r > 0.0) {
+        max_throttle = std::max(max_throttle, 1.0 / r);
+        dt = std::min(dt, job[k].remaining / r);
+      }
+    }
+    MFA_ASSERT_MSG(any_active && std::isfinite(dt),
+                   "pipeline deadlocked — invariant violation");
+
+    // Advance to the next completion.
+    now += dt;
+    for (std::size_t k = 0; k < stages; ++k) {
+      if (!job[k].active) continue;
+      busy[k] += dt;
+      job[k].remaining -= rate[k] * dt;
+      if (job[k].remaining <= 1e-12) {
+        job[k].active = false;
+        const int img = next_image[k]++;
+        if (k + 1 < stages) {
+          upstream_done[k + 1] = img + 1;
+        } else {
+          finish_time[static_cast<std::size_t>(img)] = now;
+          ++completed;
+        }
+      }
+    }
+    for (std::size_t k = 0; k < stages; ++k) try_start(k);
+  }
+
+  // Steady-state statistics over the post-warmup window.
+  SimResult result;
+  result.makespan_ms = now;
+  const int w = config_.warmup_images;
+  const double window =
+      finish_time[static_cast<std::size_t>(images - 1)] -
+      finish_time[static_cast<std::size_t>(w)];
+  result.measured_ii_ms = window / (images - 1 - w);
+  result.throughput_ips = 1000.0 / result.measured_ii_ms;
+  double latency = 0.0;
+  for (int i = w; i < images; ++i) {
+    latency += finish_time[static_cast<std::size_t>(i)] -
+               start_time[static_cast<std::size_t>(i)];
+  }
+  result.pipeline_latency_ms = latency / (images - w);
+  result.stage_busy.resize(stages);
+  for (std::size_t k = 0; k < stages; ++k) {
+    result.stage_busy[k] = busy[k] / now;
+  }
+  result.fpga_peak_bw = std::move(peak_bw);
+  result.max_throttle = max_throttle;
+  return result;
+}
+
+}  // namespace mfa::sim

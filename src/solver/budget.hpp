@@ -1,0 +1,62 @@
+// Search budgets for the exact solvers.
+//
+// Exact search is worst-case exponential; every solver in this module
+// takes a Budget and reports whether it *proved* optimality or stopped at
+// the budget with the incumbent. Benchmarks rely on this to stay bounded
+// on small machines while tests use effectively-unlimited budgets on
+// small instances.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace mfa::solver {
+
+class Budget {
+ public:
+  /// Unlimited budget.
+  Budget() = default;
+
+  Budget(std::int64_t max_nodes, double max_seconds)
+      : max_nodes_(max_nodes),
+        deadline_(Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(max_seconds))),
+        has_deadline_(true) {}
+
+  static Budget nodes_only(std::int64_t max_nodes) {
+    Budget b;
+    b.max_nodes_ = max_nodes;
+    return b;
+  }
+
+  /// Counts one search node; returns false once the budget is exhausted.
+  /// The deadline is polled every 1024 nodes to keep the check cheap.
+  bool tick() {
+    ++nodes_;
+    if (nodes_ > max_nodes_) {
+      exhausted_ = true;
+      return false;
+    }
+    if (has_deadline_ && (nodes_ & 1023) == 0 &&
+        Clock::now() > deadline_) {
+      exhausted_ = true;
+      return false;
+    }
+    return !exhausted_;
+  }
+
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+  [[nodiscard]] std::int64_t nodes_used() const { return nodes_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::int64_t max_nodes_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t nodes_ = 0;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool exhausted_ = false;
+};
+
+}  // namespace mfa::solver

@@ -1,0 +1,60 @@
+#include "solver/candidates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfa::solver {
+
+std::vector<double> candidate_iis(const core::Problem& problem) {
+  // Nothing below this is achievable even with every FPGA dedicated to
+  // the slowest kernel.
+  double floor_ii = 0.0;
+  double ceil_ii = 0.0;
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    const double wcet = problem.app.kernels[k].wcet_ms;
+    const int max_total = problem.max_cu_total(k);
+    if (max_total >= 1) floor_ii = std::max(floor_ii, wcet / max_total);
+    ceil_ii = std::max(ceil_ii, wcet);
+  }
+
+  std::vector<double> values;
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    const double wcet = problem.app.kernels[k].wcet_ms;
+    const int max_total = std::max(problem.max_cu_total(k), 1);
+    for (int m = 1; m <= max_total; ++m) {
+      const double t = wcet / m;
+      if (t >= floor_ii * (1.0 - 1e-12) && t <= ceil_ii * (1.0 + 1e-12)) {
+        values.push_back(t);
+      }
+    }
+  }
+  std::sort(values.begin(), values.end());
+  // Relative-tolerance dedup: WCET ratios can collide inexactly.
+  std::vector<double> unique;
+  for (double v : values) {
+    if (unique.empty() || v > unique.back() * (1.0 + 1e-12)) {
+      unique.push_back(v);
+    }
+  }
+  return unique;
+}
+
+int needed_cus(double wcet_ms, double target_ii) {
+  MFA_ASSERT(wcet_ms > 0.0 && target_ii > 0.0);
+  // Relative guard: when target_ii is exactly WCET/m the quotient may
+  // land at m ± ulp; snap to the intended integer.
+  const double q = wcet_ms / target_ii;
+  const int n = static_cast<int>(std::ceil(q * (1.0 - 1e-9)));
+  return std::max(n, 1);
+}
+
+std::vector<int> minimal_totals(const core::Problem& problem,
+                                double target_ii) {
+  std::vector<int> totals(problem.num_kernels());
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    totals[k] = needed_cus(problem.app.kernels[k].wcet_ms, target_ii);
+  }
+  return totals;
+}
+
+}  // namespace mfa::solver

@@ -1,0 +1,30 @@
+// Candidate initiation intervals.
+//
+// For integer CU counts the initiation interval II = max_k WCET_k/N_k can
+// only take values of the form WCET_k/m with m ∈ N. Enumerating this
+// finite set turns the outer minimization of the MINLP into a search over
+// a sorted list — the key structural fact behind solver::ExactSolver.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace mfa::solver {
+
+/// All achievable II values WCET_k/m for m ∈ [1, max_cu_total(k)],
+/// deduplicated (relative tolerance 1e-12) and sorted ascending.
+/// The largest entry is max_k WCET_k (every N_k = 1); values below
+/// max_k WCET_k/max_cu_total(k) are unachievable and excluded.
+std::vector<double> candidate_iis(const core::Problem& problem);
+
+/// Minimal integer CU count for kernel k to meet a target II t:
+/// the smallest N with WCET_k/N ≤ t, i.e. ⌈WCET_k/t⌉ with a relative
+/// guard so that t values taken from candidate_iis round exactly.
+int needed_cus(double wcet_ms, double target_ii);
+
+/// The minimal totals vector N_k(t) = max(1, ⌈WCET_k/t⌉) for all kernels.
+std::vector<int> minimal_totals(const core::Problem& problem,
+                                double target_ii);
+
+}  // namespace mfa::solver

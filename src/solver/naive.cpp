@@ -1,0 +1,136 @@
+#include "solver/naive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mfa::solver {
+namespace {
+
+using core::Allocation;
+using core::Kernel;
+using core::Problem;
+using core::ResourceVec;
+
+class NaiveSearch {
+ public:
+  NaiveSearch(const Problem& problem, Budget& budget)
+      : p_(problem),
+        budget_(budget),
+        fpgas_(static_cast<std::size_t>(problem.num_fpgas())),
+        current_(problem),
+        slack_res_(fpgas_, problem.cap()),
+        slack_bw_(fpgas_, problem.bw_cap()) {
+    // Cap each N_k at the count that already achieves the best II this
+    // kernel could ever need; more CUs cannot reduce g (φ only grows).
+    max_total_.resize(problem.num_kernels());
+    for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+      max_total_[k] = problem.max_cu_total(k);
+    }
+  }
+
+  std::optional<Allocation> run() {
+    place_kernel(0, 0.0, 0.0);
+    if (!best_) return std::nullopt;
+    return best_;
+  }
+
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] double best_goal() const { return best_goal_; }
+
+ private:
+  // NOLINTNEXTLINE(misc-no-recursion)
+  void place_kernel(std::size_t k, double partial_ii, double partial_phi) {
+    if (aborted_) return;
+    if (k == p_.num_kernels()) {
+      const double g = p_.alpha * partial_ii + p_.beta * partial_phi;
+      if (g < best_goal_ - 1e-12) {
+        best_goal_ = g;
+        best_ = current_;
+      }
+      return;
+    }
+    // Bound: II and φ over the kernels already fixed can only grow.
+    if (p_.alpha * partial_ii + p_.beta * std::max(partial_phi, 0.5) >=
+        best_goal_ - 1e-12) {
+      return;
+    }
+    choose_counts(k, 0, 0, 0.0, partial_ii, partial_phi);
+  }
+
+  // NOLINTNEXTLINE(misc-no-recursion)
+  void choose_counts(std::size_t k, std::size_t f, int placed, double phi_k,
+                     double partial_ii, double partial_phi) {
+    if (aborted_) return;
+    if (!budget_.tick()) {
+      aborted_ = true;
+      return;
+    }
+    if (f == fpgas_) {
+      if (placed < 1 || placed > max_total_[k]) return;  // eq. 8 / cap
+      const double et = p_.app.kernels[k].wcet_ms / placed;
+      place_kernel(k + 1, std::max(partial_ii, et),
+                   std::max(partial_phi, phi_k));
+      return;
+    }
+    const Kernel& kern = p_.app.kernels[k];
+    int cmax = kern.res.max_multiples(slack_res_[f],
+                                      max_total_[k] - placed);
+    if (kern.bw > 0.0) {
+      cmax = std::min(cmax,
+                      static_cast<int>(std::floor(
+                          slack_bw_[f] * (1.0 + 1e-12) / kern.bw + 1e-9)));
+    }
+    for (int c = 0; c <= cmax; ++c) {
+      if (c > 0) {
+        slack_res_[f] -= kern.res * static_cast<double>(c);
+        slack_bw_[f] -= kern.bw * c;
+        current_.set_cu(k, static_cast<int>(f), c);
+      }
+      choose_counts(k, f + 1, placed + c,
+                    phi_k + static_cast<double>(c) / (1.0 + c), partial_ii,
+                    partial_phi);
+      if (c > 0) {
+        slack_res_[f] += kern.res * static_cast<double>(c);
+        slack_bw_[f] += kern.bw * c;
+        current_.set_cu(k, static_cast<int>(f), 0);
+      }
+      if (aborted_) return;
+    }
+  }
+
+  const Problem& p_;
+  Budget& budget_;
+  std::size_t fpgas_;
+
+  Allocation current_;
+  std::vector<ResourceVec> slack_res_;
+  std::vector<double> slack_bw_;
+  std::vector<int> max_total_;
+
+  double best_goal_ = std::numeric_limits<double>::infinity();
+  std::optional<Allocation> best_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+StatusOr<NaiveResult> NaiveMinlp::solve(const Problem& problem) {
+  const Status valid = problem.validate();
+  if (!valid.is_ok()) return valid;
+
+  NaiveSearch search(problem, budget_);
+  std::optional<Allocation> best = search.run();
+  if (!best) {
+    if (search.aborted()) {
+      return Status{Code::kLimit, "budget exhausted before a first solution"};
+    }
+    return Status{Code::kInfeasible, "no feasible allocation exists"};
+  }
+  NaiveResult result{std::move(*best), search.best_goal(), !search.aborted(),
+                     budget_.nodes_used()};
+  return result;
+}
+
+}  // namespace mfa::solver

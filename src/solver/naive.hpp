@@ -1,0 +1,40 @@
+// Plain branch-and-bound over the raw n_{k,f} variables.
+//
+// This is the test oracle: a direct, transformation-free search of the
+// original MINLP with only two self-evidently sound prunings (per-FPGA
+// capacity, and a partial-objective bound that uses nothing but already
+// fixed kernels). It carries none of ExactSolver's structural arguments
+// or symmetry breaking, so agreement between the two on randomized
+// instances validates those arguments. Exponential — use on instances
+// with a handful of kernels/FPGAs only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "solver/budget.hpp"
+#include "support/status.hpp"
+
+namespace mfa::solver {
+
+struct NaiveResult {
+  core::Allocation allocation;
+  double goal = 0.0;
+  bool proved_optimal = false;
+  std::int64_t nodes = 0;
+};
+
+class NaiveMinlp {
+ public:
+  explicit NaiveMinlp(Budget budget = Budget::nodes_only(20'000'000))
+      : budget_(budget) {}
+
+  [[nodiscard]] StatusOr<NaiveResult> solve(const core::Problem& problem);
+
+ private:
+  Budget budget_;
+};
+
+}  // namespace mfa::solver

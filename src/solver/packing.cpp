@@ -1,0 +1,238 @@
+#include "solver/packing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace mfa::solver {
+namespace {
+
+using core::Allocation;
+using core::Kernel;
+using core::Problem;
+using core::ResourceVec;
+
+constexpr double kEps = 1e-9;
+
+double phi_of(int n) { return static_cast<double>(n) / (1.0 + n); }
+
+/// Depth-first packing search over one problem instance.
+class Search {
+ public:
+  Search(const Problem& problem, const std::vector<int>& totals,
+         PackingMode mode, Budget& budget)
+      : p_(problem),
+        totals_(totals),
+        mode_(mode),
+        budget_(budget),
+        fpgas_(static_cast<std::size_t>(problem.num_fpgas())),
+        counts_(totals.size(),
+                std::vector<int>(fpgas_, 0)),
+        slack_res_(fpgas_, problem.cap()),
+        slack_bw_(fpgas_, problem.bw_cap()),
+        fpga_load_(fpgas_, 0) {
+    // Hardest kernels first: largest single-axis share of one FPGA.
+    order_.resize(totals.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return demand_score(a) > demand_score(b);
+    });
+    // The optimum can never beat the capacity-forced spreading bound.
+    for (std::size_t k = 0; k < totals.size(); ++k) {
+      static_lb_ = std::max(static_lb_,
+                            phi_lower_bound(problem, k, totals[k]));
+    }
+  }
+
+  PackingResult run() {
+    PackingResult result;
+    if (!pooled_feasible()) {
+      result.feasible = false;
+      result.proved_optimal = true;
+      return result;
+    }
+    assign_kernel(0, 0.0);
+    result.feasible = found_;
+    result.proved_optimal = !aborted_;
+    if (found_) {
+      result.phi = best_phi_;
+      Allocation alloc(p_);
+      for (std::size_t k = 0; k < totals_.size(); ++k) {
+        for (std::size_t f = 0; f < fpgas_; ++f) {
+          alloc.set_cu(k, static_cast<int>(f), best_counts_[k][f]);
+        }
+      }
+      result.allocation = std::move(alloc);
+    }
+    return result;
+  }
+
+ private:
+  [[nodiscard]] double demand_score(std::size_t k) const {
+    const Kernel& kern = p_.app.kernels[k];
+    double score = kern.res.max_ratio(p_.cap()) ;
+    if (p_.bw_cap() > 0.0) score = std::max(score, kern.bw / p_.bw_cap());
+    return score * totals_[k];
+  }
+
+  /// Necessary condition: pooled demand fits pooled capacity.
+  [[nodiscard]] bool pooled_feasible() const {
+    ResourceVec demand;
+    double bw = 0.0;
+    for (std::size_t k = 0; k < totals_.size(); ++k) {
+      demand += p_.app.kernels[k].res * static_cast<double>(totals_[k]);
+      bw += p_.app.kernels[k].bw * totals_[k];
+    }
+    const double f = p_.num_fpgas();
+    return demand.fits_within(p_.cap() * f, 1e-6) &&
+           bw <= f * p_.bw_cap() + 1e-6;
+  }
+
+  /// Max CUs of kernel k that fit in FPGA f's current slack.
+  [[nodiscard]] int fit(std::size_t k, std::size_t f, int limit) const {
+    const Kernel& kern = p_.app.kernels[k];
+    int q = kern.res.max_multiples(slack_res_[f], limit);
+    if (kern.bw > 0.0) {
+      q = std::min(q, static_cast<int>(std::floor(
+                          slack_bw_[f] * (1.0 + 1e-12) / kern.bw + 1e-9)));
+    }
+    return std::max(q, 0);
+  }
+
+  void assign_kernel(std::size_t order_idx, double phi_so_far) {
+    if (done_ || aborted_) return;
+    if (order_idx == order_.size()) {
+      found_ = true;
+      if (phi_so_far < best_phi_) {
+        best_phi_ = phi_so_far;
+        best_counts_ = counts_;
+      }
+      if (mode_ == PackingMode::kFeasibility ||
+          best_phi_ <= static_lb_ + kEps) {
+        done_ = true;
+      }
+      return;
+    }
+    const std::size_t k = order_[order_idx];
+    if (totals_[k] == 0) {
+      assign_kernel(order_idx + 1, phi_so_far);
+      return;
+    }
+    // Snapshot which FPGAs are empty now: they are interchangeable for
+    // this kernel, so counts placed on them are forced non-increasing.
+    std::vector<bool> empty_at_start(fpgas_);
+    for (std::size_t f = 0; f < fpgas_; ++f) {
+      empty_at_start[f] = (fpga_load_[f] == 0);
+    }
+    distribute(order_idx, k, totals_[k], 0, totals_[k], 0.0, phi_so_far,
+               empty_at_start);
+  }
+
+  // NOLINTNEXTLINE(misc-no-recursion)
+  void distribute(std::size_t order_idx, std::size_t k, int rem,
+                  std::size_t f, int last_empty_count, double partial_phi,
+                  double phi_so_far, const std::vector<bool>& empty_at_start) {
+    if (done_ || aborted_) return;
+    if (!budget_.tick()) {
+      aborted_ = true;
+      return;
+    }
+    if (rem == 0) {
+      assign_kernel(order_idx + 1, std::max(phi_so_far, partial_phi));
+      return;
+    }
+    if (f == fpgas_) return;  // CUs left but no FPGAs left
+    if (mode_ == PackingMode::kMinSpreading) {
+      // Concavity bound: the unplaced remainder adds at least rem/(1+rem).
+      const double lb = std::max(phi_so_far, partial_phi + phi_of(rem));
+      if (lb >= best_phi_ - kEps) return;
+    }
+    // Remaining CUs must fit in the remaining FPGAs' aggregate fit.
+    int aggregate = 0;
+    for (std::size_t g = f; g < fpgas_ && aggregate < rem; ++g) {
+      aggregate += fit(k, g, rem);
+    }
+    if (aggregate < rem) return;
+
+    int cmax = fit(k, f, rem);
+    if (empty_at_start[f]) cmax = std::min(cmax, last_empty_count);
+    const Kernel& kern = p_.app.kernels[k];
+    // Larger counts first: consolidated placements make good incumbents.
+    for (int c = cmax; c >= 0; --c) {
+      if (c > 0) {
+        slack_res_[f] -= kern.res * static_cast<double>(c);
+        slack_bw_[f] -= kern.bw * c;
+        fpga_load_[f] += c;
+        counts_[k][f] = c;
+      }
+      const int next_empty_cap =
+          empty_at_start[f] ? c : last_empty_count;
+      distribute(order_idx, k, rem - c, f + 1, next_empty_cap,
+                 partial_phi + phi_of(c), phi_so_far, empty_at_start);
+      if (c > 0) {
+        slack_res_[f] += kern.res * static_cast<double>(c);
+        slack_bw_[f] += kern.bw * c;
+        fpga_load_[f] -= c;
+        counts_[k][f] = 0;
+      }
+      if (done_ || aborted_) return;
+    }
+  }
+
+  const Problem& p_;
+  const std::vector<int>& totals_;
+  PackingMode mode_;
+  Budget& budget_;
+  std::size_t fpgas_;
+
+  std::vector<std::size_t> order_;
+  std::vector<std::vector<int>> counts_;
+  std::vector<ResourceVec> slack_res_;
+  std::vector<double> slack_bw_;
+  std::vector<int> fpga_load_;
+
+  double static_lb_ = 0.0;
+  double best_phi_ = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<int>> best_counts_;
+  bool found_ = false;
+  bool done_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+int min_chunks(const Problem& problem, std::size_t k, int n) {
+  MFA_ASSERT(k < problem.num_kernels());
+  MFA_ASSERT(n >= 0);
+  if (n == 0) return 0;
+  const int per_fpga = problem.max_cu_per_fpga(k);
+  if (per_fpga <= 0) return problem.num_fpgas() + 1;  // unplaceable
+  return (n + per_fpga - 1) / per_fpga;
+}
+
+double phi_lower_bound(const Problem& problem, std::size_t k, int n) {
+  if (n <= 0) return 0.0;
+  const int per_fpga = problem.max_cu_per_fpga(k);
+  if (per_fpga <= 0) return std::numeric_limits<double>::infinity();
+  // Most-unequal split: maxed-out chunks plus one remainder chunk is the
+  // minimizer of the concave sum Σ n_i/(1+n_i) with parts ≤ per_fpga.
+  double phi = 0.0;
+  int rem = n;
+  while (rem >= per_fpga) {
+    phi += phi_of(per_fpga);
+    rem -= per_fpga;
+  }
+  if (rem > 0) phi += phi_of(rem);
+  return phi;
+}
+
+PackingResult PackingSolver::pack(const std::vector<int>& totals,
+                                  PackingMode mode, Budget& budget) const {
+  MFA_ASSERT(totals.size() == problem_->num_kernels());
+  for (int n : totals) MFA_ASSERT_MSG(n >= 0, "negative CU total");
+  Search search(*problem_, totals, mode, budget);
+  return search.run();
+}
+
+}  // namespace mfa::solver

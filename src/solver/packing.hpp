@@ -1,0 +1,66 @@
+// Exact placement of integer CU counts onto identical FPGAs.
+//
+// Given the totals N_k, this solves the inner problem of the MINLP: find
+// n_{k,f} with Σ_f n_{k,f} = N_k respecting the per-FPGA resource and
+// bandwidth caps (eqs. 9–10), either as a pure feasibility question
+// (MINLP with β = 0 — the placement does not affect II) or minimizing the
+// spreading objective φ = max_k φ_k (the β > 0 case).
+//
+// The search is depth-first branch-and-bound over per-kernel count
+// vectors with three accelerations:
+//  1. identical-FPGA symmetry breaking — FPGAs still empty when a kernel
+//     is placed are interchangeable, so counts assigned to them are
+//     forced non-increasing;
+//  2. capacity pruning — remaining CUs of the kernel must fit in the
+//     remaining FPGAs' aggregate fit;
+//  3. spreading pruning — a partial φ_k plus the concavity bound
+//     rem/(1+rem) for the unplaced remainder cannot already exceed the
+//     incumbent, and the global optimum cannot beat the static
+//     chunk-count lower bound (search stops once it is attained).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "solver/budget.hpp"
+
+namespace mfa::solver {
+
+/// What the packing search optimizes.
+enum class PackingMode {
+  kFeasibility,    ///< stop at the first feasible placement
+  kMinSpreading,   ///< minimize φ = max_k φ_k over feasible placements
+};
+
+struct PackingResult {
+  bool feasible = false;        ///< a placement satisfying eqs. 9–10 exists
+  bool proved_optimal = false;  ///< search completed within budget
+  double phi = 0.0;             ///< φ of the returned placement
+  std::optional<core::Allocation> allocation;
+};
+
+/// Smallest number of FPGAs kernel k alone must span to host `n` CUs
+/// under the problem's effective caps (capacity-forced chunk count).
+int min_chunks(const core::Problem& problem, std::size_t k, int n);
+
+/// Lower bound on φ_k for placing n CUs of kernel k, from the
+/// most-unequal split across min_chunks FPGAs (concavity of x/(1+x)).
+double phi_lower_bound(const core::Problem& problem, std::size_t k, int n);
+
+class PackingSolver {
+ public:
+  explicit PackingSolver(const core::Problem& problem) : problem_(&problem) {}
+
+  /// Packs the given totals. `totals[k]` is N_k (must be ≥ 0; a zero
+  /// total is allowed here so callers can probe partial configurations,
+  /// though eq. 8 requires ≥ 1 for full solutions).
+  [[nodiscard]] PackingResult pack(const std::vector<int>& totals,
+                                   PackingMode mode, Budget& budget) const;
+
+ private:
+  const core::Problem* problem_;
+};
+
+}  // namespace mfa::solver

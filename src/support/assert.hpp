@@ -1,0 +1,30 @@
+// Internal invariant checking for the mfalloc library.
+//
+// MFA_ASSERT guards *programming errors* (broken invariants, out-of-range
+// indices). It is active in all build types: an allocation tool that
+// silently returns a constraint-violating placement is worse than one that
+// aborts. Expected runtime failures (infeasible problems, parse errors)
+// are reported through Status/optional return values instead, never here.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfa::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "mfalloc assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace mfa::detail
+
+#define MFA_ASSERT(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::mfa::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define MFA_ASSERT_MSG(expr, msg)                                         \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::mfa::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,31 @@
+#include "support/status.hpp"
+
+namespace mfa {
+
+const char* code_name(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "ok";
+    case Code::kInfeasible:
+      return "infeasible";
+    case Code::kLimit:
+      return "limit";
+    case Code::kInvalid:
+      return "invalid";
+    case Code::kNumeric:
+      return "numeric";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mfa

@@ -1,0 +1,79 @@
+// Lightweight status / status-or types used across module boundaries.
+//
+// The library reports *expected* failures (infeasible problem, malformed
+// input, iteration limit) by value rather than by exception, so callers in
+// exploration loops can branch on them cheaply. See DESIGN.md §6.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace mfa {
+
+/// Outcome categories shared by solvers and parsers.
+enum class Code {
+  kOk,           ///< Success.
+  kInfeasible,   ///< The problem instance admits no feasible solution.
+  kLimit,        ///< A node/iteration/time budget was exhausted.
+  kInvalid,      ///< Malformed input (bad file, inconsistent problem).
+  kNumeric,      ///< Numerical failure (singular system, no convergence).
+};
+
+/// Human-readable name of a status code (stable, for logs and tests).
+const char* code_name(Code code);
+
+/// A status code plus an optional diagnostic message.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>" for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// A value or the status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}           // NOLINT implicit
+  StatusOr(Status status) : status_(std::move(status)) {    // NOLINT implicit
+    MFA_ASSERT_MSG(!status_.is_ok(), "StatusOr from ok status needs a value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    MFA_ASSERT_MSG(value_.has_value(), status_.message().c_str());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    MFA_ASSERT_MSG(value_.has_value(), status_.message().c_str());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    MFA_ASSERT_MSG(value_.has_value(), status_.message().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mfa

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "core/resources.hpp"
+#include "testutil.hpp"
+
+namespace mfa::core {
+namespace {
+
+using test::make_kernel;
+using test::tiny_problem;
+
+TEST(ResourceVec, ArithmeticAndFits) {
+  ResourceVec a(10.0, 20.0, 5.0, 5.0);
+  ResourceVec b(1.0, 2.0, 3.0, 4.0);
+  ResourceVec sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[Resource::kBram], 11.0);
+  EXPECT_DOUBLE_EQ(sum[Resource::kDsp], 22.0);
+  EXPECT_TRUE(b.fits_within(a));
+  EXPECT_FALSE(sum.fits_within(a));
+  EXPECT_TRUE((a - b + b) == a);
+}
+
+TEST(ResourceVec, MaxRatioAndZeroCapacity) {
+  ResourceVec demand(50.0, 25.0, 0.0, 0.0);
+  ResourceVec cap = ResourceVec::uniform(100.0);
+  EXPECT_DOUBLE_EQ(demand.max_ratio(cap), 0.5);
+  // Demand on a zero-capacity axis is an infinite ratio.
+  ResourceVec tight_cap(100.0, 0.0, 100.0, 100.0);
+  EXPECT_TRUE(std::isinf(demand.max_ratio(tight_cap)));
+  // Zero demand on a zero-capacity axis is fine.
+  ResourceVec none(50.0, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(none.max_ratio(tight_cap), 0.5);
+}
+
+TEST(ResourceVec, MaxMultiples) {
+  ResourceVec unit(10.0, 7.0, 0.0, 0.0);
+  ResourceVec cap = ResourceVec::uniform(100.0);
+  // BRAM allows 10, DSP allows 14 → 10.
+  EXPECT_EQ(unit.max_multiples(cap, 100), 10);
+  // Limit caps the answer.
+  EXPECT_EQ(unit.max_multiples(cap, 3), 3);
+  // Zero demand everywhere → limit.
+  EXPECT_EQ(ResourceVec().max_multiples(cap, 7), 7);
+  // Demand against zero capacity → 0.
+  ResourceVec no_dsp(100.0, 0.0, 100.0, 100.0);
+  EXPECT_EQ(unit.max_multiples(no_dsp, 100), 0);
+}
+
+TEST(ResourceVec, MaxMultiplesToleratesFloatingAccumulation) {
+  // 3 × 33.33 = 99.99 within a 99.99 cap must count 3, not 2.
+  ResourceVec unit(33.33, 0.0, 0.0, 0.0);
+  ResourceVec cap(99.99, 100.0, 100.0, 100.0);
+  EXPECT_EQ(unit.max_multiples(cap, 10), 3);
+}
+
+TEST(Application, Totals) {
+  Problem p = tiny_problem();
+  EXPECT_DOUBLE_EQ(p.app.total_wcet(), 24.0);
+  EXPECT_DOUBLE_EQ(p.app.total_resources()[Resource::kDsp], 45.0);
+  EXPECT_DOUBLE_EQ(p.app.total_bw(), 17.0);
+}
+
+TEST(Problem, EffectiveCaps) {
+  Problem p = tiny_problem();
+  EXPECT_DOUBLE_EQ(p.cap()[Resource::kDsp], 80.0);
+  EXPECT_DOUBLE_EQ(p.bw_cap(), 100.0);
+}
+
+TEST(Problem, MaxCuPerFpga) {
+  Problem p = tiny_problem();
+  // Kernel a: DSP 20 within cap 80 → 4; BRAM 10 → 8; BW 5 → 20. Min: 4.
+  EXPECT_EQ(p.max_cu_per_fpga(0), 4);
+  EXPECT_EQ(p.max_cu_total(0), 8);
+}
+
+TEST(Problem, ValidateAcceptsGoodInstance) {
+  EXPECT_TRUE(tiny_problem().validate().is_ok());
+}
+
+TEST(Problem, ValidateRejectsBadInstances) {
+  Problem p = tiny_problem();
+  p.app.kernels.clear();
+  EXPECT_EQ(p.validate().code(), Code::kInvalid);
+
+  p = tiny_problem();
+  p.platform.num_fpgas = 0;
+  EXPECT_EQ(p.validate().code(), Code::kInvalid);
+
+  p = tiny_problem();
+  p.app.kernels[0].wcet_ms = -1.0;
+  EXPECT_EQ(p.validate().code(), Code::kInvalid);
+
+  p = tiny_problem();
+  p.alpha = -1.0;
+  EXPECT_EQ(p.validate().code(), Code::kInvalid);
+
+  // A kernel too large for even one CU under the constraint.
+  p = tiny_problem();
+  p.app.kernels[0].res[Resource::kDsp] = 90.0;  // cap is 80
+  EXPECT_EQ(p.validate().code(), Code::kInfeasible);
+}
+
+TEST(Allocation, StartsEmptyAndCounts) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  EXPECT_EQ(a.total_cu(0), 0);
+  EXPECT_TRUE(std::isinf(a.et(0)));
+  a.set_cu(0, 0, 2);
+  a.add_cu(0, 1, 1);
+  EXPECT_EQ(a.total_cu(0), 3);
+  EXPECT_EQ(a.cu(0, 0), 2);
+  EXPECT_EQ(a.cu(0, 1), 1);
+}
+
+TEST(Allocation, Eq1Eq2Metrics) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 2);  // ET = 8/2 = 4
+  a.set_cu(1, 0, 3);  // ET = 12/3 = 4
+  a.set_cu(2, 1, 1);  // ET = 4/1 = 4
+  EXPECT_DOUBLE_EQ(a.et(0), 4.0);
+  EXPECT_DOUBLE_EQ(a.ii(), 4.0);
+}
+
+TEST(Allocation, SpreadingFunctionEq4) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  // All on one FPGA: φ = 3/(1+3) = 0.75.
+  a.set_cu(0, 0, 3);
+  EXPECT_DOUBLE_EQ(a.phi_k(0), 0.75);
+  // Split 2+1: φ = 2/3 + 1/2 ≈ 1.1667 — spreading is penalized.
+  a.set_cu(0, 0, 2);
+  a.set_cu(0, 1, 1);
+  EXPECT_NEAR(a.phi_k(0), 2.0 / 3.0 + 0.5, 1e-12);
+  EXPECT_GT(a.phi_k(0), 0.75);
+}
+
+TEST(Allocation, GoalCombinesIiAndPhi) {
+  Problem p = tiny_problem();  // alpha 1, beta 0.5
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 0, 1);
+  EXPECT_DOUBLE_EQ(a.ii(), 12.0);
+  EXPECT_DOUBLE_EQ(a.phi(), 0.5);
+  EXPECT_DOUBLE_EQ(a.goal(), 12.0 + 0.5 * 0.5);
+}
+
+TEST(Allocation, PerFpgaUsageAndUtilization) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 2);  // DSP 40, BRAM 20, BW 10
+  a.set_cu(2, 0, 1);  // DSP 10, BRAM 5, BW 8
+  EXPECT_DOUBLE_EQ(a.fpga_resources(0)[Resource::kDsp], 50.0);
+  EXPECT_DOUBLE_EQ(a.fpga_bw(0), 18.0);
+  // Utilization against the full platform (100), not the 80% cap.
+  EXPECT_DOUBLE_EQ(a.fpga_utilization(0), 0.5);
+  EXPECT_DOUBLE_EQ(a.average_utilization(), 0.25);
+}
+
+TEST(Allocation, CheckFindsViolations) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  // Missing CU for kernels 1 and 2 (eq. 8) + resource violation on f0.
+  a.set_cu(0, 0, 5);  // 5 × DSP 20 = 100 > cap 80 (eq. 9)
+  const auto violations = a.check();
+  EXPECT_EQ(violations.size(), 3u);
+  EXPECT_FALSE(a.feasible());
+}
+
+TEST(Allocation, CheckBandwidthViolation) {
+  Problem p = tiny_problem();
+  p.bw_fraction = 0.2;  // cap = 20
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 0, 2);  // BW: 5 + 4 + 16 = 25 > 20
+  bool found_bw = false;
+  for (const std::string& v : a.check()) {
+    if (v.find("bandwidth") != std::string::npos) found_bw = true;
+  }
+  EXPECT_TRUE(found_bw);
+}
+
+TEST(Allocation, FeasibleWhenAllConstraintsHold) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 1, 1);
+  EXPECT_TRUE(a.feasible());
+  EXPECT_EQ(a.fpgas_used_by(0), 1);
+}
+
+TEST(Allocation, ToStringMentionsEveryKernel) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 1, 1);
+  const std::string s = a.to_string();
+  for (const Kernel& k : p.app.kernels) {
+    EXPECT_NE(s.find(k.name), std::string::npos) << s;
+  }
+  EXPECT_NE(s.find("II"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfa::core

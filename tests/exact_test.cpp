@@ -1,0 +1,208 @@
+#include <functional>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "solver/candidates.hpp"
+#include "solver/exact.hpp"
+#include "solver/naive.hpp"
+#include "testutil.hpp"
+
+namespace mfa::solver {
+namespace {
+
+using core::Platform;
+using core::Problem;
+using test::make_kernel;
+using test::tiny_problem;
+
+TEST(Candidates, EnumerationCoversAndSorts) {
+  Problem p;
+  p.app.kernels = {make_kernel("a", 12.0, 0.0, 30.0, 0.0),
+                   make_kernel("b", 5.0, 0.0, 25.0, 0.0)};
+  p.platform = Platform{"2", 2};
+  const std::vector<double> c = candidate_iis(p);
+  ASSERT_FALSE(c.empty());
+  // Sorted ascending, all of the form wcet/m, top equals max WCET.
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+  EXPECT_DOUBLE_EQ(c.back(), 12.0);
+  // 12/2 = 6 must be present.
+  bool has6 = false;
+  for (double v : c) has6 |= std::fabs(v - 6.0) < 1e-12;
+  EXPECT_TRUE(has6);
+}
+
+TEST(Candidates, NeededCusRoundsExactly) {
+  EXPECT_EQ(needed_cus(12.0, 12.0), 1);
+  EXPECT_EQ(needed_cus(12.0, 6.0), 2);
+  EXPECT_EQ(needed_cus(12.0, 5.9), 3);
+  // Exact candidate value: 12/7 computed then passed back in.
+  EXPECT_EQ(needed_cus(12.0, 12.0 / 7.0), 7);
+  EXPECT_EQ(needed_cus(1.0, 100.0), 1);  // never below one CU
+}
+
+TEST(Candidates, MinimalTotalsMeetTarget) {
+  Problem p = tiny_problem();
+  const double t = 3.0;
+  const std::vector<int> totals = minimal_totals(p, t);
+  for (std::size_t k = 0; k < totals.size(); ++k) {
+    EXPECT_LE(p.app.kernels[k].wcet_ms / totals[k], t * (1 + 1e-9));
+    if (totals[k] > 1) {
+      // Minimality: one fewer CU would miss the target.
+      EXPECT_GT(p.app.kernels[k].wcet_ms / (totals[k] - 1), t * (1 - 1e-9));
+    }
+  }
+}
+
+TEST(ExactSolver, SingleKernelKnownOptimum) {
+  // 10 ms kernel, DSP 30%/CU, one FPGA at 100% → N = 3, II = 10/3.
+  Problem p;
+  p.app.kernels = {make_kernel("k", 10.0, 0.0, 30.0, 0.0)};
+  p.platform = Platform{"1", 1};
+  auto r = ExactSolver().solve(p);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().proved_optimal);
+  EXPECT_NEAR(r.value().ii, 10.0 / 3.0, 1e-12);
+}
+
+TEST(ExactSolver, TwoFpgasDoubleTheCus) {
+  Problem p;
+  p.app.kernels = {make_kernel("k", 10.0, 0.0, 30.0, 0.0)};
+  p.platform = Platform{"2", 2};
+  auto r = ExactSolver().solve(p);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r.value().ii, 10.0 / 6.0, 1e-12);
+}
+
+TEST(ExactSolver, InfeasibleWhenOneCuCannotPlace) {
+  Problem p;
+  p.app.kernels = {make_kernel("k", 10.0, 0.0, 90.0, 0.0)};
+  p.platform = Platform{"1", 1};
+  p.resource_fraction = 0.5;
+  auto r = ExactSolver().solve(p);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Code::kInfeasible);
+}
+
+TEST(ExactSolver, SpreadingTermChangesOptimum) {
+  // With β = 0 the optimum replicates aggressively; a large β makes the
+  // single-FPGA, low-spreading solution win.
+  Problem p;
+  p.app.kernels = {make_kernel("k", 10.0, 0.0, 30.0, 0.0)};
+  p.platform = Platform{"2", 2};
+
+  p.beta = 0.0;
+  auto speed = ExactSolver().solve(p);
+  ASSERT_TRUE(speed.is_ok());
+  EXPECT_NEAR(speed.value().ii, 10.0 / 6.0, 1e-12);
+
+  p.beta = 100.0;
+  auto consolidated = ExactSolver().solve(p);
+  ASSERT_TRUE(consolidated.is_ok());
+  // Splitting over 2 FPGAs costs ≥ β·(extra φ) ≫ the II gain.
+  EXPECT_EQ(consolidated.value().allocation.fpgas_used_by(0), 1);
+  EXPECT_LE(consolidated.value().phi, 0.75 + 1e-12);
+}
+
+TEST(ExactSolver, GoalIsAlphaIiPlusBetaPhi) {
+  Problem p = tiny_problem();
+  p.beta = 0.7;
+  auto r = ExactSolver().solve(p);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r.value().goal,
+              p.alpha * r.value().ii + p.beta * r.value().phi, 1e-12);
+  EXPECT_TRUE(r.value().allocation.feasible());
+}
+
+TEST(ExactSolver, ReportsLimitOnStarvedBudget) {
+  Problem p = tiny_problem();
+  ExactOptions opts;
+  opts.max_nodes = 0;
+  auto r = ExactSolver(opts).solve(p);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Code::kLimit);
+}
+
+TEST(NaiveMinlp, SolvesTinyKnownInstance) {
+  Problem p;
+  p.app.kernels = {make_kernel("k", 10.0, 0.0, 30.0, 0.0)};
+  p.platform = Platform{"1", 1};
+  NaiveMinlp naive;
+  auto r = naive.solve(p);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().proved_optimal);
+  EXPECT_NEAR(r.value().allocation.ii(), 10.0 / 3.0, 1e-12);
+}
+
+TEST(NaiveMinlp, DetectsInfeasible) {
+  Problem p;
+  p.app.kernels = {make_kernel("a", 1.0, 0.0, 60.0, 0.0),
+                   make_kernel("b", 1.0, 0.0, 60.0, 0.0)};
+  p.platform = Platform{"1", 1};
+  auto r = NaiveMinlp().solve(p);
+  EXPECT_EQ(r.status().code(), Code::kInfeasible);
+}
+
+/// Property: on random tiny instances the structured exact solver and
+/// the transformation-free naive oracle find the same optimal goal —
+/// the central correctness argument for the candidate-II + packing
+/// decomposition and its symmetry breaking.
+class ExactVsNaive : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactVsNaive, SameOptimalGoal) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 2903u);
+  test::RandomSpec spec;
+  spec.max_kernels = 3;
+  spec.max_fpgas = 2;
+  Problem p = test::random_problem(rng, spec);
+
+  auto smart = ExactSolver().solve(p);
+  NaiveMinlp naive;
+  auto oracle = naive.solve(p);
+
+  ASSERT_EQ(smart.is_ok(), oracle.is_ok())
+      << "smart: " << smart.status().to_string()
+      << " naive: " << oracle.status().to_string();
+  if (!smart.is_ok()) return;
+  ASSERT_TRUE(smart.value().proved_optimal);
+  ASSERT_TRUE(oracle.value().proved_optimal);
+  EXPECT_NEAR(smart.value().goal, oracle.value().goal,
+              1e-6 * (1.0 + oracle.value().goal))
+      << "alpha=" << p.alpha << " beta=" << p.beta
+      << " F=" << p.num_fpgas() << "\nsmart:\n"
+      << smart.value().allocation.to_string() << "naive:\n"
+      << oracle.value().allocation.to_string();
+  EXPECT_TRUE(smart.value().allocation.feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsNaive, ::testing::Range(1, 61));
+
+/// Property: optimal II is monotone non-increasing in the constraint.
+class ExactMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactMonotone, IiMonotoneInConstraint) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31u);
+  test::RandomSpec spec;
+  spec.max_kernels = 3;
+  spec.max_fpgas = 2;
+  Problem p = test::random_problem(rng, spec);
+  p.beta = 0.0;
+  double previous = std::numeric_limits<double>::infinity();
+  for (double rc = 0.5; rc <= 1.01; rc += 0.125) {
+    p.resource_fraction = std::min(rc, 1.0);
+    auto r = ExactSolver().solve(p);
+    if (!r.is_ok()) {
+      // Infeasible at a loose constraint implies infeasible at tighter
+      // ones — it must not have been feasible before.
+      EXPECT_TRUE(std::isinf(previous));
+      continue;
+    }
+    EXPECT_LE(r.value().ii, previous * (1.0 + 1e-9));
+    previous = r.value().ii;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactMonotone, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace mfa::solver

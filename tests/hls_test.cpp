@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "hls/cost_model.hpp"
+#include "hls/layers.hpp"
+#include "hls/paper.hpp"
+
+namespace mfa::hls {
+namespace {
+
+TEST(Layers, AlexNetStructureMatchesPaperKernelList) {
+  const Network net = alexnet();
+  ASSERT_EQ(net.size(), 8u);  // Table 2 rows
+  EXPECT_EQ(net.layers[0].name, "CONV1");
+  EXPECT_EQ(net.layers[1].name, "POOL1");
+  EXPECT_EQ(net.layers[2].name, "NORM1");
+  EXPECT_EQ(net.layers[7].name, "CONV5");
+  // Merged pools (paper footnote 1).
+  EXPECT_TRUE(net.layers[3].fused_pool);
+  EXPECT_TRUE(net.layers[7].fused_pool);
+}
+
+TEST(Layers, Vgg16StructureMatchesFig6Legend) {
+  const Network net = vgg16();
+  ASSERT_EQ(net.size(), 17u);  // 13 conv + 4 standalone pools
+  int convs = 0;
+  int pools = 0;
+  for (const Layer& l : net.layers) {
+    if (l.kind == LayerKind::kConv) ++convs;
+    if (l.kind == LayerKind::kPool) ++pools;
+  }
+  EXPECT_EQ(convs, 13);
+  EXPECT_EQ(pools, 4);
+}
+
+TEST(Layers, OpsCountsKnownValues) {
+  // CONV3 of AlexNet: 13·13·384·256·3·3 MACs.
+  const Network net = alexnet();
+  const Layer& conv3 = net.layers[5];
+  EXPECT_EQ(conv3.ops(), 13LL * 13 * 384 * 256 * 3 * 3);
+  EXPECT_EQ(conv3.weight_elements(), 384LL * 256 * 3 * 3);
+  EXPECT_EQ(conv3.output_elements(), 384LL * 13 * 13);
+}
+
+TEST(CostModel, MoreUnrollMeansFasterAndBigger) {
+  const CostModel model(Device::vu9p());
+  const Network net = alexnet();
+  const Layer& conv = net.layers[0];
+  const core::Kernel small =
+      model.characterize(conv, DataType::kFixed16, {2, 2});
+  const core::Kernel large =
+      model.characterize(conv, DataType::kFixed16, {8, 8});
+  EXPECT_LT(large.wcet_ms, small.wcet_ms);
+  EXPECT_GT(large.res[core::Resource::kDsp],
+            small.res[core::Resource::kDsp]);
+}
+
+TEST(CostModel, Fp32CostsMoreDspThanFx16) {
+  const CostModel model(Device::vu9p());
+  const Network net = alexnet();
+  const Layer& conv = net.layers[0];
+  const core::Kernel fp32 =
+      model.characterize(conv, DataType::kFloat32, {4, 4});
+  const core::Kernel fx16 =
+      model.characterize(conv, DataType::kFixed16, {4, 4});
+  EXPECT_NEAR(fp32.res[core::Resource::kDsp],
+              5.0 * fx16.res[core::Resource::kDsp], 1e-9);
+}
+
+TEST(CostModel, PoolLayersUseNoDsp) {
+  const CostModel model(Device::vu9p());
+  const Network net = alexnet();
+  const Layer& pool = net.layers[1];
+  const core::Kernel k = model.characterize(pool, DataType::kFixed16, {1, 8});
+  EXPECT_DOUBLE_EQ(k.res[core::Resource::kDsp], 0.0);
+  EXPECT_GT(k.bw, 0.0);
+}
+
+TEST(CostModel, MemoryBoundKernelsHitTheRoofline) {
+  // A pool layer with huge channel parallelism is memory bound: its
+  // bandwidth share approaches one DDR channel (25 % of the device).
+  const CostModel model(Device::vu9p());
+  const Network net = vgg16();
+  const Layer& pool = net.layers[2];  // POOL2, large maps
+  const core::Kernel k =
+      model.characterize(pool, DataType::kFixed16, {1, 64});
+  EXPECT_NEAR(k.bw, 25.0, 1.0);
+}
+
+TEST(CostModel, PickUnrollRespectsDspBudget) {
+  const CostModel model(Device::vu9p());
+  const Network net = vgg16();
+  const Layer& conv = net.layers[4];  // 128→128 conv
+  for (double budget : {2.0, 8.0, 20.0}) {
+    const UnrollConfig cfg =
+        model.pick_unroll(conv, DataType::kFixed16, budget);
+    const core::Kernel k = model.characterize(conv, DataType::kFixed16, cfg);
+    EXPECT_LE(k.res[core::Resource::kDsp], budget + 1e-9);
+  }
+}
+
+TEST(CostModel, CharacterizeNetworkProducesValidApplication) {
+  const CostModel model(Device::vu9p());
+  const core::Application app =
+      model.characterize_network(vgg16(), DataType::kFixed16, 15.0);
+  ASSERT_EQ(app.size(), 17u);
+  for (const core::Kernel& k : app.kernels) {
+    EXPECT_GT(k.wcet_ms, 0.0) << k.name;
+    EXPECT_TRUE(k.res.non_negative()) << k.name;
+    EXPECT_GE(k.bw, 0.0) << k.name;
+    EXPECT_LE(k.res.max_axis(), 100.0) << k.name;
+  }
+  // Magnitude cross-check against Table 3: modeled per-kernel WCETs land
+  // in the same order of magnitude as the measured ones (ms to tens of
+  // ms per image for VGG-16 convolutions at ~15 % DSP per CU).
+  const core::Application paper_app = paper::vgg16();
+  double modeled_sum = 0.0;
+  double paper_sum = 0.0;
+  for (std::size_t i = 0; i < app.size(); ++i) {
+    modeled_sum += app.kernels[i].wcet_ms;
+    paper_sum += paper_app.kernels[i].wcet_ms;
+  }
+  EXPECT_GT(modeled_sum, paper_sum / 10.0);
+  EXPECT_LT(modeled_sum, paper_sum * 10.0);
+}
+
+TEST(PaperData, Table2SumsMatchPublishedSumRow) {
+  const core::Application a32 = paper::alex32();
+  ASSERT_EQ(a32.size(), 8u);
+  EXPECT_NEAR(a32.total_resources()[core::Resource::kBram], 54.57, 0.01);
+  EXPECT_NEAR(a32.total_resources()[core::Resource::kDsp], 166.18, 0.01);
+  // The published SUM row is rounded; the per-row values add to 33.03.
+  EXPECT_NEAR(a32.total_bw(), 33.1, 0.15);
+  EXPECT_NEAR(a32.total_wcet(), 45.32, 0.02);
+
+  const core::Application a16 = paper::alex16();
+  EXPECT_NEAR(a16.total_resources()[core::Resource::kBram], 33.15, 0.01);
+  EXPECT_NEAR(a16.total_resources()[core::Resource::kDsp], 32.82, 0.01);
+  EXPECT_NEAR(a16.total_bw(), 21.9, 0.15);
+  EXPECT_NEAR(a16.total_wcet(), 27.55, 0.02);
+}
+
+TEST(PaperData, Table3SumsMatchPublishedSumRow) {
+  const core::Application vgg = paper::vgg16();
+  ASSERT_EQ(vgg.size(), 17u);
+  EXPECT_NEAR(vgg.total_resources()[core::Resource::kBram], 87.37, 0.01);
+  EXPECT_NEAR(vgg.total_resources()[core::Resource::kDsp], 183.67, 0.01);
+  // Published SUM rows are rounded (BW row adds to 49.6).
+  EXPECT_NEAR(vgg.total_bw(), 49.7, 0.15);
+  // The table prints the sum only as "0.4 (s)"; the rows (with the
+  // merged CONV6,7 / CONV9,10 / CONV11,12,13 entries expanded) add to
+  // 426.6 ms, which rounds to 0.4 s.
+  EXPECT_NEAR(vgg.total_wcet(), 400.0, 30.0);
+}
+
+TEST(PaperData, CasesCarryTable4Weights) {
+  EXPECT_DOUBLE_EQ(paper::case_alex16_2fpga().beta, 0.7);
+  EXPECT_DOUBLE_EQ(paper::case_alex32_4fpga().beta, 6.0);
+  EXPECT_DOUBLE_EQ(paper::case_vgg_8fpga().beta, 50.0);
+  EXPECT_EQ(paper::case_alex16_2fpga().num_fpgas(), 2);
+  EXPECT_EQ(paper::case_alex32_4fpga().num_fpgas(), 4);
+  EXPECT_EQ(paper::case_vgg_8fpga().num_fpgas(), 8);
+}
+
+TEST(PaperData, AllCasesValidateAtModerateConstraints) {
+  for (core::Problem p : {paper::case_alex16_2fpga(),
+                          paper::case_alex32_4fpga(),
+                          paper::case_vgg_8fpga()}) {
+    p.resource_fraction = 0.6;
+    EXPECT_TRUE(p.validate().is_ok()) << p.app.name;
+  }
+}
+
+}  // namespace
+}  // namespace mfa::hls

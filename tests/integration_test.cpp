@@ -1,0 +1,152 @@
+// Cross-module integration tests: the full GP → discretize → allocate →
+// simulate chain on the paper's own workloads, and the figure-level
+// relationships the evaluation section reports.
+#include <gtest/gtest.h>
+
+#include "alloc/gpa.hpp"
+#include "alloc/sweep.hpp"
+#include "hls/cost_model.hpp"
+#include "hls/paper.hpp"
+#include "io/serialize.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "solver/exact.hpp"
+
+namespace mfa {
+namespace {
+
+solver::ExactOptions bench_budget() {
+  solver::ExactOptions opts;
+  opts.max_nodes = 2'000'000;
+  opts.max_seconds = 20.0;
+  return opts;
+}
+
+TEST(Integration, Alex16HeuristicTracksExactAcrossConstraints) {
+  // Fig. 3(a): GP+A ≥ MINLP everywhere, within 35 % across the range and
+  // matching at the loose end.
+  for (double rc : {0.60, 0.70, 0.80}) {
+    core::Problem p = hls::paper::case_alex16_2fpga();
+    p.resource_fraction = rc;
+    auto h = alloc::GpaSolver().solve(p);
+    core::Problem p0 = p;
+    p0.beta = 0.0;
+    auto e = solver::ExactSolver(bench_budget()).solve(p0);
+    ASSERT_TRUE(h.is_ok()) << rc;
+    ASSERT_TRUE(e.is_ok()) << rc;
+    const double hi = h.value().allocation.ii();
+    EXPECT_GE(hi, e.value().ii * (1.0 - 1e-9)) << rc;
+    EXPECT_LE(hi, e.value().ii * 1.35) << rc;
+  }
+}
+
+TEST(Integration, Alex16CatchesTheLooseExtreme) {
+  core::Problem p = hls::paper::case_alex16_2fpga();
+  p.resource_fraction = 0.85;
+  auto h = alloc::GpaSolver().solve(p);
+  core::Problem p0 = p;
+  p0.beta = 0.0;
+  auto e = solver::ExactSolver(bench_budget()).solve(p0);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_NEAR(h.value().allocation.ii(), e.value().ii,
+              1e-6 * e.value().ii);
+}
+
+TEST(Integration, SimulatorConfirmsHeuristicAllocations) {
+  // The simulator's steady-state II equals the analytical II for every
+  // (feasible) heuristic allocation — model and execution agree.
+  for (core::Problem p : {hls::paper::case_alex16_2fpga(),
+                          hls::paper::case_alex32_4fpga(),
+                          hls::paper::case_vgg_8fpga()}) {
+    p.resource_fraction = 0.7;
+    auto h = alloc::GpaSolver().solve(p);
+    ASSERT_TRUE(h.is_ok()) << p.app.name;
+    sim::SimResult r = sim::PipelineSimulator().run(h.value().allocation);
+    EXPECT_NEAR(r.measured_ii_ms, h.value().allocation.ii(),
+                1e-6 * r.measured_ii_ms)
+        << p.app.name;
+    EXPECT_DOUBLE_EQ(r.max_throttle, 1.0) << p.app.name;
+  }
+}
+
+TEST(Integration, ConsolidationStory) {
+  // §4 / Fig. 6: GP+A and MINLP+G concentrate kernels on fewer FPGAs
+  // than MINLP (β = 0) — measured here by the spreading value.
+  core::Problem p = hls::paper::case_vgg_8fpga();
+  p.resource_fraction = 0.61;
+  auto gpa = alloc::GpaSolver().solve(p);
+  core::Problem p0 = p;
+  p0.beta = 0.0;
+  auto minlp = solver::ExactSolver(bench_budget()).solve(p0);
+  auto minlp_g = solver::ExactSolver(bench_budget()).solve(p);
+  ASSERT_TRUE(gpa.is_ok());
+  ASSERT_TRUE(minlp.is_ok());
+  ASSERT_TRUE(minlp_g.is_ok());
+  // The spreading-aware solutions never spread more than the β=0 one
+  // achieved by chance, and II of the β=0 run lower-bounds both.
+  EXPECT_LE(minlp_g.value().phi, minlp.value().phi + 1e-9);
+  EXPECT_LE(minlp.value().ii, minlp_g.value().ii + 1e-9);
+  EXPECT_LE(minlp.value().ii, gpa.value().allocation.ii() + 1e-9);
+}
+
+TEST(Integration, ModeledNetworkFlowsThroughWholePipeline) {
+  // Characterize VGG-16 with the analytical cost model (not the paper
+  // dataset), then solve and simulate — the full "new network" user
+  // journey.
+  const hls::CostModel model(hls::Device::vu9p());
+  core::Problem p;
+  p.app = model.characterize_network(hls::vgg16(), hls::DataType::kFixed16,
+                                     12.0);
+  p.platform = hls::paper::f1(4);
+  p.resource_fraction = 0.8;
+  ASSERT_TRUE(p.validate().is_ok());
+  auto h = alloc::GpaSolver().solve(p);
+  ASSERT_TRUE(h.is_ok()) << h.status().to_string();
+  EXPECT_TRUE(h.value().allocation.feasible());
+  sim::SimResult r = sim::PipelineSimulator().run(h.value().allocation);
+  EXPECT_NEAR(r.measured_ii_ms, h.value().allocation.ii(), 1e-6);
+}
+
+TEST(Integration, JsonRoundTripPreservesSolverResults) {
+  // Serializing a problem and re-solving gives the identical allocation
+  // metrics — the CLI/examples path is faithful.
+  core::Problem p = hls::paper::case_alex32_4fpga();
+  p.resource_fraction = 0.7;
+  auto direct = alloc::GpaSolver().solve(p);
+  ASSERT_TRUE(direct.is_ok());
+
+  auto round = io::problem_from_text(io::to_json(p).dump());
+  ASSERT_TRUE(round.is_ok());
+  auto reparsed = alloc::GpaSolver().solve(round.value());
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_DOUBLE_EQ(reparsed.value().allocation.ii(),
+                   direct.value().allocation.ii());
+  EXPECT_DOUBLE_EQ(reparsed.value().allocation.phi(),
+                   direct.value().allocation.phi());
+}
+
+TEST(Integration, TSensitivityIsMild) {
+  // Fig. 2's finding: T has little effect on II for Alex-16.
+  core::Problem p = hls::paper::case_alex16_2fpga();
+  p.resource_fraction = 0.60;
+  double ii_t0 = 0.0;
+  double ii_t30 = 0.0;
+  {
+    auto r = alloc::GpaSolver().solve(p);
+    ASSERT_TRUE(r.is_ok());
+    ii_t0 = r.value().allocation.ii();
+  }
+  {
+    alloc::GpaOptions opts;
+    opts.greedy.t_max = 0.30;
+    auto r = alloc::GpaSolver(opts).solve(p);
+    ASSERT_TRUE(r.is_ok());
+    ii_t30 = r.value().allocation.ii();
+  }
+  // Relaxing the allocator constraint can only help, and only mildly.
+  EXPECT_LE(ii_t30, ii_t0 + 1e-9);
+  EXPECT_GE(ii_t30, ii_t0 * 0.7);
+}
+
+}  // namespace
+}  // namespace mfa

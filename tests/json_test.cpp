@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "io/json.hpp"
+
+namespace mfa::io {
+namespace {
+
+TEST(Json, ScalarConstruction) {
+  EXPECT_TRUE(Json::null().is_null());
+  EXPECT_TRUE(Json::boolean(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json::number(2.5).as_number(), 2.5);
+  EXPECT_EQ(Json::string("hi").as_string(), "hi");
+}
+
+TEST(Json, ArrayAndObjectBuilding) {
+  Json arr = Json::array();
+  arr.push_back(Json::number(1));
+  arr.push_back(Json::string("two"));
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_DOUBLE_EQ(arr.at(0).as_number(), 1.0);
+
+  Json obj = Json::object();
+  obj.set("a", Json::number(1));
+  obj.set("b", Json::boolean(false));
+  obj.set("a", Json::number(9));  // overwrite keeps one entry
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_DOUBLE_EQ(obj.find("a")->as_number(), 9.0);
+  EXPECT_FALSE(obj.has("missing"));
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").value().is_null());
+  EXPECT_TRUE(Json::parse("true").value().as_bool());
+  EXPECT_FALSE(Json::parse("false").value().as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").value().as_number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"a\\nb\"").value().as_string(), "a\nb");
+}
+
+TEST(Json, ParseNested) {
+  auto doc = Json::parse(R"({"k": [1, {"x": "y"}, null], "n": 3})");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const Json& j = doc.value();
+  ASSERT_TRUE(j.is_object());
+  const Json* k = j.find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->size(), 3u);
+  EXPECT_EQ(k->at(1).find("x")->as_string(), "y");
+  EXPECT_TRUE(k->at(2).is_null());
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  auto doc = Json::parse(R"("Aé€")");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().as_string(), "A\xC3\xA9\xE2\x82\xAC");  // A é €
+}
+
+TEST(Json, ParseErrorsCarryOffsets) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "01a",
+        "[1] trailing", "{\"a\":}", "nan"}) {
+    auto doc = Json::parse(bad);
+    EXPECT_FALSE(doc.is_ok()) << bad;
+    EXPECT_EQ(doc.status().code(), Code::kInvalid) << bad;
+    EXPECT_NE(doc.status().message().find("offset"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST(Json, RejectsDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::parse(deep).is_ok());
+}
+
+TEST(Json, DumpCompactRoundTrips) {
+  const char* text = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+  auto doc = Json::parse(text);
+  ASSERT_TRUE(doc.is_ok());
+  const std::string dumped = doc.value().dump();
+  auto again = Json::parse(dumped);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().dump(), dumped);
+}
+
+TEST(Json, DumpPrettyIsIndentedAndParses) {
+  Json obj = Json::object();
+  obj.set("name", Json::string("x"));
+  Json arr = Json::array();
+  arr.push_back(Json::number(1));
+  obj.set("values", std::move(arr));
+  const std::string pretty = obj.dump(2);
+  EXPECT_NE(pretty.find("\n  \"name\""), std::string::npos) << pretty;
+  EXPECT_TRUE(Json::parse(pretty).is_ok());
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  Json s = Json::string(std::string("tab\t quote\" back\\ bell\x07"));
+  const std::string dumped = s.dump();
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  EXPECT_NE(dumped.find("\\\""), std::string::npos);
+  EXPECT_NE(dumped.find("\\\\"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0007"), std::string::npos);
+  auto round = Json::parse(dumped);
+  ASSERT_TRUE(round.is_ok());
+  EXPECT_EQ(round.value().as_string(), s.as_string());
+}
+
+TEST(Json, NumbersPrintIntegersCleanly) {
+  EXPECT_EQ(Json::number(42).dump(), "42");
+  EXPECT_EQ(Json::number(-7).dump(), "-7");
+  // Round-trip of non-integers preserves the value.
+  auto v = Json::parse(Json::number(0.1).dump());
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_DOUBLE_EQ(v.value().as_number(), 0.1);
+}
+
+TEST(Json, WhitespaceTolerance) {
+  auto doc = Json::parse("  {\n\t\"a\" :  [ 1 , 2 ]\r\n}  ");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().find("a")->size(), 2u);
+}
+
+}  // namespace
+}  // namespace mfa::io

@@ -1,0 +1,235 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "solver/packing.hpp"
+#include "testutil.hpp"
+
+namespace mfa::solver {
+namespace {
+
+using core::Platform;
+using core::Problem;
+using test::make_kernel;
+using test::tiny_problem;
+
+Budget unlimited() { return Budget(); }
+
+TEST(MinChunks, CapacityForcedSplitting) {
+  Problem p;
+  p.app.kernels = {make_kernel("k", 1.0, 0.0, 30.0, 0.0)};
+  p.platform = Platform{"4", 4};
+  // 30% per CU within 100% cap → 3 per FPGA.
+  EXPECT_EQ(min_chunks(p, 0, 3), 1);
+  EXPECT_EQ(min_chunks(p, 0, 4), 2);
+  EXPECT_EQ(min_chunks(p, 0, 7), 3);
+  EXPECT_EQ(min_chunks(p, 0, 0), 0);
+}
+
+TEST(PhiLowerBound, MostUnequalSplit) {
+  Problem p;
+  p.app.kernels = {make_kernel("k", 1.0, 0.0, 30.0, 0.0)};
+  p.platform = Platform{"4", 4};
+  // 3 CUs on one FPGA: 3/4.
+  EXPECT_NEAR(phi_lower_bound(p, 0, 3), 0.75, 1e-12);
+  // 4 CUs must split 3+1: 3/4 + 1/2.
+  EXPECT_NEAR(phi_lower_bound(p, 0, 4), 0.75 + 0.5, 1e-12);
+  // 7 CUs split 3+3+1.
+  EXPECT_NEAR(phi_lower_bound(p, 0, 7), 0.75 + 0.75 + 0.5, 1e-12);
+}
+
+TEST(PackingSolver, TrivialFeasible) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget budget = unlimited();
+  PackingResult r = packer.pack({1, 1, 1}, PackingMode::kFeasibility, budget);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_TRUE(r.allocation->feasible());
+}
+
+TEST(PackingSolver, DetectsPooledInfeasibility) {
+  Problem p = tiny_problem();  // cap 80% per FPGA, DSP 20/15/10 per CU
+  PackingSolver packer(p);
+  Budget budget = unlimited();
+  // 20 CUs of kernel a → 400% DSP ≫ 160% pooled.
+  PackingResult r = packer.pack({20, 1, 1}, PackingMode::kFeasibility,
+                                budget);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);
+}
+
+TEST(PackingSolver, DetectsFragmentationInfeasibility) {
+  // Two kernels of 60% DSP each: pooled 120 ≤ 2×100 but each FPGA fits
+  // only one — three CUs of either kernel cannot pack.
+  Problem p;
+  p.app.kernels = {make_kernel("a", 1.0, 0.0, 60.0, 0.0),
+                   make_kernel("b", 1.0, 0.0, 60.0, 0.0)};
+  p.platform = Platform{"2", 2};
+  PackingSolver packer(p);
+  Budget budget = unlimited();
+  EXPECT_TRUE(
+      packer.pack({1, 1}, PackingMode::kFeasibility, budget).feasible);
+  EXPECT_FALSE(
+      packer.pack({2, 1}, PackingMode::kFeasibility, budget).feasible);
+}
+
+TEST(PackingSolver, BandwidthLimitsPacking) {
+  Problem p;
+  p.app.kernels = {make_kernel("a", 1.0, 1.0, 1.0, 40.0)};
+  p.platform = Platform{"2", 2};
+  PackingSolver packer(p);
+  Budget budget = unlimited();
+  // 2 CUs per FPGA by bandwidth (2×40 ≤ 100 < 3×40) → 4 fit, 5 do not.
+  EXPECT_TRUE(
+      packer.pack({4}, PackingMode::kFeasibility, budget).feasible);
+  EXPECT_FALSE(
+      packer.pack({5}, PackingMode::kFeasibility, budget).feasible);
+}
+
+TEST(PackingSolver, MinSpreadingPrefersOneFpga) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget budget = unlimited();
+  PackingResult r =
+      packer.pack({2, 1, 1}, PackingMode::kMinSpreading, budget);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);
+  // Everything fits on one FPGA: φ = max_k N_k/(1+N_k) = 2/3.
+  EXPECT_NEAR(r.phi, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.allocation->fpgas_used_by(0), 1);
+}
+
+TEST(PackingSolver, MinSpreadingMatchesForcedSplit) {
+  // 4 CUs of a 30% kernel on 100% FPGAs: must split 3+1 at best.
+  Problem p;
+  p.app.kernels = {make_kernel("a", 1.0, 0.0, 30.0, 0.0)};
+  p.platform = Platform{"2", 2};
+  PackingSolver packer(p);
+  Budget budget = unlimited();
+  PackingResult r = packer.pack({4}, PackingMode::kMinSpreading, budget);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.phi, 0.75 + 0.5, 1e-12);
+}
+
+TEST(PackingSolver, SpreadingNeverBelowStaticBound) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget budget = unlimited();
+  const std::vector<int> totals{3, 2, 2};
+  PackingResult r = packer.pack(totals, PackingMode::kMinSpreading, budget);
+  ASSERT_TRUE(r.feasible);
+  double lb = 0.0;
+  for (std::size_t k = 0; k < totals.size(); ++k) {
+    lb = std::max(lb, phi_lower_bound(p, k, totals[k]));
+  }
+  EXPECT_GE(r.phi, lb - 1e-9);
+}
+
+TEST(PackingSolver, BudgetAbortsAreReported) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget budget = Budget::nodes_only(1);
+  PackingResult r =
+      packer.pack({3, 2, 2}, PackingMode::kMinSpreading, budget);
+  EXPECT_FALSE(r.proved_optimal);
+}
+
+TEST(PackingSolver, ZeroTotalsAllowed) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget budget = unlimited();
+  PackingResult r = packer.pack({0, 1, 0}, PackingMode::kMinSpreading,
+                                budget);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.allocation->total_cu(0), 0);
+  EXPECT_EQ(r.allocation->total_cu(1), 1);
+}
+
+/// Oracle: exhaustive enumeration of all placements for tiny instances.
+/// Returns the minimal φ, or nullopt if no feasible placement exists.
+std::optional<double> brute_force_min_phi(const Problem& p,
+                                          const std::vector<int>& totals) {
+  const int fpgas = p.num_fpgas();
+  const std::size_t kernels = totals.size();
+  std::vector<std::vector<int>> counts(kernels,
+                                       std::vector<int>(fpgas, 0));
+  std::optional<double> best;
+
+  // Enumerate compositions of each total across FPGAs, recursively.
+  std::function<void(std::size_t, int, int)> rec_kernel_fpga;
+  std::function<void(std::size_t)> rec_kernel = [&](std::size_t k) {
+    if (k == kernels) {
+      // Check capacity.
+      for (int f = 0; f < fpgas; ++f) {
+        core::ResourceVec used;
+        double bw = 0.0;
+        for (std::size_t j = 0; j < kernels; ++j) {
+          used += p.app.kernels[j].res * static_cast<double>(counts[j][f]);
+          bw += p.app.kernels[j].bw * counts[j][f];
+        }
+        if (!used.fits_within(p.cap(), 1e-9) || bw > p.bw_cap() + 1e-9) {
+          return;
+        }
+      }
+      double phi = 0.0;
+      for (std::size_t j = 0; j < kernels; ++j) {
+        double pk = 0.0;
+        for (int f = 0; f < fpgas; ++f) {
+          pk += static_cast<double>(counts[j][f]) / (1.0 + counts[j][f]);
+        }
+        phi = std::max(phi, pk);
+      }
+      if (!best || phi < *best) best = phi;
+      return;
+    }
+    rec_kernel_fpga(k, 0, totals[k]);
+  };
+  rec_kernel_fpga = [&](std::size_t k, int f, int rem) {
+    if (f == fpgas) {
+      if (rem == 0) rec_kernel(k + 1);
+      return;
+    }
+    for (int c = 0; c <= rem; ++c) {
+      counts[k][f] = c;
+      rec_kernel_fpga(k, f + 1, rem - c);
+      counts[k][f] = 0;
+    }
+  };
+  rec_kernel(0);
+  return best;
+}
+
+/// Property: the branch-and-bound packing equals brute force on random
+/// tiny instances — validating both the symmetry breaking and pruning.
+class RandomPacking : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPacking, MatchesBruteForce) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 6151u);
+  Problem p = test::random_problem(rng);
+  std::uniform_int_distribution<int> tot(0, 3);
+  std::vector<int> totals(p.num_kernels());
+  for (int& t : totals) t = tot(rng);
+
+  Budget budget = unlimited();
+  PackingResult r =
+      PackingSolver(p).pack(totals, PackingMode::kMinSpreading, budget);
+  ASSERT_TRUE(r.proved_optimal);
+
+  std::optional<double> oracle = brute_force_min_phi(p, totals);
+  ASSERT_EQ(r.feasible, oracle.has_value());
+  if (oracle) {
+    EXPECT_NEAR(r.phi, *oracle, 1e-9);
+    // The returned allocation must realize the reported φ and respect
+    // the caps.
+    EXPECT_NEAR(r.allocation->phi(), r.phi, 1e-12);
+    for (std::size_t k = 0; k < totals.size(); ++k) {
+      EXPECT_EQ(r.allocation->total_cu(k), totals[k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPacking, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace mfa::solver

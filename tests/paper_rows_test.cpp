@@ -1,0 +1,102 @@
+// Row-level fidelity of the embedded paper datasets (Tables 2–3): every
+// figure reproduction rests on these constants, so each row is pinned
+// individually, parameterized over the tables.
+#include <gtest/gtest.h>
+
+#include "hls/paper.hpp"
+
+namespace mfa::hls {
+namespace {
+
+struct Row {
+  const char* app;
+  const char* kernel;
+  double bram;
+  double dsp;
+  double bw;
+  double wcet;
+};
+
+core::Application app_of(const std::string& name) {
+  if (name == "alex32") return paper::alex32();
+  if (name == "alex16") return paper::alex16();
+  return paper::vgg16();
+}
+
+class PaperRow : public ::testing::TestWithParam<Row> {};
+
+TEST_P(PaperRow, MatchesPublishedValue) {
+  const Row& row = GetParam();
+  const core::Application app = app_of(row.app);
+  const core::Kernel* found = nullptr;
+  for (const core::Kernel& k : app.kernels) {
+    if (k.name == row.kernel) {
+      found = &k;
+      break;
+    }
+  }
+  ASSERT_NE(found, nullptr) << row.app << "/" << row.kernel;
+  EXPECT_DOUBLE_EQ(found->res[core::Resource::kBram], row.bram);
+  EXPECT_DOUBLE_EQ(found->res[core::Resource::kDsp], row.dsp);
+  EXPECT_DOUBLE_EQ(found->bw, row.bw);
+  EXPECT_DOUBLE_EQ(found->wcet_ms, row.wcet);
+  // LUT/FF are not reported by the paper and must stay inactive (zero).
+  EXPECT_DOUBLE_EQ(found->res[core::Resource::kLut], 0.0);
+  EXPECT_DOUBLE_EQ(found->res[core::Resource::kFf], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2Alex32, PaperRow,
+    ::testing::Values(Row{"alex32", "CONV1", 13.07, 21.24, 1.3, 13.0},
+                      Row{"alex32", "POOL1", 2.84, 0.0, 7.03, 1.78},
+                      Row{"alex32", "NORM1", 6.10, 2.11, 5.7, 0.839},
+                      Row{"alex32", "CONV2", 8.73, 37.59, 2.4, 7.19},
+                      Row{"alex32", "NORM2", 7.75, 2.11, 3.7, 0.807},
+                      Row{"alex32", "CONV3", 5.22, 28.13, 5.0, 7.78},
+                      Row{"alex32", "CONV4", 2.13, 37.50, 3.7, 9.08},
+                      Row{"alex32", "CONV5", 8.73, 37.50, 4.2, 4.84}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2Alex16, PaperRow,
+    ::testing::Values(Row{"alex16", "CONV1", 10.59, 4.31, 1.8, 5.16},
+                      Row{"alex16", "POOL1", 0.05, 0.0, 3.5, 1.78},
+                      Row{"alex16", "NORM1", 2.53, 0.06, 3.1, 0.78},
+                      Row{"alex16", "CONV2", 4.39, 7.63, 2.1, 4.11},
+                      Row{"alex16", "NORM2", 6.66, 0.06, 2.2, 0.67},
+                      Row{"alex16", "CONV3", 2.63, 5.66, 2.9, 6.70},
+                      Row{"alex16", "CONV4", 1.91, 7.55, 3.2, 5.06},
+                      Row{"alex16", "CONV5", 4.39, 7.55, 3.1, 3.29}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3Vgg, PaperRow,
+    ::testing::Values(Row{"vgg", "CONV1", 3.67, 2.95, 2.0, 28.8},
+                      Row{"vgg", "CONV2", 9.97, 15.14, 2.1, 67.8},
+                      Row{"vgg", "POOL2", 11.62, 0.03, 5.2, 13.3},
+                      Row{"vgg", "CONV3", 9.97, 15.14, 2.3, 22.7},
+                      Row{"vgg", "CONV4", 9.97, 15.14, 2.4, 32.1},
+                      Row{"vgg", "POOL4", 2.94, 0.03, 5.1, 6.9},
+                      Row{"vgg", "CONV5", 8.32, 15.07, 2.0, 22.8},
+                      Row{"vgg", "CONV6", 8.32, 15.05, 2.3, 32.9},
+                      Row{"vgg", "CONV7", 8.32, 15.05, 2.3, 32.9},
+                      Row{"vgg", "POOL7", 1.50, 0.03, 5.0, 3.5},
+                      Row{"vgg", "CONV8", 2.12, 15.02, 2.1, 24.5},
+                      Row{"vgg", "CONV9", 2.12, 15.02, 2.5, 37.7},
+                      Row{"vgg", "CONV10", 2.12, 15.02, 2.5, 37.7},
+                      Row{"vgg", "POOL10", 0.05, 0.01, 4.0, 2.1},
+                      Row{"vgg", "CONV11", 2.12, 14.99, 2.6, 20.3},
+                      Row{"vgg", "CONV12", 2.12, 14.99, 2.6, 20.3},
+                      Row{"vgg", "CONV13", 2.12, 14.99, 2.6, 20.3}));
+
+/// Kernel ordering matters (it defines the pipeline): pin the order.
+TEST(PaperOrder, PipelinesKeepTableOrder) {
+  const auto a32 = paper::alex32();
+  EXPECT_EQ(a32.kernels.front().name, "CONV1");
+  EXPECT_EQ(a32.kernels.back().name, "CONV5");
+  const auto vgg = paper::vgg16();
+  EXPECT_EQ(vgg.kernels[2].name, "POOL2");
+  EXPECT_EQ(vgg.kernels[13].name, "POOL10");
+  EXPECT_EQ(vgg.kernels.back().name, "CONV13");
+}
+
+}  // namespace
+}  // namespace mfa::hls

@@ -1,0 +1,159 @@
+// Randomized cross-cutting invariants over the whole stack. Each check
+// encodes a theorem-like statement from DESIGN.md; violations indicate a
+// real bug, not test flakiness (all rngs are seeded).
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "alloc/gpa.hpp"
+#include "core/relaxation.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "solver/candidates.hpp"
+#include "solver/exact.hpp"
+#include "solver/packing.hpp"
+#include "testutil.hpp"
+
+namespace mfa {
+namespace {
+
+class Property : public ::testing::TestWithParam<int> {
+ protected:
+  std::mt19937 rng_{static_cast<unsigned>(GetParam()) * 65537u + 13u};
+};
+
+/// The relaxation lower-bounds every exact integer solution (the GP
+/// bound of §3.2.1 is valid).
+TEST_P(Property, RelaxationLowerBoundsExact) {
+  core::Problem p = test::random_problem(rng_);
+  p.beta = 0.0;
+  auto relax = core::solve_relaxation(p);
+  auto exact = solver::ExactSolver().solve(p);
+  if (!exact.is_ok()) return;
+  ASSERT_TRUE(relax.is_ok());  // integer-feasible ⇒ relaxation feasible
+  EXPECT_LE(relax.value().ii, exact.value().ii * (1.0 + 1e-9));
+}
+
+/// Exact optimum II always equals some candidate value WCET_k/m.
+TEST_P(Property, ExactIiIsACandidate) {
+  core::Problem p = test::random_problem(rng_);
+  p.beta = 0.0;
+  auto exact = solver::ExactSolver().solve(p);
+  if (!exact.is_ok()) return;
+  bool found = false;
+  for (double c : solver::candidate_iis(p)) {
+    if (std::fabs(c - exact.value().ii) < 1e-9 * exact.value().ii) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << exact.value().ii;
+}
+
+/// The heuristic never reports an allocation violating the constraints
+/// it was asked to respect, and never beats the exact optimum.
+TEST_P(Property, HeuristicSoundAndDominated) {
+  core::Problem p = test::random_problem(rng_);
+  p.beta = 0.0;
+  auto h = alloc::GpaSolver().solve(p);
+  auto e = solver::ExactSolver().solve(p);
+  if (!h.is_ok()) return;
+  EXPECT_TRUE(h.value().allocation.feasible());
+  ASSERT_TRUE(e.is_ok());  // heuristic feasible ⇒ exact feasible
+  EXPECT_GE(h.value().allocation.ii(), e.value().ii * (1.0 - 1e-9));
+}
+
+/// Eq. 4 consolidation: merging all CUs of a kernel onto one FPGA never
+/// increases φ_k (subadditivity of x/(1+x)).
+TEST_P(Property, MergingCusNeverIncreasesSpreading) {
+  core::Problem p = test::random_problem(rng_);
+  std::uniform_int_distribution<int> cu(0, 3);
+  core::Allocation spread(p);
+  core::Allocation merged(p);
+  for (std::size_t k = 0; k < p.num_kernels(); ++k) {
+    int total = 0;
+    for (int f = 0; f < p.num_fpgas(); ++f) {
+      const int n = cu(rng_);
+      spread.set_cu(k, f, n);
+      total += n;
+    }
+    merged.set_cu(k, 0, total);
+    EXPECT_LE(merged.phi_k(k), spread.phi_k(k) + 1e-12);
+  }
+  EXPECT_LE(merged.phi(), spread.phi() + 1e-12);
+}
+
+/// Min-spreading packing is monotone: component-wise smaller totals can
+/// only lower (or keep) the optimal φ — the argument ExactSolver's
+/// minimal-totals choice rests on.
+TEST_P(Property, PackingMonotoneInTotals) {
+  core::Problem p = test::random_problem(rng_);
+  std::uniform_int_distribution<int> cu(1, 3);
+  std::vector<int> big(p.num_kernels());
+  std::vector<int> small(p.num_kernels());
+  for (std::size_t k = 0; k < p.num_kernels(); ++k) {
+    big[k] = cu(rng_);
+    std::uniform_int_distribution<int> below(1, big[k]);
+    small[k] = below(rng_);
+  }
+  solver::Budget b1;
+  solver::Budget b2;
+  auto rb = solver::PackingSolver(p).pack(
+      big, solver::PackingMode::kMinSpreading, b1);
+  auto rs = solver::PackingSolver(p).pack(
+      small, solver::PackingMode::kMinSpreading, b2);
+  ASSERT_TRUE(rb.proved_optimal && rs.proved_optimal);
+  if (rb.feasible) {
+    ASSERT_TRUE(rs.feasible);
+    EXPECT_LE(rs.phi, rb.phi + 1e-9);
+  }
+}
+
+/// Any feasible allocation simulates to exactly its analytical II; any
+/// bandwidth-violating one simulates no faster.
+TEST_P(Property, SimulationConsistentWithModel) {
+  core::Problem p = test::random_problem(rng_);
+  auto h = alloc::GpaSolver().solve(p);
+  if (!h.is_ok()) return;
+  const core::Allocation& a = h.value().allocation;
+  sim::SimConfig cfg;
+  cfg.num_images = 80;
+  cfg.warmup_images = 20;
+  sim::SimResult r = sim::PipelineSimulator(cfg).run(a);
+  EXPECT_GE(r.measured_ii_ms, a.ii() * (1.0 - 1e-9));
+  if (a.feasible()) {
+    EXPECT_NEAR(r.measured_ii_ms, a.ii(), 1e-6 * a.ii());
+  }
+}
+
+/// needed_cus inverts the candidate enumeration exactly.
+TEST_P(Property, CandidateRoundTrip) {
+  core::Problem p = test::random_problem(rng_);
+  for (double t : solver::candidate_iis(p)) {
+    for (std::size_t k = 0; k < p.num_kernels(); ++k) {
+      const int n = solver::needed_cus(p.app.kernels[k].wcet_ms, t);
+      // n CUs meet t; n−1 would not (unless n = 1).
+      EXPECT_LE(p.app.kernels[k].wcet_ms / n, t * (1.0 + 1e-9));
+      if (n > 1) {
+        EXPECT_GT(p.app.kernels[k].wcet_ms / (n - 1), t * (1.0 - 1e-9));
+      }
+    }
+  }
+}
+
+/// β = 0 exact II is never above the β > 0 exact II (adding a second
+/// objective can only trade II away).
+TEST_P(Property, SpreadingWeightTradesIi) {
+  core::Problem p = test::random_problem(rng_);
+  p.beta = 0.0;
+  auto free = solver::ExactSolver().solve(p);
+  p.beta = 1.0;
+  auto weighted = solver::ExactSolver().solve(p);
+  if (!free.is_ok() || !weighted.is_ok()) return;
+  EXPECT_LE(free.value().ii, weighted.value().ii * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Property, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace mfa

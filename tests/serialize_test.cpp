@@ -1,0 +1,119 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "hls/paper.hpp"
+#include "io/serialize.hpp"
+#include "testutil.hpp"
+
+namespace mfa::io {
+namespace {
+
+using core::Problem;
+using core::Resource;
+using test::tiny_problem;
+
+TEST(Serialize, ProblemRoundTrip) {
+  const Problem original = tiny_problem();
+  const std::string text = to_json(original).dump(2);
+  auto parsed = problem_from_text(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const Problem& p = parsed.value();
+  EXPECT_EQ(p.app.name, original.app.name);
+  ASSERT_EQ(p.num_kernels(), original.num_kernels());
+  for (std::size_t k = 0; k < p.num_kernels(); ++k) {
+    EXPECT_EQ(p.app.kernels[k].name, original.app.kernels[k].name);
+    EXPECT_DOUBLE_EQ(p.app.kernels[k].wcet_ms,
+                     original.app.kernels[k].wcet_ms);
+    EXPECT_TRUE(p.app.kernels[k].res == original.app.kernels[k].res);
+    EXPECT_DOUBLE_EQ(p.app.kernels[k].bw, original.app.kernels[k].bw);
+  }
+  EXPECT_EQ(p.num_fpgas(), original.num_fpgas());
+  EXPECT_DOUBLE_EQ(p.resource_fraction, original.resource_fraction);
+  EXPECT_DOUBLE_EQ(p.alpha, original.alpha);
+  EXPECT_DOUBLE_EQ(p.beta, original.beta);
+}
+
+TEST(Serialize, PaperCaseRoundTripValidates) {
+  Problem original = hls::paper::case_vgg_8fpga();
+  original.resource_fraction = 0.61;
+  auto parsed = problem_from_text(to_json(original).dump());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value().validate().is_ok());
+  EXPECT_DOUBLE_EQ(parsed.value().beta, 50.0);
+}
+
+TEST(Serialize, DefaultsApplyForOptionalFields) {
+  const char* minimal = R"({
+    "application": {"kernels": [{"name": "k", "wcet_ms": 2.0}]},
+    "platform": {"fpgas": 3}
+  })";
+  auto parsed = problem_from_text(minimal);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const Problem& p = parsed.value();
+  EXPECT_EQ(p.num_fpgas(), 3);
+  EXPECT_DOUBLE_EQ(p.platform.capacity[Resource::kDsp], 100.0);
+  EXPECT_DOUBLE_EQ(p.platform.bw_capacity, 100.0);
+  EXPECT_DOUBLE_EQ(p.resource_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(p.beta, 0.0);
+  EXPECT_DOUBLE_EQ(p.app.kernels[0].bw, 0.0);
+}
+
+TEST(Serialize, MissingRequiredFieldsReportPaths) {
+  auto no_app = problem_from_text(R"({"platform": {"fpgas": 1}})");
+  EXPECT_EQ(no_app.status().code(), Code::kInvalid);
+  EXPECT_NE(no_app.status().message().find("application"),
+            std::string::npos);
+
+  auto no_wcet = problem_from_text(
+      R"({"application": {"kernels": [{"name": "k"}]},
+          "platform": {"fpgas": 1}})");
+  EXPECT_EQ(no_wcet.status().code(), Code::kInvalid);
+  EXPECT_NE(no_wcet.status().message().find("wcet_ms"), std::string::npos);
+
+  auto empty_kernels = problem_from_text(
+      R"({"application": {"kernels": []}, "platform": {"fpgas": 1}})");
+  EXPECT_EQ(empty_kernels.status().code(), Code::kInvalid);
+
+  auto bad_fpgas = problem_from_text(
+      R"({"application": {"kernels": [{"name":"k","wcet_ms":1}]},
+          "platform": {"fpgas": 0}})");
+  EXPECT_EQ(bad_fpgas.status().code(), Code::kInvalid);
+}
+
+TEST(Serialize, AllocationJsonCarriesMetrics) {
+  Problem p = tiny_problem();
+  core::Allocation a(p);
+  a.set_cu(0, 0, 2);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 1, 1);
+  const Json j = to_json(a);
+  EXPECT_DOUBLE_EQ(j.find("ii_ms")->as_number(), a.ii());
+  EXPECT_DOUBLE_EQ(j.find("phi")->as_number(), a.phi());
+  EXPECT_TRUE(j.find("feasible")->as_bool());
+  const Json* matrix = j.find("matrix");
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_EQ(matrix->size(), p.num_kernels());
+  EXPECT_DOUBLE_EQ(matrix->at(0).at(0).as_number(), 2.0);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mfa_serialize_test.json";
+  const Problem original = tiny_problem();
+  ASSERT_TRUE(write_file(path, to_json(original).dump(2)).is_ok());
+  auto text = read_file(path);
+  ASSERT_TRUE(text.is_ok());
+  auto parsed = problem_from_text(text.value());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().app.name, original.app.name);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ReadMissingFileFails) {
+  auto r = read_file("/nonexistent/path/nope.json");
+  EXPECT_EQ(r.status().code(), Code::kInvalid);
+}
+
+}  // namespace
+}  // namespace mfa::io

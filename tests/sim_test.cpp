@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "sim/pipeline_sim.hpp"
+#include "solver/exact.hpp"
+#include "testutil.hpp"
+
+namespace mfa::sim {
+namespace {
+
+using core::Allocation;
+using core::Platform;
+using core::Problem;
+using test::make_kernel;
+using test::tiny_problem;
+
+TEST(PipelineSimulator, MeasuredIiMatchesModelWithoutContention) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 2);  // ET 4
+  a.set_cu(1, 0, 3);  // ET 4
+  a.set_cu(2, 1, 1);  // ET 4
+  SimResult r = PipelineSimulator().run(a);
+  EXPECT_NEAR(r.measured_ii_ms, a.ii(), 1e-9);
+  EXPECT_NEAR(r.throughput_ips, 1000.0 / a.ii(), 1e-6);
+  EXPECT_DOUBLE_EQ(r.max_throttle, 1.0);
+}
+
+TEST(PipelineSimulator, BottleneckStageDeterminesIi) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 1);  // ET 8
+  a.set_cu(1, 0, 1);  // ET 12  ← bottleneck
+  a.set_cu(2, 1, 1);  // ET 4
+  SimResult r = PipelineSimulator().run(a);
+  EXPECT_NEAR(r.measured_ii_ms, 12.0, 1e-9);
+  // The bottleneck stage is (nearly) always busy; others are not.
+  EXPECT_GT(r.stage_busy[1], 0.95);
+  EXPECT_LT(r.stage_busy[2], 0.5);
+}
+
+TEST(PipelineSimulator, LatencyIsAtLeastSumOfStageTimes) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 1, 1);
+  SimResult r = PipelineSimulator().run(a);
+  EXPECT_GE(r.pipeline_latency_ms, 8.0 + 12.0 + 4.0 - 1e-9);
+}
+
+TEST(PipelineSimulator, BandwidthThrottlingSlowsPipeline) {
+  // Two concurrent stages on one FPGA each demanding 60 % BW: when both
+  // are active the FPGA is oversubscribed (120 > 100) and throttles.
+  Problem p;
+  p.app.kernels = {make_kernel("a", 10.0, 1.0, 1.0, 60.0),
+                   make_kernel("b", 10.0, 1.0, 1.0, 60.0)};
+  p.platform = Platform{"1", 1};
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  // Note: this allocation violates eq. 10 (120 % > 100 %) — exactly the
+  // situation the simulator exists to quantify.
+  EXPECT_FALSE(a.feasible());
+  SimResult r = PipelineSimulator().run(a);
+  EXPECT_GT(r.measured_ii_ms, 10.0 * 1.1);
+  EXPECT_GT(r.max_throttle, 1.1);
+  EXPECT_GT(r.fpga_peak_bw[0], 100.0);
+}
+
+TEST(PipelineSimulator, FeasibleAllocationNeverThrottles) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 2);
+  a.set_cu(1, 1, 2);
+  a.set_cu(2, 0, 1);
+  ASSERT_TRUE(a.feasible());
+  SimResult r = PipelineSimulator().run(a);
+  EXPECT_DOUBLE_EQ(r.max_throttle, 1.0);
+  for (int f = 0; f < p.num_fpgas(); ++f) {
+    EXPECT_LE(r.fpga_peak_bw[static_cast<std::size_t>(f)],
+              p.bw_cap() + 1e-9);
+  }
+}
+
+TEST(PipelineSimulator, DisablingBandwidthModelRemovesThrottle) {
+  Problem p;
+  p.app.kernels = {make_kernel("a", 10.0, 1.0, 1.0, 60.0),
+                   make_kernel("b", 10.0, 1.0, 1.0, 60.0)};
+  p.platform = Platform{"1", 1};
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  SimConfig cfg;
+  cfg.model_bandwidth = false;
+  SimResult r = PipelineSimulator(cfg).run(a);
+  EXPECT_NEAR(r.measured_ii_ms, 10.0, 1e-9);
+}
+
+TEST(PipelineSimulator, ValidatesExactSolverPrediction) {
+  // End-to-end: the solver's analytical II equals the simulator's
+  // steady-state measurement for a feasible optimal allocation.
+  Problem p = tiny_problem();
+  p.beta = 0.0;
+  auto r = solver::ExactSolver().solve(p);
+  ASSERT_TRUE(r.is_ok());
+  SimResult sim = PipelineSimulator().run(r.value().allocation);
+  EXPECT_NEAR(sim.measured_ii_ms, r.value().ii, 1e-6);
+  EXPECT_DOUBLE_EQ(sim.max_throttle, 1.0);
+}
+
+TEST(PipelineSimulator, MakespanApproximatesImageCountTimesIi) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 1, 1);
+  SimConfig cfg;
+  cfg.num_images = 100;
+  cfg.warmup_images = 10;
+  SimResult r = PipelineSimulator(cfg).run(a);
+  // makespan ≈ fill latency + (N−1)·II.
+  EXPECT_NEAR(r.makespan_ms, (8.0 + 12.0 + 4.0) + 99 * 12.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mfa::sim

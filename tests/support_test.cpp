@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "solver/budget.hpp"
+#include "support/status.hpp"
+
+namespace mfa {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s{Code::kInfeasible, "no placement"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "infeasible: no placement");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(code_name(Code::kOk), "ok");
+  EXPECT_STREQ(code_name(Code::kInfeasible), "infeasible");
+  EXPECT_STREQ(code_name(Code::kLimit), "limit");
+  EXPECT_STREQ(code_name(Code::kInvalid), "invalid");
+  EXPECT_STREQ(code_name(Code::kNumeric), "numeric");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().is_ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status{Code::kInvalid, "bad"};
+  EXPECT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), Code::kInvalid);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  const std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(StatusOr, RejectsOkStatusWithoutValue) {
+  EXPECT_DEATH(
+      { StatusOr<int> v{Status::ok()}; (void)v; },
+      "StatusOr from ok status");
+}
+
+TEST(Budget, UnlimitedByDefault) {
+  solver::Budget b;
+  for (int i = 0; i < 10'000; ++i) EXPECT_TRUE(b.tick());
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.nodes_used(), 10'000);
+}
+
+TEST(Budget, NodeCapTrips) {
+  solver::Budget b = solver::Budget::nodes_only(3);
+  EXPECT_TRUE(b.tick());
+  EXPECT_TRUE(b.tick());
+  EXPECT_TRUE(b.tick());
+  EXPECT_FALSE(b.tick());
+  EXPECT_TRUE(b.exhausted());
+  // Once exhausted, it stays exhausted.
+  EXPECT_FALSE(b.tick());
+}
+
+TEST(Budget, DeadlineTrips) {
+  solver::Budget b(1'000'000'000, 0.0);  // already expired
+  // The deadline is polled every 1024 nodes.
+  bool tripped = false;
+  for (int i = 0; i < 2048 && !tripped; ++i) tripped = !b.tick();
+  EXPECT_TRUE(tripped);
+  EXPECT_TRUE(b.exhausted());
+}
+
+}  // namespace
+}  // namespace mfa

@@ -1,0 +1,66 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "io/serialize.hpp"
+#include "io/table.hpp"
+
+namespace mfa::io {
+namespace {
+
+TEST(TextTable, AlignedRendering) {
+  TextTable t({"Kernel", "DSP (%)", "WCET"});
+  t.add_row({"CONV1", "21.24", "13"});
+  t.add_row({"POOL1-long-name", "0", "1.78"});
+  const std::string s = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // Columns align: every "CONV1" row pads to the widest cell.
+  EXPECT_NE(s.find("Kernel"), std::string::npos);
+  EXPECT_NE(s.find("POOL1-long-name"), std::string::npos);
+  // Separator spans the width.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, FormattersAreStable) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::fmt_int(-42), "-42");
+}
+
+TEST(TextTable, CsvQuotesSpecialCells) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 4), "a,b\n");
+}
+
+TEST(TextTable, RowWidthEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Gnuplot, WritesDatAndScript) {
+  const std::string dir = ::testing::TempDir();
+  PlotSeries s1{"GP+A", {{55.0, 1.6}, {60.0, 1.5}}};
+  PlotSeries s2{"MINLP", {{55.0, 1.55}}};
+  ASSERT_TRUE(write_gnuplot(dir, "mfa_table_test_fig", "t", "x", "y",
+                            {s1, s2})
+                  .is_ok());
+  auto dat = read_file(dir + "/mfa_table_test_fig.dat");
+  ASSERT_TRUE(dat.is_ok());
+  EXPECT_NE(dat.value().find("# GP+A"), std::string::npos);
+  EXPECT_NE(dat.value().find("55.000000 1.600000"), std::string::npos);
+  auto gp = read_file(dir + "/mfa_table_test_fig.gp");
+  ASSERT_TRUE(gp.is_ok());
+  EXPECT_NE(gp.value().find("index 1"), std::string::npos);
+  EXPECT_NE(gp.value().find("title 'MINLP'"), std::string::npos);
+  std::remove((dir + "/mfa_table_test_fig.dat").c_str());
+  std::remove((dir + "/mfa_table_test_fig.gp").c_str());
+}
+
+}  // namespace
+}  // namespace mfa::io
