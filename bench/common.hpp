@@ -7,12 +7,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "alloc/sweep.hpp"
 #include "io/serialize.hpp"
 #include "io/table.hpp"
+#include "runtime/sweep.hpp"
 
 namespace mfa::bench {
 
@@ -20,6 +22,24 @@ namespace mfa::bench {
 inline std::string out_dir() {
   const char* dir = std::getenv("MFA_BENCH_OUT");
   return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// Worker threads for the sweep batches. Defaults to 1: the exact
+/// points carry wall-clock budget caps, so parallel runs contend for
+/// CPU and can prove less within their deadlines — sequential is the
+/// reproducible reference. Set MFA_BENCH_THREADS=N to opt in to
+/// parallelism (0 = all hardware threads).
+inline int bench_threads() {
+  const char* n = std::getenv("MFA_BENCH_THREADS");
+  if (n == nullptr || *n == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(n, &end, 10);
+  // Garbage, negative, or out-of-range values fall back to the
+  // sequential default rather than silently meaning "all threads".
+  if (*end != '\0' || v < 0 || v > std::numeric_limits<int>::max()) {
+    return 1;
+  }
+  return static_cast<int>(v);
 }
 
 inline void emit_table(const io::TextTable& table, const std::string& stem) {
@@ -76,18 +96,22 @@ inline std::string ii_cell(const alloc::SweepPoint& p) {
 inline void run_figure(const core::Problem& problem,
                        const std::vector<double>& constraints,
                        const std::string& stem, const std::string& title) {
-  alloc::SweepConfig cfg;
-  cfg.constraints = constraints;
-  cfg.exact.max_nodes = 3'000'000;
-  cfg.exact.max_seconds = 15.0;
+  runtime::SweepOptions sweep;
+  sweep.num_threads = bench_threads();
+  sweep.config.constraints = constraints;
+  sweep.config.exact.max_nodes = 3'000'000;
+  sweep.config.exact.max_seconds = 15.0;
 
   std::printf("== %s ==\n\n", title.c_str());
-  const alloc::SweepSeries gpa =
-      run_sweep(problem, alloc::Method::kGpa, cfg);
-  const alloc::SweepSeries minlp =
-      run_sweep(problem, alloc::Method::kMinlp, cfg);
-  const alloc::SweepSeries minlp_g =
-      run_sweep(problem, alloc::Method::kMinlpG, cfg);
+  // One batch for the whole figure: every (method × constraint) point is
+  // an independent request fanned across the runtime pool.
+  std::vector<alloc::SweepSeries> series = runtime::run_sweeps(
+      problem,
+      {alloc::Method::kGpa, alloc::Method::kMinlp, alloc::Method::kMinlpG},
+      sweep);
+  const alloc::SweepSeries& gpa = series[0];
+  const alloc::SweepSeries& minlp = series[1];
+  const alloc::SweepSeries& minlp_g = series[2];
 
   io::TextTable table({"R (%)", "GP+A II", "MINLP II", "MINLP+G II",
                        "GP+A util%", "MINLP util%", "MINLP+G util%",

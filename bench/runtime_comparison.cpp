@@ -6,25 +6,44 @@
 // Absolute times differ (2011 Core i7 + GPkit/Couenne vs this
 // from-scratch C++ stack, which is much faster on both sides); the claim
 // to reproduce is the orders-of-magnitude gap between the heuristic and
-// the exact search, measured here over a constraint sweep per case.
-#include <chrono>
-#include <functional>
+// the exact search, measured here over a constraint sweep per case. Each
+// method's sweep goes through the runtime batch engine as single-lane
+// portfolio requests; the reported time is the sum of per-point solve
+// times (comparable across thread counts), not the batch wall time.
 #include <cstdio>
+#include <vector>
 
-#include "alloc/gpa.hpp"
 #include "bench/common.hpp"
 #include "hls/paper.hpp"
-#include "solver/exact.hpp"
-#include "solver/naive.hpp"
+#include "runtime/batch.hpp"
 
 namespace {
 
-double seconds_of(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       t0)
-      .count();
+using mfa::runtime::BatchOptions;
+using mfa::runtime::BatchRunner;
+using mfa::runtime::PortfolioOptions;
+using mfa::runtime::SolveRequest;
+using mfa::runtime::SolveResult;
+
+std::vector<SolveRequest> sweep_requests(const mfa::core::Problem& base,
+                                         const std::vector<double>& range,
+                                         const PortfolioOptions& portfolio) {
+  std::vector<SolveRequest> requests;
+  requests.reserve(range.size());
+  for (double rc : range) {
+    mfa::core::Problem p = base;
+    p.resource_fraction = rc;
+    SolveRequest r = SolveRequest::of(std::move(p));
+    r.options = portfolio;
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+double total_seconds(const std::vector<SolveResult>& results) {
+  double s = 0.0;
+  for (const SolveResult& r : results) s += r.seconds;
+  return s;
 }
 
 }  // namespace
@@ -43,41 +62,47 @@ int main() {
        mfa::alloc::constraint_range(0.55, 0.80, 0.03)},
   };
 
+  // The three roles as single-lane portfolios.
+  PortfolioOptions gpa;
+  gpa.gpa_t_max = {0.0};
+  gpa.run_exact = false;
+
+  PortfolioOptions exact;
+  exact.gpa_t_max.clear();
+  exact.run_exact = true;
+  exact.max_nodes = 3'000'000;
+  exact.max_seconds = 15.0;
+
+  // The general spatial-B&B role (Couenne in the paper): capped at one
+  // second per point — it does not finish the larger cases, which is
+  // exactly the paper's point.
+  PortfolioOptions naive;
+  naive.gpa_t_max.clear();
+  naive.run_exact = false;
+  naive.run_naive = true;
+  naive.max_nodes = 50'000'000;
+  naive.max_seconds = 1.0;
+
+  BatchOptions batch;
+  batch.num_threads = mfa::bench::bench_threads();
+  const BatchRunner runner(batch);
+
   std::printf("== Runtime: GP+A vs structured exact vs general B&B "
               "(full sweep per case) ==\n\n");
   mfa::io::TextTable t({"Case", "points", "GP+A (s)",
                         "struct. exact (s)", "naive B&B (s)",
                         "exact/GP+A", "naive/GP+A", "naive done?"});
   for (const Case& c : cases) {
-    double gpa_seconds = 0.0;
-    double exact_seconds = 0.0;
-    double naive_seconds = 0.0;
+    const double gpa_seconds = total_seconds(
+        runner.solve_all(sweep_requests(c.problem, c.constraints, gpa)));
+    const double exact_seconds = total_seconds(
+        runner.solve_all(sweep_requests(c.problem, c.constraints, exact)));
+    const std::vector<SolveResult> naive_results =
+        runner.solve_all(sweep_requests(c.problem, c.constraints, naive));
+    const double naive_seconds = total_seconds(naive_results);
     bool naive_completed = true;
-    for (double rc : c.constraints) {
-      mfa::core::Problem p = c.problem;
-      p.resource_fraction = rc;
-      gpa_seconds += seconds_of([&] {
-        auto r = mfa::alloc::GpaSolver().solve(p);
-        (void)r;
-      });
-      mfa::solver::ExactOptions opts;
-      opts.max_nodes = 3'000'000;
-      opts.max_seconds = 15.0;
-      exact_seconds += seconds_of([&] {
-        auto r = mfa::solver::ExactSolver(opts).solve(p);
-        (void)r;
-      });
-      // The general spatial-B&B role (Couenne in the paper): capped at
-      // one second per point — it does not finish the larger cases,
-      // which is exactly the paper's point.
-      naive_seconds += seconds_of([&] {
-        mfa::solver::NaiveMinlp naive(
-            mfa::solver::Budget(50'000'000, 1.0));
-        auto r = naive.solve(p);
-        if (!r.is_ok() || !r.value().proved_optimal) {
-          naive_completed = false;
-        }
-      });
+    for (const SolveResult& r : naive_results) {
+      if (!r.is_ok() || !r.proved_optimal) naive_completed = false;
     }
     t.add_row({c.problem.app.name + "/" +
                    std::to_string(c.problem.num_fpgas()) + "FPGA",

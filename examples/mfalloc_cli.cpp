@@ -1,12 +1,20 @@
 // mfalloc_cli — command-line front end over the library, for scripting
 // design-space exploration without writing C++.
 //
-//   mfalloc_cli solve    <problem.json> [--exact] [--json]
-//   mfalloc_cli sweep    <problem.json> <lo%> <hi%> <step%> [--method gpa|minlp|minlpg]
-//   mfalloc_cli simulate <problem.json> [--images N]
+//   mfalloc_cli solve     <problem.json> [--exact] [--json]
+//   mfalloc_cli portfolio <problem.json> [--seconds S] [--naive] [--jobs N]
+//   mfalloc_cli sweep     <problem.json> <lo%> <hi%> <step%>
+//                         [--method gpa|minlp|minlpg] [--jobs N]
+//   mfalloc_cli simulate  <problem.json> [--images N]
+//
+// `portfolio` races every solving strategy (GP+A at several greedy
+// deviations, the exact search, optionally the naive B&B) concurrently
+// under one deadline and reports the winner with full provenance;
+// `sweep --jobs N` fans the grid across N worker threads.
 //
 // The problem file format is documented in src/io/serialize.hpp and
 // examples/data/custom_pipeline.json.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +25,8 @@
 #include "alloc/sweep.hpp"
 #include "io/serialize.hpp"
 #include "io/table.hpp"
+#include "runtime/portfolio.hpp"
+#include "runtime/sweep.hpp"
 #include "sim/pipeline_sim.hpp"
 #include "solver/exact.hpp"
 
@@ -27,11 +37,13 @@ using mfa::io::TextTable;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
-               "  %s solve    <problem.json> [--exact] [--json]\n"
-               "  %s sweep    <problem.json> <lo%%> <hi%%> <step%%> "
-               "[--method gpa|minlp|minlpg]\n"
-               "  %s simulate <problem.json> [--images N]\n",
-               argv0, argv0, argv0);
+               "  %s solve     <problem.json> [--exact] [--json]\n"
+               "  %s portfolio <problem.json> [--seconds S] [--naive] "
+               "[--jobs N]\n"
+               "  %s sweep     <problem.json> <lo%%> <hi%%> <step%%> "
+               "[--method gpa|minlp|minlpg] [--jobs N]\n"
+               "  %s simulate  <problem.json> [--images N]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -47,6 +59,16 @@ const char* flag_value(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+/// Strict non-negative integer parse for thread counts; -1 on garbage
+/// or out-of-range (callers turn that into a usage error rather than
+/// letting a typo silently mean "all hardware threads").
+int parse_jobs(const char* text) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (*text == '\0' || *end != '\0' || v < 0 || v > 4096) return -1;
+  return static_cast<int>(v);
 }
 
 mfa::StatusOr<mfa::core::Problem> load(const char* path) {
@@ -96,6 +118,50 @@ int cmd_solve(const mfa::core::Problem& p, int argc, char** argv) {
   return 0;
 }
 
+int cmd_portfolio(const mfa::core::Problem& p, int argc, char** argv) {
+  mfa::runtime::PortfolioOptions options;
+  if (const char* s = flag_value(argc, argv, "--seconds"); s != nullptr) {
+    options.max_seconds = std::atof(s);
+    if (options.max_seconds <= 0.0) return 2;
+  }
+  options.run_naive = has_flag(argc, argv, "--naive");
+  int jobs = 0;
+  if (const char* j = flag_value(argc, argv, "--jobs"); j != nullptr) {
+    jobs = parse_jobs(j);
+    if (jobs < 0) return 2;
+  }
+
+  const mfa::runtime::Portfolio portfolio(options, jobs);
+  const mfa::runtime::SolveResult r = portfolio.solve(p);
+
+  TextTable lanes({"strategy", "status", "II (ms)", "phi", "goal",
+                   "proved", "nodes", "seconds"});
+  for (const mfa::runtime::StrategyOutcome& lane : r.lanes) {
+    const bool ok = lane.status.is_ok() && std::isfinite(lane.goal);
+    lanes.add_row(
+        {lane.strategy, lane.status.is_ok() ? "ok" : lane.status.to_string(),
+         ok ? TextTable::fmt(lane.ii, 3) : "-",
+         ok ? TextTable::fmt(lane.phi, 3) : "-",
+         ok ? TextTable::fmt(lane.goal, 3) : "-",
+         lane.proved_optimal ? "yes" : "no",
+         TextTable::fmt_int(static_cast<long long>(lane.nodes)),
+         TextTable::fmt(lane.seconds, 4)});
+  }
+  std::printf("%s", lanes.to_string().c_str());
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "portfolio: %s\n", r.status.to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "winner: %s  goal %.4f (II %.4f ms, phi %.4f)%s  [%lld nodes, "
+      "%.3f s total]\n",
+      r.winner.c_str(), r.goal, r.ii, r.phi,
+      r.proved_optimal ? "  proved optimal" : "",
+      static_cast<long long>(r.nodes), r.seconds);
+  std::printf("%s", r.allocation->to_string().c_str());
+  return 0;
+}
+
 int cmd_sweep(const mfa::core::Problem& p, int argc, char** argv) {
   if (argc < 3) return 2;
   const double lo = std::atof(argv[0]) / 100.0;
@@ -114,12 +180,19 @@ int cmd_sweep(const mfa::core::Problem& p, int argc, char** argv) {
     }
   }
 
-  mfa::alloc::SweepConfig cfg;
-  cfg.constraints = mfa::alloc::constraint_range(lo, hi, step);
-  cfg.exact.max_nodes = 5'000'000;
-  cfg.exact.max_seconds = 30.0;
+  mfa::runtime::SweepOptions sweep;
+  // Sequential unless asked: exact points carry wall-clock budgets, so
+  // parallel contention can change what they prove (see bench/common.hpp).
+  sweep.num_threads = 1;
+  if (const char* j = flag_value(argc, argv, "--jobs"); j != nullptr) {
+    sweep.num_threads = parse_jobs(j);
+    if (sweep.num_threads < 0) return 2;
+  }
+  sweep.config.constraints = mfa::alloc::constraint_range(lo, hi, step);
+  sweep.config.exact.max_nodes = 5'000'000;
+  sweep.config.exact.max_seconds = 30.0;
   const mfa::alloc::SweepSeries series =
-      mfa::alloc::run_sweep(p, method, cfg);
+      mfa::runtime::run_sweep(p, method, sweep);
 
   TextTable t({"R (%)", "II (ms)", "phi", "goal", "avg util %",
                "seconds"});
@@ -183,6 +256,10 @@ int main(int argc, char** argv) {
   }
   if (command == "solve") {
     return cmd_solve(problem.value(), argc - 3, argv + 3);
+  }
+  if (command == "portfolio") {
+    const int rc = cmd_portfolio(problem.value(), argc - 3, argv + 3);
+    return rc == 2 ? usage(argv[0]) : rc;
   }
   if (command == "sweep") {
     const int rc = cmd_sweep(problem.value(), argc - 3, argv + 3);

@@ -1,0 +1,41 @@
+#include "runtime/batch.hpp"
+
+#include <utility>
+
+#include "runtime/portfolio.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mfa::runtime {
+
+std::vector<SolveResult> BatchRunner::solve_all(
+    const std::vector<SolveRequest>& requests) const {
+  std::vector<SolveResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  // Lanes sequential inside each instance (see header).
+  Portfolio portfolio(options_.portfolio, /*num_threads=*/1);
+  if (options_.num_threads == 1 || requests.size() == 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      results[i] = portfolio.solve(requests[i]);
+    }
+    return results;
+  }
+
+  ThreadPool pool(options_.num_threads);
+  pool.parallel_for(requests.size(), [&](std::size_t i) {
+    results[i] = portfolio.solve(requests[i]);
+  });
+  return results;
+}
+
+std::vector<SolveResult> BatchRunner::solve_all(
+    const std::vector<core::Problem>& problems) const {
+  std::vector<SolveRequest> requests;
+  requests.reserve(problems.size());
+  for (const core::Problem& p : problems) {
+    requests.push_back(SolveRequest::of(p));
+  }
+  return solve_all(requests);
+}
+
+}  // namespace mfa::runtime

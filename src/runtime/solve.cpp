@@ -1,0 +1,47 @@
+#include "runtime/solve.hpp"
+
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace mfa::runtime {
+
+std::string StrategySpec::name() const {
+  switch (kind) {
+    case Kind::kGpa: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "gpa(T=%.2f)", t_max);
+      return buf;
+    }
+    case Kind::kExact:
+      return "exact";
+    case Kind::kNaive:
+      return "naive";
+  }
+  return "?";
+}
+
+std::vector<StrategySpec> PortfolioOptions::lanes() const {
+  std::vector<StrategySpec> out;
+  out.reserve(gpa_t_max.size() + 2);
+  for (double t : gpa_t_max) out.push_back(StrategySpec::gpa(t));
+  if (run_exact) out.push_back(StrategySpec::exact());
+  if (run_naive) out.push_back(StrategySpec::naive());
+  return out;
+}
+
+core::Allocation rebind(const core::Allocation& allocation,
+                        const core::Problem& problem) {
+  MFA_ASSERT_MSG(allocation.num_kernels() == problem.num_kernels() &&
+                     allocation.num_fpgas() == problem.num_fpgas(),
+                 "rebind() across differently shaped problems");
+  core::Allocation out(problem);
+  for (std::size_t k = 0; k < allocation.num_kernels(); ++k) {
+    for (int f = 0; f < allocation.num_fpgas(); ++f) {
+      out.set_cu(k, f, allocation.cu(k, f));
+    }
+  }
+  return out;
+}
+
+}  // namespace mfa::runtime

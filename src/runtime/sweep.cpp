@@ -1,0 +1,90 @@
+#include "runtime/sweep.hpp"
+
+#include <utility>
+
+namespace mfa::runtime {
+namespace {
+
+/// Single-lane portfolio reproducing one sweep method at one point.
+PortfolioOptions method_portfolio(alloc::Method method,
+                                  const alloc::SweepConfig& config) {
+  PortfolioOptions o;
+  if (method == alloc::Method::kGpa) {
+    o.gpa = config.gpa;
+    o.gpa_t_max = {config.gpa.greedy.t_max};
+    o.run_exact = false;
+  } else {
+    o.gpa_t_max.clear();
+    o.run_exact = true;
+    o.exact = config.exact;
+    o.max_nodes = config.exact.max_nodes;
+    o.max_seconds = config.exact.max_seconds;
+  }
+  return o;
+}
+
+alloc::SweepPoint to_point(const SolveResult& result, double constraint,
+                           alloc::Method method) {
+  alloc::SweepPoint point;
+  point.constraint = constraint;
+  point.seconds = result.seconds;
+  if (!result.is_ok()) return point;
+  point.feasible = true;
+  point.proved_optimal = method == alloc::Method::kGpa
+                             ? true  // heuristic: "completed", not optimal
+                             : result.proved_optimal;
+  point.ii = result.ii;
+  point.phi = result.phi;
+  point.goal = result.goal;
+  point.avg_utilization = result.allocation->average_utilization();
+  return point;
+}
+
+}  // namespace
+
+std::vector<alloc::SweepSeries> run_sweeps(
+    const core::Problem& problem, const std::vector<alloc::Method>& methods,
+    const SweepOptions& options) {
+  const std::vector<double>& constraints = options.config.constraints;
+  std::vector<SolveRequest> requests;
+  requests.reserve(methods.size() * constraints.size());
+  for (alloc::Method method : methods) {
+    PortfolioOptions portfolio = method_portfolio(method, options.config);
+    for (double constraint : constraints) {
+      core::Problem point_problem = problem;
+      point_problem.resource_fraction = constraint;
+      if (method == alloc::Method::kMinlp) point_problem.beta = 0.0;
+      SolveRequest request = SolveRequest::of(std::move(point_problem));
+      request.options = portfolio;
+      requests.push_back(std::move(request));
+    }
+  }
+
+  BatchOptions batch;
+  batch.num_threads = options.num_threads;
+  const std::vector<SolveResult> results =
+      BatchRunner(batch).solve_all(requests);
+
+  std::vector<alloc::SweepSeries> out;
+  out.reserve(methods.size());
+  std::size_t next = 0;
+  for (alloc::Method method : methods) {
+    alloc::SweepSeries series;
+    series.method = method;
+    series.points.reserve(constraints.size());
+    for (double constraint : constraints) {
+      series.points.push_back(
+          to_point(results[next++], constraint, method));
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+alloc::SweepSeries run_sweep(const core::Problem& problem,
+                             alloc::Method method,
+                             const SweepOptions& options) {
+  return std::move(run_sweeps(problem, {method}, options).front());
+}
+
+}  // namespace mfa::runtime

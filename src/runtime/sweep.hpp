@@ -1,0 +1,38 @@
+// Parallel resource-constraint sweeps — the Fig. 2–5 experiment driver,
+// re-expressed on the runtime batch engine.
+//
+// Produces the same alloc::SweepSeries as the single-threaded
+// alloc::run_sweep, but fans every (method × constraint) grid point
+// through BatchRunner as an independent SolveRequest, so a whole figure
+// is one batch and the pool stays saturated across methods. Point
+// semantics are preserved: GP+A points report proved_optimal = true on
+// success ("completed", the heuristic has no proof), exact points report
+// the search's own proof flag, and kMinlp forces β = 0 per point.
+#pragma once
+
+#include <vector>
+
+#include "alloc/sweep.hpp"
+#include "core/problem.hpp"
+#include "runtime/batch.hpp"
+
+namespace mfa::runtime {
+
+struct SweepOptions {
+  /// Worker threads for the underlying BatchRunner (0 = hardware).
+  int num_threads = 0;
+  alloc::SweepConfig config;
+};
+
+/// One method over the configured constraint range, in parallel.
+alloc::SweepSeries run_sweep(const core::Problem& problem,
+                             alloc::Method method,
+                             const SweepOptions& options);
+
+/// Several methods over the same range as one batch (one figure).
+/// Returned series align with `methods`.
+std::vector<alloc::SweepSeries> run_sweeps(
+    const core::Problem& problem, const std::vector<alloc::Method>& methods,
+    const SweepOptions& options);
+
+}  // namespace mfa::runtime

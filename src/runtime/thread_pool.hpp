@@ -1,0 +1,54 @@
+// A fixed-size worker pool for the solver runtime.
+//
+// The pool is deliberately minimal: FIFO task queue, std::future-based
+// completion, no work stealing. Solver tasks are coarse (milliseconds to
+// minutes each), so queue contention is irrelevant; what matters is that
+// the pool is deterministic to *drive* — callers submit an indexed task
+// per work item and write results into pre-sized slots, which keeps
+// batch output ordering independent of the thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mfa::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains the queue: blocks until every submitted task has run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; the future resolves when it has run. Exceptions
+  /// propagate through the future.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(0) … fn(n-1) across the pool and blocks until all are done.
+  /// The first exception (lowest index) is rethrown in the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace mfa::runtime

@@ -5,8 +5,15 @@
 // the budget with the incumbent. Benchmarks rely on this to stay bounded
 // on small machines while tests use effectively-unlimited budgets on
 // small instances.
+//
+// A Budget may be shared by several solver threads (the runtime portfolio
+// races strategies under one deadline): tick()/consume() are lock-free,
+// the node count is exact under concurrency, and expire() cooperatively
+// cancels every solver polling the same budget.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -18,11 +25,15 @@ class Budget {
   /// Unlimited budget.
   Budget() = default;
 
+  // max_seconds is clamped to ~30 years: beyond that the duration_cast
+  // to the clock's integer representation would overflow (UB) — callers
+  // pass user-supplied values (e.g. the CLI's --seconds).
   Budget(std::int64_t max_nodes, double max_seconds)
       : max_nodes_(max_nodes),
         deadline_(Clock::now() +
                   std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>(max_seconds))),
+                      std::chrono::duration<double>(
+                          std::min(max_seconds, 1e9)))),
         has_deadline_(true) {}
 
   static Budget nodes_only(std::int64_t max_nodes) {
@@ -31,32 +42,87 @@ class Budget {
     return b;
   }
 
-  /// Counts one search node; returns false once the budget is exhausted.
-  /// The deadline is polled every 1024 nodes to keep the check cheap.
-  bool tick() {
-    ++nodes_;
-    if (nodes_ > max_nodes_) {
-      exhausted_ = true;
-      return false;
-    }
-    if (has_deadline_ && (nodes_ & 1023) == 0 &&
-        Clock::now() > deadline_) {
-      exhausted_ = true;
-      return false;
-    }
-    return !exhausted_;
+  // Copies snapshot the counters (atomics are not copyable themselves);
+  // a copy is an independent budget, not a shared handle.
+  Budget(const Budget& other)
+      : max_nodes_(other.max_nodes_),
+        nodes_(other.nodes_.load(std::memory_order_relaxed)),
+        deadline_(other.deadline_),
+        has_deadline_(other.has_deadline_),
+        exhausted_(other.exhausted_.load(std::memory_order_relaxed)) {}
+  Budget& operator=(const Budget& other) {
+    max_nodes_ = other.max_nodes_;
+    nodes_.store(other.nodes_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    deadline_ = other.deadline_;
+    has_deadline_ = other.has_deadline_;
+    exhausted_.store(other.exhausted_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
   }
 
-  [[nodiscard]] bool exhausted() const { return exhausted_; }
-  [[nodiscard]] std::int64_t nodes_used() const { return nodes_; }
+  /// Counts one search node; returns false once the budget is exhausted.
+  /// The deadline is polled every 1024 nodes to keep the check cheap.
+  /// Safe to call from several threads; each node is counted exactly once.
+  bool tick() {
+    const std::int64_t n =
+        nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n > max_nodes_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (has_deadline_ && (n & 1023) == 0 && Clock::now() > deadline_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return !exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// Bulk-accounts `n` nodes spent elsewhere (e.g. a sub-solver that ran
+  /// under its own per-call budget) and polls the deadline once.
+  void consume(std::int64_t n) {
+    const std::int64_t total =
+        nodes_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (total > max_nodes_ ||
+        (has_deadline_ && Clock::now() > deadline_)) {
+      exhausted_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Cooperative cancellation: every subsequent tick() (from any thread)
+  /// returns false. Used by the portfolio once a strategy has proved
+  /// optimality and the remaining races are pointless.
+  void expire() { exhausted_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t nodes_used() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+
+  /// Nodes still spendable (0 when exhausted/overrun).
+  [[nodiscard]] std::int64_t remaining_nodes() const {
+    if (exhausted()) return 0;
+    return std::max<std::int64_t>(0, max_nodes_ - nodes_used());
+  }
+
+  /// Seconds until the deadline (+inf without one, 0 when exhausted).
+  [[nodiscard]] double remaining_seconds() const {
+    if (exhausted()) return 0.0;
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::max(
+        0.0,
+        std::chrono::duration<double>(deadline_ - Clock::now()).count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
   std::int64_t max_nodes_ = std::numeric_limits<std::int64_t>::max();
-  std::int64_t nodes_ = 0;
+  std::atomic<std::int64_t> nodes_{0};
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
-  bool exhausted_ = false;
+  std::atomic<bool> exhausted_{false};
 };
 
 }  // namespace mfa::solver

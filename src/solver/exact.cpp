@@ -1,5 +1,6 @@
 #include "solver/exact.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
@@ -39,16 +40,25 @@ StatusOr<ExactResult> ExactSolver::solve(const Problem& problem) const {
   auto pack = [&](const std::vector<int>& totals,
                   PackingMode mode) -> PackingResult {
     ++evaluated;
-    const std::int64_t remaining = options_.max_nodes - nodes_total;
-    if (remaining <= 0 || elapsed() >= options_.max_seconds) {
+    std::int64_t remaining = options_.max_nodes - nodes_total;
+    double seconds_left = options_.max_seconds - elapsed();
+    if (options_.shared != nullptr) {
+      remaining = std::min(remaining, options_.shared->remaining_nodes());
+      seconds_left =
+          std::min(seconds_left, options_.shared->remaining_seconds());
+    }
+    if (remaining <= 0 || seconds_left <= 0.0) {
       out_of_budget = true;
       all_proved = false;
       return PackingResult{};
     }
     Budget budget(std::min(options_.max_nodes_per_pack, remaining),
-                  options_.max_seconds - elapsed());
+                  seconds_left);
     PackingResult r = packer.pack(totals, mode, budget);
     nodes_total += budget.nodes_used();
+    if (options_.shared != nullptr) {
+      options_.shared->consume(budget.nodes_used());
+    }
     if (!r.proved_optimal) all_proved = false;
     return r;
   };

@@ -39,6 +39,13 @@ struct ExactOptions {
   /// a stuck call is abandoned ("unknown", treated conservatively) and
   /// the search continues at full strength.
   std::int64_t max_nodes_per_pack = 500'000;
+  /// Optional budget *shared with other solvers* (the runtime portfolio
+  /// races several strategies under one deadline). When set, the solver
+  /// additionally charges every packing's nodes against it, respects its
+  /// remaining node/time allowance, and stops early — keeping its own
+  /// incumbent — once the shared budget is exhausted or expire()d. The
+  /// pointee must outlive the solve; it is safe to share across threads.
+  Budget* shared = nullptr;
 };
 
 struct ExactResult {

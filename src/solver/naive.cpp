@@ -120,7 +120,11 @@ StatusOr<NaiveResult> NaiveMinlp::solve(const Problem& problem) {
   const Status valid = problem.validate();
   if (!valid.is_ok()) return valid;
 
-  NaiveSearch search(problem, budget_);
+  Budget& budget = shared_ != nullptr ? *shared_ : budget_;
+  // A shared budget may arrive pre-charged by other solvers; report only
+  // the nodes this solve spent.
+  const std::int64_t nodes_before = budget.nodes_used();
+  NaiveSearch search(problem, budget);
   std::optional<Allocation> best = search.run();
   if (!best) {
     if (search.aborted()) {
@@ -129,7 +133,7 @@ StatusOr<NaiveResult> NaiveMinlp::solve(const Problem& problem) {
     return Status{Code::kInfeasible, "no feasible allocation exists"};
   }
   NaiveResult result{std::move(*best), search.best_goal(), !search.aborted(),
-                     budget_.nodes_used()};
+                     budget.nodes_used() - nodes_before};
   return result;
 }
 

@@ -31,10 +31,16 @@ class NaiveMinlp {
   explicit NaiveMinlp(Budget budget = Budget::nodes_only(20'000'000))
       : budget_(budget) {}
 
+  /// Runs against a budget owned elsewhere — e.g. one shared (and
+  /// possibly expire()d) by the runtime portfolio. The pointee must
+  /// outlive the solver.
+  explicit NaiveMinlp(Budget* shared) : shared_(shared) {}
+
   [[nodiscard]] StatusOr<NaiveResult> solve(const core::Problem& problem);
 
  private:
   Budget budget_;
+  Budget* shared_ = nullptr;
 };
 
 }  // namespace mfa::solver

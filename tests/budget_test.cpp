@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "solver/budget.hpp"
+
+namespace mfa::solver {
+namespace {
+
+TEST(Budget, UnlimitedByDefault) {
+  Budget b;
+  for (int i = 0; i < 10'000; ++i) EXPECT_TRUE(b.tick());
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.nodes_used(), 10'000);
+}
+
+TEST(Budget, NodeCapStopsTicking) {
+  Budget b = Budget::nodes_only(100);
+  int successes = 0;
+  while (b.tick()) ++successes;
+  EXPECT_EQ(successes, 100);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.remaining_nodes(), 0);
+}
+
+TEST(Budget, ConcurrentTicksCountEveryNodeExactly) {
+  Budget b = Budget::nodes_only(1'000'000'000);
+  constexpr int kThreads = 8;
+  constexpr int kTicks = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&b] {
+      for (int i = 0; i < kTicks; ++i) b.tick();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(b.nodes_used(), static_cast<std::int64_t>(kThreads) * kTicks);
+  EXPECT_FALSE(b.exhausted());
+}
+
+TEST(Budget, ConcurrentTicksGrantExactlyMaxNodes) {
+  // Each node is granted to exactly one thread: the successful ticks
+  // across all threads sum to the cap, never more.
+  Budget b = Budget::nodes_only(10'000);
+  constexpr int kThreads = 4;
+  std::atomic<std::int64_t> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&b, &successes] {
+      std::int64_t mine = 0;
+      while (b.tick()) ++mine;
+      successes.fetch_add(mine);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_LE(successes.load(), 10'000);
+  // At least the cap's worth of ticks happened in total.
+  EXPECT_GE(b.nodes_used(), 10'000);
+}
+
+TEST(Budget, ExpireCancelsAcrossThreads) {
+  Budget b;  // unlimited — only expire() can stop it
+  std::atomic<bool> started{false};
+  std::thread worker([&b, &started] {
+    started.store(true);
+    while (b.tick()) {
+    }
+  });
+  while (!started.load()) std::this_thread::yield();
+  b.expire();
+  worker.join();  // terminates ⇔ expire() reached the ticking thread
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_FALSE(b.tick());
+  EXPECT_EQ(b.remaining_nodes(), 0);
+  EXPECT_EQ(b.remaining_seconds(), 0.0);
+}
+
+TEST(Budget, DeadlineExpiresDuringTicking) {
+  Budget b(std::numeric_limits<std::int64_t>::max(), 0.02);
+  // The deadline is polled every 1024 nodes; a few million iterations
+  // vastly outlast 20 ms, so tick() must return false long before that.
+  std::int64_t ticks = 0;
+  while (b.tick() && ticks < 500'000'000) ++ticks;
+  EXPECT_LT(ticks, 500'000'000);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Budget, ConsumeAccountsBulkNodes) {
+  Budget b = Budget::nodes_only(1'000);
+  b.consume(400);
+  EXPECT_EQ(b.nodes_used(), 400);
+  EXPECT_EQ(b.remaining_nodes(), 600);
+  EXPECT_FALSE(b.exhausted());
+  b.consume(700);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.remaining_nodes(), 0);
+}
+
+TEST(Budget, CopySnapshotsCounters) {
+  Budget b = Budget::nodes_only(1'000);
+  for (int i = 0; i < 10; ++i) b.tick();
+  Budget copy = b;
+  EXPECT_EQ(copy.nodes_used(), 10);
+  // Independent after the copy.
+  copy.tick();
+  EXPECT_EQ(copy.nodes_used(), 11);
+  EXPECT_EQ(b.nodes_used(), 10);
+}
+
+TEST(Budget, RemainingSecondsInfiniteWithoutDeadline) {
+  Budget b;
+  EXPECT_TRUE(std::isinf(b.remaining_seconds()));
+  Budget capped(1'000, 3600.0);
+  EXPECT_GT(capped.remaining_seconds(), 0.0);
+  EXPECT_LE(capped.remaining_seconds(), 3600.0);
+}
+
+}  // namespace
+}  // namespace mfa::solver
