@@ -81,7 +81,8 @@ inline void emit_figure(const std::vector<alloc::SweepSeries>& series,
                           "Initiation Interval (ms)", by_util);
 }
 
-/// Formats a sweep point's II, flagging budget-capped exact points.
+/// Formats a sweep point's II, flagging points without an optimality
+/// proof (GP+A always, exact methods when budget-capped).
 inline std::string ii_cell(const alloc::SweepPoint& p) {
   if (!p.feasible) return "-";
   std::string s = io::TextTable::fmt(p.ii, 3);
@@ -133,7 +134,8 @@ inline void run_figure(const core::Problem& problem,
   }
   emit_table(table, stem);
   emit_figure({gpa, minlp, minlp_g}, stem, title);
-  std::printf("\n('*' = exact search budget-capped; incumbent shown.)\n"
+  std::printf("\n('*' = no optimality proof: GP+A is heuristic; exact "
+              "points were budget-capped, incumbent shown.)\n"
               "Expected shape: MINLP is the lower envelope; GP+A tracks "
               "it, matching at loose constraints and behaving like "
               "MINLP+G at tight ones; II falls as the constraint or the "

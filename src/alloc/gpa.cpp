@@ -16,18 +16,34 @@ StatusOr<GpaResult> GpaSolver::solve(const core::Problem& problem) const {
   const Status valid = problem.validate();
   if (!valid.is_ok()) return valid;
 
-  // ---- Step 1: continuous relaxation (paper §3.2.1).
+  // ---- Step 1: continuous relaxation (paper §3.2.1), memoized when a
+  // shared cache is configured (portfolio lanes solve identical roots).
   auto t0 = std::chrono::steady_clock::now();
-  StatusOr<core::RelaxedSolution> relaxed =
-      options_.use_interior_point
-          ? core::solve_relaxation_gp(problem, options_.gp)
-          : core::solve_relaxation(problem);
+  auto solve_root = [this, &problem]() -> StatusOr<core::RelaxedSolution> {
+    return options_.use_interior_point
+               ? core::solve_relaxation_gp(problem, options_.gp)
+               : core::solve_relaxation(problem);
+  };
+  StatusOr<core::RelaxedSolution> relaxed = [&]() {
+    if (options_.relax_cache == nullptr) return solve_root();
+    const core::Fingerprint key =
+        options_.use_interior_point
+            ? core::relaxation_gp_cache_key(problem, options_.gp)
+            : core::relaxation_cache_key(
+                  problem, core::CuBounds::defaults(problem), 0.0);
+    return StatusOr<core::RelaxedSolution>(
+        *options_.relax_cache->get_or_solve(key, solve_root));
+  }();
   const double seconds_relax = seconds_since(t0);
   if (!relaxed.is_ok()) return relaxed.status();
 
   // ---- Step 2: branch-and-bound discretization (§3.2.2, first half).
   t0 = std::chrono::steady_clock::now();
-  solver::Discretizer discretizer(options_.discretize);
+  solver::DiscretizeOptions discretize_options = options_.discretize;
+  if (discretize_options.cache == nullptr) {
+    discretize_options.cache = options_.relax_cache;
+  }
+  solver::Discretizer discretizer(discretize_options);
   StatusOr<solver::DiscretizeResult> discrete =
       discretizer.run(problem, relaxed.value());
   const double seconds_discretize = seconds_since(t0);

@@ -9,6 +9,7 @@
 #include "alloc/greedy.hpp"
 #include "core/allocation.hpp"
 #include "core/problem.hpp"
+#include "core/relax_cache.hpp"
 #include "core/relaxation.hpp"
 #include "solver/discretize.hpp"
 #include "support/status.hpp"
@@ -20,6 +21,12 @@ struct GpaOptions {
   /// paper does with GPkit) instead of the exact bisection. Both give
   /// the same N̂_k to tolerance; bisection is the faster default.
   bool use_interior_point = false;
+
+  /// Shared relaxation memoization (core/relax_cache.hpp): the root
+  /// solve and every branch-and-bound node go through it, so portfolio
+  /// lanes and repeated batch instances reuse each other's work. Also
+  /// forwarded to the discretizer unless it carries its own. Not owned.
+  core::RelaxationCache* relax_cache = nullptr;
 
   gp::SolverOptions gp;
   solver::DiscretizeOptions discretize;

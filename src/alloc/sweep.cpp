@@ -1,7 +1,6 @@
 #include "alloc/sweep.hpp"
 
 #include <chrono>
-#include <cmath>
 
 namespace mfa::alloc {
 
@@ -44,7 +43,7 @@ SweepSeries run_sweep(const core::Problem& problem, Method method,
       if (StatusOr<GpaResult> r = solver.solve(point_problem); r.is_ok()) {
         const GpaResult& res = r.value();
         point.feasible = true;
-        point.proved_optimal = true;  // heuristic: "completed", not optimal
+        point.proved_optimal = false;  // heuristic: completion is no proof
         point.ii = res.allocation.ii();
         point.avg_utilization = res.allocation.average_utilization();
         point.phi = res.allocation.phi();

@@ -7,7 +7,6 @@
 // truncated curves at the low end.
 #pragma once
 
-#include <string>
 #include <vector>
 
 #include "alloc/gpa.hpp"
@@ -30,7 +29,9 @@ const char* method_name(Method m);
 struct SweepPoint {
   double constraint = 0.0;    ///< resource constraint fraction (x-axis, a)
   bool feasible = false;
-  bool proved_optimal = false;  ///< for exact methods; true for GP+A
+  /// True only when an exact search completed within budget at this
+  /// point. GP+A points are heuristic and always report false.
+  bool proved_optimal = false;
   double ii = 0.0;            ///< initiation interval, ms (y-axis)
   double avg_utilization = 0.0;  ///< mean per-FPGA utilization (x-axis, b)
   double phi = 0.0;

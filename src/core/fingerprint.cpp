@@ -1,0 +1,42 @@
+#include "core/fingerprint.hpp"
+
+#include <cstring>
+
+#include "core/relaxation.hpp"
+
+namespace mfa::core {
+
+void Fingerprint::mix(double d) {
+  if (d == 0.0) d = 0.0;  // canonicalize -0.0
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  mix(bits);
+}
+
+Fingerprint relaxation_fingerprint(const Problem& problem) {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(problem.num_kernels()));
+  for (const Kernel& k : problem.app.kernels) {
+    fp.mix(k.wcet_ms);
+    for (std::size_t axis = 0; axis < kNumResources; ++axis) {
+      fp.mix(k.res.axis(axis));
+    }
+    fp.mix(k.bw);
+  }
+  fp.mix(static_cast<std::uint64_t>(problem.num_fpgas()));
+  const ResourceVec cap = problem.cap();
+  for (std::size_t axis = 0; axis < kNumResources; ++axis) {
+    fp.mix(cap.axis(axis));
+  }
+  fp.mix(problem.bw_cap());
+  return fp;
+}
+
+void mix_bounds(Fingerprint& fp, const CuBounds& bounds) {
+  fp.mix(static_cast<std::uint64_t>(bounds.lower.size()));
+  for (double v : bounds.lower) fp.mix(v);
+  for (double v : bounds.upper) fp.mix(v);
+}
+
+}  // namespace mfa::core

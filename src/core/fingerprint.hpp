@@ -1,0 +1,59 @@
+// Structural fingerprints of problem instances, used as cache keys.
+//
+// A Fingerprint is a 128-bit rolling hash (two independently mixed 64-bit
+// lanes) over the exact bit patterns of the numbers that determine a
+// computation's result. Collisions would silently alias two different
+// relaxations, so the two lanes use unrelated mixing functions: both
+// lanes would have to collide simultaneously for a false cache hit,
+// which is negligible at any realistic cache population.
+//
+// relaxation_fingerprint() hashes precisely the fields the continuous
+// relaxation (core/relaxation) depends on — kernel WCET/resources/
+// bandwidth, FPGA count and *effective* caps — and deliberately excludes
+// names, α/β and anything else the relaxed solution cannot depend on, so
+// e.g. a β = 0 twin of a problem shares its relaxation cache entries.
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+#include "core/resources.hpp"
+
+namespace mfa::core {
+
+struct Fingerprint {
+  std::uint64_t hi = 0x9e3779b97f4a7c15ull;
+  std::uint64_t lo = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+
+  void mix(std::uint64_t v) {
+    // Lane lo: FNV-1a on 64-bit words. Lane hi: xor-rotate-multiply with
+    // a golden-ratio pre-scramble (splitmix-style), independent of lo.
+    lo = (lo ^ v) * 0x00000100000001b3ull;  // FNV prime
+    std::uint64_t x = v * 0x9e3779b97f4a7c15ull;
+    x ^= x >> 29;
+    hi = (hi ^ x) * 0xbf58476d1ce4e5b9ull;
+    hi ^= hi >> 32;
+  }
+
+  void mix(double d);
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+};
+
+/// Hashes exactly the problem fields the continuous relaxation depends
+/// on: per-kernel (WCET, resource vector, bandwidth), the FPGA count and
+/// the effective per-FPGA caps. Names and objective weights are excluded.
+Fingerprint relaxation_fingerprint(const Problem& problem);
+
+struct CuBounds;  // core/relaxation.hpp
+
+/// Folds per-kernel CU bounds into an existing fingerprint (used to key
+/// branch-and-bound node relaxations).
+void mix_bounds(Fingerprint& fp, const CuBounds& bounds);
+
+}  // namespace mfa::core

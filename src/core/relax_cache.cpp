@@ -1,0 +1,46 @@
+#include "core/relax_cache.hpp"
+
+#include <utility>
+
+namespace mfa::core {
+
+std::shared_ptr<const CachedRelaxation> RelaxationCache::lookup(
+    const Fingerprint& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::shared_ptr<const CachedRelaxation> RelaxationCache::insert(
+    const Fingerprint& key, CachedRelaxation result) {
+  auto entry = std::make_shared<const CachedRelaxation>(std::move(result));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  return it->second;  // first writer wins; racers get the stored entry
+}
+
+RelaxationCache::Stats RelaxationCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.entries = entries_.size();
+  return s;
+}
+
+std::size_t RelaxationCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void RelaxationCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace mfa::core

@@ -1,0 +1,88 @@
+// Thread-safe memoization cache for continuous-relaxation solves.
+//
+// Sweeps and solver portfolios hammer thousands of *identical* relaxation
+// subproblems: every GP+A lane of a portfolio solves the same root
+// relaxation and walks the same branch-and-bound tree, and batch grids
+// repeat instances across methods. The cache memoizes those solves by a
+// 128-bit fingerprint of everything the result depends on (problem,
+// bounds, warm-start hint, algorithm tag — see core/fingerprint.hpp).
+//
+// Determinism contract: a key must capture *all* inputs of the solve, so
+// every thread that computes a given key computes bit-identical bytes.
+// Insertion is first-writer-wins; later writers discard their copy. A
+// lookup hit therefore returns exactly what the thread would have
+// computed itself, which is how BatchRunner stays bit-for-bit identical
+// across thread counts with the cache enabled.
+//
+// Both feasible solutions and infeasibility proofs are cached (branch-
+// and-bound prunes through infeasible nodes constantly). Entries are
+// shared_ptr-owned, so a hit stays valid after clear() or cache death.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/fingerprint.hpp"
+#include "core/relaxation.hpp"
+#include "support/status.hpp"
+
+namespace mfa::core {
+
+/// One cached relaxation outcome: a solution or the status that denied it.
+using CachedRelaxation = StatusOr<RelaxedSolution>;
+
+class RelaxationCache {
+ public:
+  RelaxationCache() = default;
+  RelaxationCache(const RelaxationCache&) = delete;
+  RelaxationCache& operator=(const RelaxationCache&) = delete;
+
+  /// Returns the cached outcome for `key`, or nullptr on a miss.
+  [[nodiscard]] std::shared_ptr<const CachedRelaxation> lookup(
+      const Fingerprint& key) const;
+
+  /// Inserts `result` under `key` unless another thread got there first;
+  /// either way returns the entry that ends up (or already was) stored.
+  std::shared_ptr<const CachedRelaxation> insert(const Fingerprint& key,
+                                                 CachedRelaxation result);
+
+  /// Convenience: lookup, and on a miss run `solve()` and insert its
+  /// outcome. Exactly-once execution is NOT guaranteed under races (two
+  /// threads may both solve; one insert wins), but the returned entry is
+  /// identical either way per the determinism contract.
+  template <typename SolveFn>
+  std::shared_ptr<const CachedRelaxation> get_or_solve(const Fingerprint& key,
+                                                       SolveFn&& solve) {
+    if (auto hit = lookup(key)) return hit;
+    return insert(key, solve());
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Fingerprint& fp) const {
+      return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Fingerprint, std::shared_ptr<const CachedRelaxation>,
+                     KeyHash>
+      entries_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace mfa::core

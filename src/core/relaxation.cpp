@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/fingerprint.hpp"
+
 namespace mfa::core {
 namespace {
 
@@ -55,7 +57,8 @@ CuBounds CuBounds::defaults(const Problem& problem) {
 }
 
 StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
-                                           const CuBounds& bounds) {
+                                           const CuBounds& bounds,
+                                           double ii_hint) {
   MFA_ASSERT(bounds.lower.size() == problem.num_kernels());
   MFA_ASSERT(bounds.upper.size() == problem.num_kernels());
   for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
@@ -88,9 +91,20 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
   if (pooled_feasible(problem, bounds, cheapest_n(problem, bounds, t_lo))) {
     sol.ii = t_lo;  // bound-limited: cannot go below t_lo by construction
   } else {
-    // Monotone bisection: infeasible at lo, feasible at hi.
+    // Monotone bisection: infeasible at lo, feasible at hi. A warm hint
+    // inside the bracket is probed once and replaces the matching end,
+    // preserving both invariants; branch-and-bound children seed this
+    // with the parent's ÎI (a valid lower bound after tightening).
     double lo = t_lo;
     double hi = t_hi;
+    if (ii_hint > lo && ii_hint < hi) {
+      if (pooled_feasible(problem, bounds,
+                          cheapest_n(problem, bounds, ii_hint))) {
+        hi = ii_hint;
+      } else {
+        lo = ii_hint;
+      }
+    }
     for (int iter = 0; iter < 200 && (hi - lo) > 1e-14 * hi; ++iter) {
       const double mid = 0.5 * (lo + hi);
       if (pooled_feasible(problem, bounds, cheapest_n(problem, bounds, mid))) {
@@ -103,6 +117,11 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
   }
   sol.n_hat = cheapest_n(problem, bounds, sol.ii);
   return sol;
+}
+
+StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
+                                           const CuBounds& bounds) {
+  return solve_relaxation(problem, bounds, /*ii_hint=*/0.0);
 }
 
 StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem) {
@@ -186,8 +205,11 @@ gp::GpProblem build_relaxation_gp(const Problem& problem,
   return model;
 }
 
-StatusOr<RelaxedSolution> solve_relaxation_gp(
-    const Problem& problem, const gp::SolverOptions& options) {
+namespace {
+
+StatusOr<RelaxedSolution> solve_gp_impl(const Problem& problem,
+                                        const gp::SolverOptions& options,
+                                        const RelaxedSolution* warm) {
   const CuBounds bounds = CuBounds::defaults(problem);
   for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
     if (bounds.lower[k] > bounds.upper[k]) {
@@ -195,7 +217,36 @@ StatusOr<RelaxedSolution> solve_relaxation_gp(
     }
   }
   gp::GpProblem model = build_relaxation_gp(problem, bounds);
-  const gp::GpSolution gp_sol = gp::GpSolver(options).solve(model);
+  gp::GpSolution gp_sol;
+  if (warm != nullptr && warm->n_hat.size() == problem.num_kernels() &&
+      warm->ii > 0.0) {
+    // Seed x0 = (inflated ÎI, clamped N̂): the 5 % ÎI head-room makes the
+    // latency constraints strictly slack at the seed, so a seed taken
+    // from this problem's own (boundary) optimum re-enters the interior
+    // and phase I is skipped or trivial.
+    std::vector<double> x0(1 + problem.num_kernels());
+    x0[0] = warm->ii * 1.05;
+    for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+      x0[1 + k] =
+          std::clamp(warm->n_hat[k], bounds.lower[k],
+                     std::isfinite(bounds.upper[k]) && bounds.upper[k] > 0.0
+                         ? bounds.upper[k]
+                         : warm->n_hat[k]);
+    }
+    // A barrier restarted at a small t first drags a near-optimal seed
+    // back to the analytic center, wasting the whole warm start. Open
+    // with the duality-gap bound the seed plausibly has (~1e-3 relative)
+    // so the path begins where the seed is useful; a poor seed only
+    // costs extra centering steps at the first stage, not correctness.
+    gp::SolverOptions warm_options = options;
+    const double m =
+        static_cast<double>(model.constraints().size()) +
+        2.0 * static_cast<double>(model.num_variables());  // + box rows
+    warm_options.t0 = std::max(options.t0, m / 1e-3);
+    gp_sol = gp::GpSolver(warm_options).solve(model, x0);
+  } else {
+    gp_sol = gp::GpSolver(options).solve(model);
+  }
   if (gp_sol.status == gp::GpStatus::kInfeasible) {
     return Status{Code::kInfeasible, "GP phase I proved infeasibility"};
   }
@@ -207,6 +258,50 @@ StatusOr<RelaxedSolution> solve_relaxation_gp(
   sol.ii = gp_sol.x[0];
   sol.n_hat.assign(gp_sol.x.begin() + 1, gp_sol.x.end());
   return sol;
+}
+
+}  // namespace
+
+StatusOr<RelaxedSolution> solve_relaxation_gp(
+    const Problem& problem, const gp::SolverOptions& options) {
+  return solve_gp_impl(problem, options, nullptr);
+}
+
+StatusOr<RelaxedSolution> solve_relaxation_gp(const Problem& problem,
+                                              const gp::SolverOptions& options,
+                                              const RelaxedSolution& warm) {
+  return solve_gp_impl(problem, options, &warm);
+}
+
+Fingerprint relaxation_cache_key(const Problem& problem,
+                                 const CuBounds& bounds, double ii_hint) {
+  Fingerprint key = relaxation_fingerprint(problem);
+  mix_bounds(key, bounds);
+  key.mix(ii_hint);
+  key.mix(std::uint64_t{0xb15ec7});  // algorithm tag: bisection
+  return key;
+}
+
+Fingerprint relaxation_gp_cache_key(const Problem& problem,
+                                    const gp::SolverOptions& options) {
+  // The determinism contract requires the key to capture *every* solve
+  // input. If this assert fires, a SolverOptions field was added or
+  // resized: mix the new field below, then update the expected size.
+  static_assert(sizeof(gp::SolverOptions) == 8 * sizeof(double),
+                "SolverOptions changed: update relaxation_gp_cache_key");
+  Fingerprint key = relaxation_fingerprint(problem);
+  mix_bounds(key, CuBounds::defaults(problem));
+  key.mix(options.tolerance);
+  key.mix(options.t0);
+  key.mix(options.mu);
+  key.mix(static_cast<std::uint64_t>(options.max_outer));
+  key.mix(static_cast<std::uint64_t>(options.max_newton));
+  key.mix(options.newton_tol);
+  key.mix(options.feas_margin);
+  key.mix(options.variable_box);
+  key.mix(static_cast<std::uint64_t>(options.use_compiled_kernel));
+  key.mix(std::uint64_t{0x6b9});  // algorithm tag: interior point
+  return key;
 }
 
 }  // namespace mfa::core

@@ -18,7 +18,6 @@
 //                 exercise the GP substrate on the real problem.
 #pragma once
 
-#include <optional>
 #include <vector>
 
 #include "core/problem.hpp"
@@ -51,6 +50,16 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
 /// Convenience overload with default bounds.
 StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem);
 
+/// Warm-started bisection: `ii_hint` — typically a related solve's
+/// optimal ÎI, e.g. the parent node's in branch-and-bound — is probed
+/// once and, depending on feasibility, replaces one end of the initial
+/// bracket. The returned optimum is the same as the cold solve's (to
+/// bisection tolerance); only the iteration count changes. A hint
+/// outside the bracket is ignored, so any positive value is safe.
+StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
+                                           const CuBounds& bounds,
+                                           double ii_hint);
+
 /// Builds the GP model (14)–(18) for the problem, with bounds folded in
 /// as monomial constraints. Variable 0 is ÎI; variable 1+k is N̂_k.
 gp::GpProblem build_relaxation_gp(const Problem& problem,
@@ -59,5 +68,28 @@ gp::GpProblem build_relaxation_gp(const Problem& problem,
 /// Solves the relaxation through the interior-point GP solver.
 StatusOr<RelaxedSolution> solve_relaxation_gp(
     const Problem& problem, const gp::SolverOptions& options = {});
+
+/// Warm-started interior-point solve: seeds the barrier from `warm`
+/// (e.g. a neighboring sweep point's relaxation). The ÎI seed is
+/// inflated a few percent so latency constraints start strictly slack;
+/// if the seed is still infeasible, phase I runs from it instead of from
+/// scratch. Converges to the cold-start optimum (to solver tolerance).
+StatusOr<RelaxedSolution> solve_relaxation_gp(const Problem& problem,
+                                              const gp::SolverOptions& options,
+                                              const RelaxedSolution& warm);
+
+struct Fingerprint;  // core/fingerprint.hpp
+
+/// Cache key for a bisection solve of (problem, bounds, ii_hint): hashes
+/// every input the result depends on plus an algorithm tag, so entries
+/// never alias interior-point results. See core/relax_cache.hpp for the
+/// determinism contract this upholds.
+Fingerprint relaxation_cache_key(const Problem& problem,
+                                 const CuBounds& bounds, double ii_hint);
+
+/// Cache key for a default-bounds interior-point solve under `options`
+/// (solver options are folded in — they change the returned bits).
+Fingerprint relaxation_gp_cache_key(const Problem& problem,
+                                    const gp::SolverOptions& options);
 
 }  // namespace mfa::core

@@ -1,0 +1,232 @@
+#include "gp/compiled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace mfa::gp {
+namespace {
+
+/// FNV-1a over the bit patterns of a row signature. Collisions are
+/// resolved by exact comparison in intern_row(), so this only needs to
+/// spread well.
+std::uint64_t row_hash(const std::vector<std::pair<VarId, double>>& entries) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& [v, e] : entries) {
+    mix(v);
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(e));
+    std::memcpy(&bits, &e, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint32_t CompiledGp::intern_row(
+    const std::vector<std::pair<VarId, double>>& entries) {
+  const std::uint64_t h = row_hash(entries);
+  auto [lo, hi] = row_index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    const std::uint32_t r = it->second;
+    const std::uint32_t begin = row_begin_[r];
+    if (row_begin_[r + 1] - begin != entries.size()) continue;
+    bool same = true;
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      if (var_[begin + k] != entries[k].first ||
+          exp_[begin + k] != entries[k].second) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return r;
+  }
+  const auto r = static_cast<std::uint32_t>(num_rows());
+  for (const auto& [v, e] : entries) {
+    MFA_ASSERT_MSG(v < num_vars_, "monomial uses unknown variable");
+    var_.push_back(v);
+    exp_.push_back(e);
+  }
+  row_begin_.push_back(static_cast<std::uint32_t>(var_.size()));
+  row_index_.emplace(h, r);
+  return r;
+}
+
+std::size_t CompiledGp::finish_function(std::vector<std::uint32_t> rows,
+                                        std::vector<double> coeffs) {
+  MFA_ASSERT(rows.size() == coeffs.size());
+  std::vector<std::uint32_t> support;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    row_of_.push_back(rows[t]);
+    log_coeff_.push_back(coeffs[t]);
+    for (std::uint32_t k = row_begin_[rows[t]]; k < row_begin_[rows[t] + 1];
+         ++k) {
+      support.push_back(var_[k]);
+    }
+  }
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  support_.push_back(std::move(support));
+  fun_begin_.push_back(static_cast<std::uint32_t>(row_of_.size()));
+  max_terms_ = std::max(max_terms_, rows.size());
+  return num_functions() - 1;
+}
+
+std::size_t CompiledGp::add(const Posynomial& p) {
+  MFA_ASSERT_MSG(!p.empty(), "cannot compile an empty posynomial");
+  // Merge duplicate monomials (identical exponent rows) by summing their
+  // coefficients; first-seen order is preserved so compilation is
+  // deterministic.
+  std::vector<std::uint32_t> rows;
+  std::vector<double> coeffs;  // plain coefficients until merged
+  rows.reserve(p.terms().size());
+  std::vector<std::pair<VarId, double>> entries;
+  for (const Monomial& m : p.terms()) {
+    entries.assign(m.exponents().begin(), m.exponents().end());
+    const std::uint32_t r = intern_row(entries);
+    const auto it = std::find(rows.begin(), rows.end(), r);
+    if (it == rows.end()) {
+      rows.push_back(r);
+      coeffs.push_back(m.coeff());
+    } else {
+      coeffs[static_cast<std::size_t>(it - rows.begin())] += m.coeff();
+    }
+  }
+  for (double& c : coeffs) c = std::log(c);
+  return finish_function(std::move(rows), std::move(coeffs));
+}
+
+std::size_t CompiledGp::add_affine(
+    const std::vector<std::pair<VarId, double>>& entries, double log_coeff) {
+  return finish_function({intern_row(entries)}, {log_coeff});
+}
+
+void CompiledGp::ensure_workspace(GpWorkspace& ws) const {
+  if (ws.z.size() < max_terms_) {
+    ws.z.resize(max_terms_);
+    ws.w.resize(max_terms_);
+  }
+  if (ws.g.size() < num_vars_) ws.g.resize(num_vars_);
+}
+
+double CompiledGp::value(std::size_t f, const linalg::Vector& y,
+                         GpWorkspace& ws) const {
+  MFA_ASSERT(f + 1 < fun_begin_.size() && y.size() == num_vars_);
+  ensure_workspace(ws);
+  const std::uint32_t t0 = fun_begin_[f];
+  const std::uint32_t t1 = fun_begin_[f + 1];
+  double zmax = -std::numeric_limits<double>::infinity();
+  for (std::uint32_t t = t0; t < t1; ++t) {
+    double acc = log_coeff_[t];
+    const std::uint32_t r = row_of_[t];
+    for (std::uint32_t k = row_begin_[r]; k < row_begin_[r + 1]; ++k) {
+      acc += exp_[k] * y[var_[k]];
+    }
+    ws.z[t - t0] = acc;
+    zmax = std::max(zmax, acc);
+  }
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < t1 - t0; ++i) {
+    sum += std::exp(ws.z[i] - zmax);
+  }
+  return zmax + std::log(sum);
+}
+
+double CompiledGp::prepare(std::size_t f, const linalg::Vector& y,
+                           GpWorkspace& ws) const {
+  const double val = value(f, y, ws);
+  const std::uint32_t m =
+      fun_begin_[f + 1] - fun_begin_[f];
+  // value() left the shifted exponents in ws.z; normalize to softmax
+  // weights. Recomputing the shift from val keeps one pass over z.
+  double sum = 0.0;
+  double zmax = -std::numeric_limits<double>::infinity();
+  for (std::uint32_t i = 0; i < m; ++i) zmax = std::max(zmax, ws.z[i]);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    ws.w[i] = std::exp(ws.z[i] - zmax);
+    sum += ws.w[i];
+  }
+  for (std::uint32_t i = 0; i < m; ++i) ws.w[i] /= sum;
+  return val;
+}
+
+void CompiledGp::scatter(std::size_t f, double wg, double wm, double wr,
+                         linalg::Vector& grad, linalg::Matrix& hess,
+                         GpWorkspace& ws) const {
+  const std::uint32_t t0 = fun_begin_[f];
+  const std::uint32_t t1 = fun_begin_[f + 1];
+  const std::vector<std::uint32_t>& sup = support_[f];
+  MFA_ASSERT(grad.size() == num_vars_ && hess.rows() == num_vars_);
+
+  // g = Aᵀw over the function's support only.
+  for (std::uint32_t v : sup) ws.g[v] = 0.0;
+  for (std::uint32_t t = t0; t < t1; ++t) {
+    const double w = ws.w[t - t0];
+    if (w == 0.0) continue;
+    const std::uint32_t r = row_of_[t];
+    for (std::uint32_t k = row_begin_[r]; k < row_begin_[r + 1]; ++k) {
+      ws.g[var_[k]] += w * exp_[k];
+    }
+  }
+  for (std::uint32_t v : sup) grad[v] += wg * ws.g[v];
+
+  // wm · Σ_t w_t·a_t·a_tᵀ — sparse outer products over each term's nnz.
+  for (std::uint32_t t = t0; t < t1; ++t) {
+    const double w = ws.w[t - t0];
+    if (w == 0.0) continue;
+    const std::uint32_t r = row_of_[t];
+    const std::uint32_t begin = row_begin_[r];
+    const std::uint32_t end = row_begin_[r + 1];
+    for (std::uint32_t k1 = begin; k1 < end; ++k1) {
+      const double c = wm * w * exp_[k1];
+      if (c == 0.0) continue;
+      const std::uint32_t v1 = var_[k1];
+      for (std::uint32_t k2 = begin; k2 < end; ++k2) {
+        hess(v1, var_[k2]) += c * exp_[k2];
+      }
+    }
+  }
+
+  // wr · g·gᵀ — rank-one update over the support.
+  if (wr != 0.0) {
+    for (std::uint32_t v1 : sup) {
+      const double c = wr * ws.g[v1];
+      if (c == 0.0) continue;
+      for (std::uint32_t v2 : sup) {
+        hess(v1, v2) += c * ws.g[v2];
+      }
+    }
+  }
+}
+
+CompiledGp CompiledGp::with_slack() const {
+  CompiledGp out(num_vars_ + 1);
+  const auto s = static_cast<VarId>(num_vars_);
+  // Slack objective F₀(y, s) = s.
+  out.add_affine({{s, 1.0}}, 0.0);
+  std::vector<std::pair<VarId, double>> entries;
+  for (std::size_t f = 1; f < num_functions(); ++f) {
+    std::vector<std::uint32_t> rows;
+    std::vector<double> coeffs;
+    for (std::uint32_t t = fun_begin_[f]; t < fun_begin_[f + 1]; ++t) {
+      const std::uint32_t r = row_of_[t];
+      entries.clear();
+      for (std::uint32_t k = row_begin_[r]; k < row_begin_[r + 1]; ++k) {
+        entries.emplace_back(var_[k], exp_[k]);
+      }
+      entries.emplace_back(s, -1.0);
+      rows.push_back(out.intern_row(entries));
+      coeffs.push_back(log_coeff_[t]);
+    }
+    out.finish_function(std::move(rows), std::move(coeffs));
+  }
+  return out;
+}
+
+}  // namespace mfa::gp

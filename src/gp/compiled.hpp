@@ -1,0 +1,131 @@
+// Compiled flat IR for families of log-sum-exp functions.
+//
+// The interpretive GP path walks `std::map<VarId,double>`-backed monomial
+// ASTs and dense terms×variables matrices on every evaluation. CompiledGp
+// lowers a whole problem (objective + constraints) once into CSR-style
+// contiguous arrays:
+//
+//   function f  →  terms   [fun_begin_[f], fun_begin_[f+1])
+//   term t      →  log-coefficient log_coeff_[t] and exponent row
+//                  row_of_[t] (an index into the shared row table)
+//   row r       →  nnz pairs (var_[k], exp_[k]) for
+//                  k ∈ [row_begin_[r], row_begin_[r+1])
+//
+// Exponent rows are hash-consed: structurally identical monomial exponent
+// patterns — frequent in allocation GPs, where every latency constraint is
+// WCET·II⁻¹·N_k⁻¹ and every box constraint touches one variable — are
+// stored once and shared by every term that uses them. Duplicate monomials
+// *within* one posynomial are merged by summing coefficients.
+//
+// Evaluation is fused: prepare() computes the max-shifted softmax weights
+// for one function (and its value); scatter() then accumulates gradient
+// and Hessian contributions with caller-chosen weights straight into the
+// caller's buffers, touching only each function's variable support. All
+// scratch lives in a caller-owned GpWorkspace, so steady-state evaluation
+// performs no allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gp/expr.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mfa::gp {
+
+/// Reusable scratch buffers for CompiledGp evaluation. One workspace per
+/// thread of evaluation; sized lazily by the CompiledGp that uses it.
+struct GpWorkspace {
+  std::vector<double> z;  ///< per-term shifted exponents of one function
+  std::vector<double> w;  ///< per-term softmax weights (prepare → scatter)
+  std::vector<double> g;  ///< dense ∇F accumulator (num_vars entries)
+};
+
+/// A compiled family of LSE functions F_f(y) = log Σ_t exp(a_t·y + b_t)
+/// over one shared variable set. Function 0 is the objective by the
+/// GpProblem::compile() convention; the solver appends box constraints.
+class CompiledGp {
+ public:
+  explicit CompiledGp(std::size_t num_vars) : num_vars_(num_vars) {}
+
+  /// Appends a posynomial as the next function; duplicate monomials are
+  /// merged and exponent rows hash-consed. Returns the function index.
+  std::size_t add(const Posynomial& p);
+
+  /// Appends a single-term function Σ e_i·y_{v_i} + log_coeff (a monomial
+  /// in log space). `entries` must have strictly increasing var ids.
+  std::size_t add_affine(const std::vector<std::pair<VarId, double>>& entries,
+                         double log_coeff);
+
+  [[nodiscard]] std::size_t num_vars() const { return num_vars_; }
+  [[nodiscard]] std::size_t num_functions() const {
+    return fun_begin_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_terms(std::size_t f) const {
+    MFA_ASSERT(f + 1 < fun_begin_.size());
+    return fun_begin_[f + 1] - fun_begin_[f];
+  }
+  [[nodiscard]] std::size_t total_terms() const { return log_coeff_.size(); }
+  /// Number of distinct (hash-consed) exponent rows in the row table.
+  [[nodiscard]] std::size_t num_rows() const { return row_begin_.size() - 1; }
+  /// Sorted variable ids function f touches.
+  [[nodiscard]] const std::vector<std::uint32_t>& support(
+      std::size_t f) const {
+    MFA_ASSERT(f < support_.size());
+    return support_[f];
+  }
+
+  /// F_f(y), numerically stable. Cheap path for merit/line-search loops.
+  [[nodiscard]] double value(std::size_t f, const linalg::Vector& y,
+                             GpWorkspace& ws) const;
+
+  /// Computes F_f(y) and leaves the normalized softmax weights of f in
+  /// ws.w for a following scatter() call. Returns F_f(y).
+  double prepare(std::size_t f, const linalg::Vector& y,
+                 GpWorkspace& ws) const;
+
+  /// Consumes the weights produced by the latest prepare(f, …) and
+  /// accumulates, with g = ∇F = Aᵀw and M = Σ_t w_t·a_t·a_tᵀ (so that
+  /// ∇²F = M − g·gᵀ):
+  ///
+  ///   grad += wg·g,   hess += wm·M + wr·g·gᵀ.
+  ///
+  /// The barrier uses (t, t, −t) for the objective term t·F₀ and
+  /// (κ, κ, κ² − κ) with κ = 1/(−F_i) per constraint. Only rows/columns
+  /// in support(f) are touched.
+  void scatter(std::size_t f, double wg, double wm, double wr,
+               linalg::Vector& grad, linalg::Matrix& hess,
+               GpWorkspace& ws) const;
+
+  /// Phase-I transform: appends one slack variable s, gives every term of
+  /// every function an extra exponent −1 on s (F(y) ≤ 0 becomes
+  /// F(y) − s ≤ 0 and stays log-sum-exp), and replaces function 0 by the
+  /// slack objective F₀(y, s) = s.
+  [[nodiscard]] CompiledGp with_slack() const;
+
+ private:
+  void ensure_workspace(GpWorkspace& ws) const;
+  /// Returns the id of the row with exactly these entries, interning it
+  /// into the row table on first sight.
+  std::uint32_t intern_row(
+      const std::vector<std::pair<VarId, double>>& entries);
+  std::size_t finish_function(std::vector<std::uint32_t> rows,
+                              std::vector<double> coeffs);
+
+  std::size_t num_vars_;
+  std::vector<std::uint32_t> fun_begin_{0};  // function → first term
+  std::vector<double> log_coeff_;            // per term
+  std::vector<std::uint32_t> row_of_;        // per term → row id
+  std::vector<std::uint32_t> row_begin_{0};  // row → first nnz entry
+  std::vector<std::uint32_t> var_;           // nnz variable indices
+  std::vector<double> exp_;                  // nnz exponents
+  std::vector<std::vector<std::uint32_t>> support_;  // per function
+  // hash-consing index: row signature hash → candidate row ids
+  std::unordered_multimap<std::uint64_t, std::uint32_t> row_index_;
+  std::size_t max_terms_ = 0;
+};
+
+}  // namespace mfa::gp

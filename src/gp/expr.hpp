@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <map>
-#include <string>
 #include <vector>
 
 #include "support/assert.hpp"

@@ -92,6 +92,14 @@ void GpProblem::add_eq1(const Monomial& m, const std::string& label) {
           label.empty() ? label : label + " (>=)");
 }
 
+CompiledGp GpProblem::compile() const {
+  MFA_ASSERT_MSG(!objective_.empty(), "compile() before set_objective()");
+  CompiledGp out(num_variables());
+  out.add(objective_);
+  for (const Posynomial& p : constraints_) out.add(p);
+  return out;
+}
+
 LseFunction GpProblem::compile(const Posynomial& p) const {
   const std::size_t rows = p.terms().size();
   LseFunction f;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "gp/compiled.hpp"
 #include "gp/expr.hpp"
 #include "linalg/matrix.hpp"
 
@@ -72,6 +73,12 @@ class GpProblem {
   /// Compiles a posynomial into its log-space form over this problem's
   /// variable set.
   [[nodiscard]] LseFunction compile(const Posynomial& p) const;
+
+  /// Compiles the whole problem into the flat LSE IR consumed by the
+  /// solver's hot path: function 0 is the objective, functions 1..m the
+  /// posynomial constraints in order. Exponent rows are hash-consed and
+  /// duplicate monomials merged (see gp/compiled.hpp).
+  [[nodiscard]] CompiledGp compile() const;
 
  private:
   std::vector<std::string> names_;

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
-#include <cstdio>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <utility>
 
+#include "gp/compiled.hpp"
 #include "linalg/decompose.hpp"
 
 namespace mfa::gp {
@@ -14,6 +15,156 @@ namespace {
 
 using linalg::Matrix;
 using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Compiled path: barrier over the flat LSE IR. All evaluation scratch is
+// owned by the barrier and preallocated, so center() performs no per-
+// iteration allocation.
+// ---------------------------------------------------------------------------
+
+class CompiledBarrier {
+ public:
+  CompiledBarrier(const CompiledGp& gp, const SolverOptions& opts)
+      : gp_(gp),
+        opts_(opts),
+        n_(gp.num_vars()),
+        grad_(n_),
+        hess_(n_, n_),
+        rhs_(n_),
+        step_(n_),
+        trial_(n_) {}
+
+  /// h(y) = t·F0(y) − Σ log(−F_i(y)), +inf outside the domain.
+  double merit(const Vector& y, double t) {
+    double h = t * gp_.value(0, y, ws_);
+    for (std::size_t f = 1; f < gp_.num_functions(); ++f) {
+      const double fi = gp_.value(f, y, ws_);
+      if (fi >= 0.0) return std::numeric_limits<double>::infinity();
+      h -= std::log(-fi);
+    }
+    return h;
+  }
+
+  /// Newton-minimizes the centering merit from y in place.
+  /// Returns false on an unrecoverable numeric failure.
+  /// `early_stop` (optional) is checked after every accepted step.
+  bool center(Vector& y, double t, int& newton_budget,
+              const std::function<bool(const Vector&)>& early_stop) {
+    while (newton_budget > 0) {
+      --newton_budget;
+      ++newton_used_;
+      // Assemble gradient and Hessian of the merit: the objective
+      // contributes t·∇F0 / t·∇²F0, each constraint κ·∇F_i and
+      // κ·∇²F_i + κ²·∇F_i∇F_iᵀ with κ = 1/(−F_i). With ∇²F = M − ggᵀ
+      // the fused weights are (t, t, −t) and (κ, κ, κ² − κ).
+      for (std::size_t i = 0; i < n_; ++i) {
+        grad_[i] = 0.0;
+        for (std::size_t j = 0; j < n_; ++j) hess_(i, j) = 0.0;
+      }
+      (void)gp_.prepare(0, y, ws_);
+      gp_.scatter(0, t, t, -t, grad_, hess_, ws_);
+      for (std::size_t f = 1; f < gp_.num_functions(); ++f) {
+        const double fi = gp_.prepare(f, y, ws_);
+        MFA_ASSERT_MSG(fi < 0.0, "centering left the barrier domain");
+        const double inv = 1.0 / (-fi);
+        gp_.scatter(f, inv, inv, inv * inv - inv, grad_, hess_, ws_);
+      }
+      // Newton step.
+      for (std::size_t i = 0; i < n_; ++i) rhs_[i] = -grad_[i];
+      if (!linalg::solve_spd_reuse(hess_, rhs_, spd_ws_, step_)) return false;
+      const double decrement = -linalg::dot(grad_, step_) / 2.0;
+      if (decrement < opts_.newton_tol) return true;  // centered
+      // Trust region in log space: far from all constraints the barrier
+      // Hessian vanishes and the Newton step explodes along affine
+      // directions; cap the step so iterates move at most a factor
+      // e^±kMaxLogStep per coordinate per iteration.
+      constexpr double kMaxLogStep = 8.0;
+      const double step_len = linalg::norm_inf(step_);
+      if (step_len > kMaxLogStep) step_ *= kMaxLogStep / step_len;
+      // Backtracking line search on the merit (Armijo, slope 0.3).
+      const double h0 = merit(y, t);
+      const double slope = linalg::dot(grad_, step_);
+      double alpha = 1.0;
+      double h_trial = 0.0;
+      for (;;) {
+        for (std::size_t i = 0; i < n_; ++i) {
+          trial_[i] = y[i] + alpha * step_[i];
+        }
+        h_trial = merit(trial_, t);
+        if (h_trial <= h0 + 0.3 * alpha * slope) break;
+        alpha *= 0.5;
+        if (alpha < 1e-14) return true;  // stalled: accept current center
+      }
+      y = trial_;
+      if (early_stop && early_stop(y)) return true;
+      // Numerical floor: when the merit stops moving, further Newton
+      // steps only burn budget — declare the point centered.
+      if (h0 - h_trial < 1e-13 * (1.0 + std::fabs(h0))) return true;
+    }
+    return true;  // budget exhausted; caller checks newton_budget
+  }
+
+  struct PathResult {
+    int outer = 0;
+    bool converged = false;  ///< duality-gap bound met (or early_stop hit)
+    bool numeric_ok = true;  ///< no unrecoverable Newton failure
+  };
+
+  /// Full barrier path from a strictly feasible y; y ends at the solution.
+  PathResult path(Vector& y, int& newton_budget,
+                  const std::function<bool(const Vector&)>& early_stop) {
+    const double m = static_cast<double>(gp_.num_functions() - 1);
+    double t = opts_.t0;
+    PathResult res;
+    while (res.outer < opts_.max_outer) {
+      ++res.outer;
+      if (!center(y, t, newton_budget, early_stop)) {
+        res.numeric_ok = false;
+        return res;
+      }
+      if (early_stop && early_stop(y)) {
+        res.converged = true;
+        return res;
+      }
+      if (m == 0.0 || m / t < opts_.tolerance) {
+        res.converged = true;
+        return res;
+      }
+      if (newton_budget <= 0) return res;
+      t *= opts_.mu;
+    }
+    return res;
+  }
+
+  [[nodiscard]] double max_constraint(const Vector& y) {
+    double worst = -std::numeric_limits<double>::infinity();
+    for (std::size_t f = 1; f < gp_.num_functions(); ++f) {
+      worst = std::max(worst, gp_.value(f, y, ws_));
+    }
+    return worst;
+  }
+
+  [[nodiscard]] int newton_used() const { return newton_used_; }
+
+ private:
+  const CompiledGp& gp_;
+  const SolverOptions& opts_;
+  std::size_t n_;
+  GpWorkspace ws_;
+  linalg::SpdWorkspace spd_ws_;
+  Vector grad_;
+  Matrix hess_;
+  Vector rhs_;
+  Vector step_;
+  Vector trial_;
+  int newton_used_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Legacy interpretive path: dense LseFunction evaluation with per-call
+// buffers. Kept behind SolverOptions::use_compiled_kernel = false as the
+// cross-check and the bench/gp_kernel baseline.
+// ---------------------------------------------------------------------------
 
 /// Evaluates one LSE function's value, gradient and Hessian at y.
 struct Derivatives {
@@ -50,15 +201,12 @@ class Barrier {
   }
 
   /// Newton-minimizes the centering merit from y in place.
-  /// Returns false on an unrecoverable numeric failure.
-  /// `early_stop` (optional) is checked after every accepted step.
   bool center(Vector& y, double t, int& newton_budget,
               const std::function<bool(const Vector&)>& early_stop) const {
     const std::size_t n = y.size();
     while (newton_budget > 0) {
       --newton_budget;
       ++newton_used_;
-      // Assemble gradient and Hessian of the merit.
       Derivatives obj = eval_full(objective_, y);
       Vector grad = obj.grad * t;
       Matrix hess = obj.hess * t;
@@ -74,20 +222,14 @@ class Barrier {
           }
         }
       }
-      // Newton step.
       Vector rhs = grad * -1.0;
       auto step = linalg::solve_spd(hess, rhs);
       if (!step) return false;
       const double decrement = -linalg::dot(grad, *step) / 2.0;
       if (decrement < opts_.newton_tol) return true;  // centered
-      // Trust region in log space: far from all constraints the barrier
-      // Hessian vanishes and the Newton step explodes along affine
-      // directions; cap the step so iterates move at most a factor
-      // e^±kMaxLogStep per coordinate per iteration.
       constexpr double kMaxLogStep = 8.0;
       const double step_len = linalg::norm_inf(*step);
       if (step_len > kMaxLogStep) *step *= kMaxLogStep / step_len;
-      // Backtracking line search on the merit (Armijo, slope 0.3).
       const double h0 = merit(y, t);
       const double slope = linalg::dot(grad, *step);
       double alpha = 1.0;
@@ -102,27 +244,13 @@ class Barrier {
         if (alpha < 1e-14) return true;  // stalled: accept current center
       }
       y = trial;
-      // Set MFA_GP_TRACE=1 to stream per-step centering diagnostics.
-      static const bool trace = std::getenv("MFA_GP_TRACE") != nullptr;
-      if (trace) {
-        std::fprintf(stderr,
-                     "[gp] t=%.3g h0=%.6g h=%.6g alpha=%.3g dec=%.3g "
-                     "y0=%.4g slen=%.3g\n",
-                     t, h0, h_trial, alpha, decrement, y[0], step_len);
-      }
       if (early_stop && early_stop(y)) return true;
-      // Numerical floor: when the merit stops moving, further Newton
-      // steps only burn budget — declare the point centered.
       if (h0 - h_trial < 1e-13 * (1.0 + std::fabs(h0))) return true;
     }
     return true;  // budget exhausted; caller checks newton_budget
   }
 
-  struct PathResult {
-    int outer = 0;
-    bool converged = false;   ///< duality-gap bound met (or early_stop hit)
-    bool numeric_ok = true;   ///< no unrecoverable Newton failure
-  };
+  using PathResult = CompiledBarrier::PathResult;
 
   /// Full barrier path from a strictly feasible y; y ends at the solution.
   PathResult path(Vector& y, int& newton_budget,
@@ -181,6 +309,166 @@ LseFunction augment_with_slack(const LseFunction& f) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Shared solve scaffolding
+// ---------------------------------------------------------------------------
+
+/// The barrier start point: y = 0, or log x0 clamped strictly inside the
+/// variable box when a warm seed is given.
+Vector initial_y(std::size_t n, const std::vector<double>* x0, double box) {
+  Vector y(n, 0.0);
+  if (x0 == nullptr) return y;
+  MFA_ASSERT_MSG(x0->size() == n, "warm-start point has wrong dimension");
+  const double cap = 0.999 * box;
+  for (std::size_t i = 0; i < n; ++i) {
+    MFA_ASSERT_MSG((*x0)[i] > 0.0, "warm-start point must be positive");
+    y[i] = std::clamp(std::log((*x0)[i]), -cap, cap);
+  }
+  return y;
+}
+
+void export_point(const GpProblem& problem, const Vector& y,
+                  double max_constraint, GpSolution& sol) {
+  // Clamp before exponentiating: a flat objective can let y drift far
+  // along a null direction, and exp() must stay positive and finite.
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    sol.x[i] = std::exp(std::clamp(y[i], -700.0, 700.0));
+    if (sol.x[i] == 0.0) sol.x[i] = 1e-300;
+  }
+  sol.objective = problem.objective().eval(sol.x);
+  sol.max_violation = std::exp(max_constraint) - 1.0;
+}
+
+/// Phase I + phase II over either barrier implementation. BarrierT must
+/// provide merit/center/path/max_constraint with the shared signatures;
+/// MakePhase1 builds the slack-augmented barrier on demand.
+template <typename BarrierT, typename MakePhase1>
+GpSolution run_two_phase(const GpProblem& problem, const SolverOptions& options,
+                         BarrierT& main_barrier, MakePhase1&& make_phase1,
+                         std::size_t num_constraints, Vector y) {
+  const std::size_t n = problem.num_variables();
+  GpSolution sol;
+  sol.x.assign(n, 1.0);
+  int newton_budget = options.max_newton * options.max_outer;
+
+  // ---- Phase I: find a strictly feasible y (skipped if y already is).
+  if (num_constraints > 0 &&
+      main_barrier.max_constraint(y) >= -options.feas_margin) {
+    auto phase1 = make_phase1();
+    Vector ys(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) ys[i] = y[i];
+    // s0 strictly above the worst violation keeps the start interior.
+    ys[n] = main_barrier.max_constraint(y) + 1.0;
+    const double margin = options.feas_margin;
+    Vector yy(n);
+    auto feasible_found = [&](const Vector& p) {
+      // Check the *original* constraints at the y part of the iterate.
+      for (std::size_t i = 0; i < n; ++i) yy[i] = p[i];
+      return main_barrier.max_constraint(yy) < -margin;
+    };
+    const auto p1 = phase1->path(ys, newton_budget, feasible_found);
+    sol.newton_iterations += phase1->newton_used();
+
+    for (std::size_t i = 0; i < n; ++i) yy[i] = ys[i];
+    const double worst = main_barrier.max_constraint(yy);
+    if (worst >= -margin) {
+      // Phase I finished without reaching s < 0: either the problem is
+      // infeasible (phase I converged) or we ran out of budget.
+      sol.status = p1.converged && newton_budget > 0 ? GpStatus::kInfeasible
+                   : p1.numeric_ok                   ? GpStatus::kIterLimit
+                                                     : GpStatus::kNumeric;
+      export_point(problem, yy, worst, sol);
+      return sol;
+    }
+    y = yy;
+  }
+
+  // ---- Phase II: barrier path on the true objective.
+  const auto p2 = main_barrier.path(y, newton_budget, nullptr);
+  sol.outer_iterations = p2.outer;
+  sol.newton_iterations += main_barrier.newton_used();
+  export_point(problem, y,
+               num_constraints == 0
+                   ? -std::numeric_limits<double>::infinity()
+                   : main_barrier.max_constraint(y),
+               sol);
+  if (num_constraints == 0) sol.max_violation = 0.0;
+  sol.status = p2.converged    ? GpStatus::kOptimal
+               : p2.numeric_ok ? GpStatus::kIterLimit
+                               : GpStatus::kNumeric;
+  return sol;
+}
+
+GpSolution solve_compiled(const GpProblem& problem,
+                          const SolverOptions& options,
+                          const std::vector<double>* x0) {
+  const std::size_t n = problem.num_variables();
+  CompiledGp gp = problem.compile();
+  // Box constraints |y_j| ≤ Y keep both phases bounded: without them the
+  // phase-I merit is unbounded below (riding a free direction to ∞
+  // collects −log barrier rewards from ever-slacker constraints faster
+  // than t·s charges for the violated ones), and phase II can drift
+  // along flat objective directions. Y = 46 allows x ∈ [1e-20, 1e20],
+  // far beyond any meaningful allocation quantity.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (double sign : {1.0, -1.0}) {
+      gp.add_affine({{static_cast<VarId>(j), sign}}, -options.variable_box);
+    }
+  }
+  CompiledBarrier main_barrier(gp, options);
+  CompiledGp slack_gp(0);  // assigned lazily; must outlive the barrier
+  std::unique_ptr<CompiledBarrier> phase1;
+  auto make_phase1 = [&]() -> CompiledBarrier* {
+    slack_gp = gp.with_slack();
+    phase1 = std::make_unique<CompiledBarrier>(slack_gp, options);
+    return phase1.get();
+  };
+  return run_two_phase(problem, options, main_barrier, make_phase1,
+                       gp.num_functions() - 1,
+                       initial_y(n, x0, options.variable_box));
+}
+
+GpSolution solve_legacy(const GpProblem& problem, const SolverOptions& options,
+                        const std::vector<double>* x0) {
+  const std::size_t n = problem.num_variables();
+  LseFunction obj = problem.compile(problem.objective());
+  std::vector<LseFunction> cons;
+  cons.reserve(problem.constraints().size() + 2 * n);
+  for (const Posynomial& p : problem.constraints()) {
+    cons.push_back(problem.compile(p));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (double sign : {1.0, -1.0}) {
+      LseFunction bound;
+      bound.a = Matrix(1, n);
+      bound.a(0, j) = sign;
+      bound.b = Vector(1);
+      bound.b[0] = -options.variable_box;
+      cons.push_back(std::move(bound));
+    }
+  }
+  const std::size_t num_constraints = cons.size();
+  Barrier main_barrier(obj, cons, options);
+  std::unique_ptr<Barrier> phase1;
+  auto make_phase1 = [&]() -> Barrier* {
+    LseFunction slack_obj;
+    slack_obj.a = Matrix(1, n + 1);
+    slack_obj.a(0, n) = 1.0;  // F0(y, s) = s
+    slack_obj.b = Vector(1);
+    std::vector<LseFunction> slack_cons;
+    slack_cons.reserve(cons.size());
+    for (const LseFunction& c : cons) {
+      slack_cons.push_back(augment_with_slack(c));
+    }
+    phase1 = std::make_unique<Barrier>(std::move(slack_obj),
+                                       std::move(slack_cons), options);
+    return phase1.get();
+  };
+  return run_two_phase(problem, options, main_barrier, make_phase1,
+                       num_constraints,
+                       initial_y(n, x0, options.variable_box));
+}
+
 }  // namespace
 
 const char* to_string(GpStatus status) {
@@ -198,98 +486,15 @@ const char* to_string(GpStatus status) {
 }
 
 GpSolution GpSolver::solve(const GpProblem& problem) const {
-  const std::size_t n = problem.num_variables();
-  GpSolution sol;
-  sol.x.assign(n, 1.0);
+  return options_.use_compiled_kernel
+             ? solve_compiled(problem, options_, nullptr)
+             : solve_legacy(problem, options_, nullptr);
+}
 
-  LseFunction obj = problem.compile(problem.objective());
-  std::vector<LseFunction> cons;
-  cons.reserve(problem.constraints().size() + 2 * n);
-  for (const Posynomial& p : problem.constraints()) {
-    cons.push_back(problem.compile(p));
-  }
-  // Box constraints |y_j| ≤ Y keep both phases bounded: without them the
-  // phase-I merit is unbounded below (riding a free direction to ∞
-  // collects −log barrier rewards from ever-slacker constraints faster
-  // than t·s charges for the violated ones), and phase II can drift
-  // along flat objective directions. Y = 46 allows x ∈ [1e-20, 1e20],
-  // far beyond any meaningful allocation quantity.
-  const double box = options_.variable_box;
-  for (std::size_t j = 0; j < n; ++j) {
-    for (double sign : {1.0, -1.0}) {
-      LseFunction bound;
-      bound.a = Matrix(1, n);
-      bound.a(0, j) = sign;
-      bound.b = Vector(1);
-      bound.b[0] = -box;
-      cons.push_back(std::move(bound));
-    }
-  }
-
-  int newton_budget = options_.max_newton * options_.max_outer;
-  Vector y(n, 0.0);
-
-  // ---- Phase I: find a strictly feasible y (skipped if y = 0 already is).
-  Barrier main_barrier(obj, cons, options_);
-  if (!cons.empty() && main_barrier.max_constraint(y) >= -options_.feas_margin) {
-    // Build the slack-augmented problem in (y, s).
-    LseFunction slack_obj;
-    slack_obj.a = Matrix(1, n + 1);
-    slack_obj.a(0, n) = 1.0;  // F0(y, s) = s
-    slack_obj.b = Vector(1);
-    std::vector<LseFunction> slack_cons;
-    slack_cons.reserve(cons.size());
-    for (const LseFunction& c : cons) slack_cons.push_back(augment_with_slack(c));
-
-    Barrier phase1(std::move(slack_obj), std::move(slack_cons), options_);
-    Vector ys(n + 1, 0.0);
-    // s0 strictly above the worst violation keeps the start interior.
-    ys[n] = main_barrier.max_constraint(y) + 1.0;
-    const double margin = options_.feas_margin;
-    auto feasible_found = [&](const Vector& p) {
-      // Check the *original* constraints at the y part of the iterate.
-      Vector yy(n);
-      for (std::size_t i = 0; i < n; ++i) yy[i] = p[i];
-      return main_barrier.max_constraint(yy) < -margin;
-    };
-    const Barrier::PathResult p1 = phase1.path(ys, newton_budget, feasible_found);
-    sol.newton_iterations += phase1.newton_used();
-
-    Vector y_candidate(n);
-    for (std::size_t i = 0; i < n; ++i) y_candidate[i] = ys[i];
-    if (main_barrier.max_constraint(y_candidate) >= -margin) {
-      // Phase I finished without reaching s < 0: either the problem is
-      // infeasible (phase I converged) or we ran out of budget.
-      sol.status = p1.converged && newton_budget > 0 ? GpStatus::kInfeasible
-                   : p1.numeric_ok                   ? GpStatus::kIterLimit
-                                                     : GpStatus::kNumeric;
-      for (std::size_t i = 0; i < n; ++i) sol.x[i] = std::exp(y_candidate[i]);
-      sol.objective = problem.objective().eval(sol.x);
-      sol.max_violation =
-          std::exp(main_barrier.max_constraint(y_candidate)) - 1.0;
-      return sol;
-    }
-    y = y_candidate;
-  }
-
-  // ---- Phase II: barrier path on the true objective.
-  const Barrier::PathResult p2 = main_barrier.path(y, newton_budget, nullptr);
-  sol.outer_iterations = p2.outer;
-  sol.newton_iterations += main_barrier.newton_used();
-
-  // Clamp before exponentiating: a flat objective can let y drift far
-  // along a null direction, and exp() must stay positive and finite.
-  for (std::size_t i = 0; i < n; ++i) {
-    sol.x[i] = std::exp(std::clamp(y[i], -700.0, 700.0));
-    if (sol.x[i] == 0.0) sol.x[i] = 1e-300;
-  }
-  sol.objective = problem.objective().eval(sol.x);
-  sol.max_violation =
-      cons.empty() ? 0.0 : std::exp(main_barrier.max_constraint(y)) - 1.0;
-  sol.status = p2.converged    ? GpStatus::kOptimal
-               : p2.numeric_ok ? GpStatus::kIterLimit
-                               : GpStatus::kNumeric;
-  return sol;
+GpSolution GpSolver::solve(const GpProblem& problem,
+                           const std::vector<double>& x0) const {
+  return options_.use_compiled_kernel ? solve_compiled(problem, options_, &x0)
+                                      : solve_legacy(problem, options_, &x0);
 }
 
 }  // namespace mfa::gp

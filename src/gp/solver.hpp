@@ -36,6 +36,11 @@ struct SolverOptions {
   /// phase-I merit bounded and phase II free of drift along flat
   /// directions. 46 ≈ log(1e20).
   double variable_box = 46.0;
+  /// Evaluate through the compiled flat LSE IR (gp/compiled.hpp): fused
+  /// value/gradient/Hessian over CSR arrays with preallocated scratch.
+  /// The interpretive LseFunction path is kept for cross-validation and
+  /// the bench/gp_kernel baseline.
+  bool use_compiled_kernel = true;
 };
 
 enum class GpStatus {
@@ -66,6 +71,14 @@ class GpSolver {
   explicit GpSolver(SolverOptions options = {}) : options_(options) {}
 
   [[nodiscard]] GpSolution solve(const GpProblem& problem) const;
+
+  /// Warm-started solve: seeds the barrier at y = log x0 (clamped to the
+  /// variable box) instead of y = 0. x0 must be strictly positive and
+  /// indexed by VarId. A strictly feasible seed skips phase I entirely;
+  /// an infeasible one still speeds phase I up by starting it nearby.
+  /// Converges to the same optimum as the cold solve (to tolerance).
+  [[nodiscard]] GpSolution solve(const GpProblem& problem,
+                                 const std::vector<double>& x0) const;
 
   [[nodiscard]] const SolverOptions& options() const { return options_; }
 

@@ -4,15 +4,16 @@
 #include <numeric>
 
 namespace mfa::linalg {
+namespace {
 
-std::optional<Cholesky> Cholesky::factor(const Matrix& a, double regularize) {
-  MFA_ASSERT(a.rows() == a.cols());
+/// Cholesky factorization of a + regularize·I into the caller's l (which
+/// must already be n×n). Only the lower triangle of l is written or read.
+bool factor_into(const Matrix& a, double regularize, Matrix& l) {
   const std::size_t n = a.rows();
-  Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j) + regularize;
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0)) return std::nullopt;  // also rejects NaN
+    if (!(diag > 0.0)) return false;  // also rejects NaN
     l(j, j) = std::sqrt(diag);
     for (std::size_t i = j + 1; i < n; ++i) {
       double acc = a(i, j);
@@ -20,6 +21,15 @@ std::optional<Cholesky> Cholesky::factor(const Matrix& a, double regularize) {
       l(i, j) = acc / l(j, j);
     }
   }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a, double regularize) {
+  MFA_ASSERT(a.rows() == a.cols());
+  Matrix l(a.rows(), a.rows());
+  if (!factor_into(a, regularize, l)) return std::nullopt;
   return Cholesky(std::move(l));
 }
 
@@ -104,15 +114,44 @@ double Lu::determinant() const {
 
 std::optional<Vector> solve_spd(const Matrix& a, const Vector& b) {
   MFA_ASSERT(a.rows() == a.cols() && a.rows() == b.size());
+  SpdWorkspace ws;
+  Vector x;
+  if (!solve_spd_reuse(a, b, ws, x)) return std::nullopt;
+  return x;
+}
+
+bool solve_spd_reuse(const Matrix& a, const Vector& b, SpdWorkspace& ws,
+                     Vector& x) {
+  MFA_ASSERT(a.rows() == a.cols() && a.rows() == b.size());
+  const std::size_t n = a.rows();
+  if (ws.l.rows() != n || ws.l.cols() != n) ws.l = Matrix(n, n);
+  if (ws.y.size() != n) ws.y = Vector(n);
+  if (x.size() != n) x = Vector(n);
   // Scale regularization with the matrix magnitude so conditioning, not
   // absolute size, decides when it kicks in.
   const double scale = std::max(a.norm_inf(), 1.0);
   double reg = 0.0;
   for (int attempt = 0; attempt < 12; ++attempt) {
-    if (auto chol = Cholesky::factor(a, reg)) return chol->solve(b);
-    reg = (reg == 0.0) ? 1e-12 * scale : reg * 100.0;
+    if (!factor_into(a, reg, ws.l)) {
+      reg = (reg == 0.0) ? 1e-12 * scale : reg * 100.0;
+      continue;
+    }
+    const Matrix& l = ws.l;
+    // Forward substitution L·y = b.
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b[i];
+      for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * ws.y[k];
+      ws.y[i] = acc / l(i, i);
+    }
+    // Backward substitution Lᵀ·x = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc = ws.y[ii];
+      for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+      x[ii] = acc / l(ii, ii);
+    }
+    return true;
   }
-  return std::nullopt;
+  return false;
 }
 
 }  // namespace mfa::linalg

@@ -1,7 +1,5 @@
 #include "runtime/batch.hpp"
 
-#include <utility>
-
 #include "runtime/portfolio.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -12,18 +10,41 @@ std::vector<SolveResult> BatchRunner::solve_all(
   std::vector<SolveResult> results(requests.size());
   if (requests.empty()) return results;
 
+  // One cache for the whole batch (see header); hits are bit-identical
+  // to solving, so injecting it does not disturb determinism.
+  RelaxationCache batch_cache;
+  RelaxationCache* cache = options_.relax_cache != nullptr
+                               ? options_.relax_cache
+                           : options_.share_relaxations ? &batch_cache
+                                                        : nullptr;
+  PortfolioOptions base = options_.portfolio;
+  if (base.relax_cache == nullptr) base.relax_cache = cache;
+  // Per-request options are value copies, so injecting the cache never
+  // mutates caller state; skip the copy entirely when caching is off.
+  std::vector<SolveRequest> effective;
+  if (cache != nullptr) {
+    effective = requests;
+    for (SolveRequest& request : effective) {
+      if (request.options && request.options->relax_cache == nullptr) {
+        request.options->relax_cache = cache;
+      }
+    }
+  }
+  const std::vector<SolveRequest>& work =
+      cache != nullptr ? effective : requests;
+
   // Lanes sequential inside each instance (see header).
-  Portfolio portfolio(options_.portfolio, /*num_threads=*/1);
-  if (options_.num_threads == 1 || requests.size() == 1) {
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      results[i] = portfolio.solve(requests[i]);
+  Portfolio portfolio(base, /*num_threads=*/1);
+  if (options_.num_threads == 1 || work.size() == 1) {
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      results[i] = portfolio.solve(work[i]);
     }
     return results;
   }
 
   ThreadPool pool(options_.num_threads);
-  pool.parallel_for(requests.size(), [&](std::size_t i) {
-    results[i] = portfolio.solve(requests[i]);
+  pool.parallel_for(work.size(), [&](std::size_t i) {
+    results[i] = portfolio.solve(work[i]);
   });
   return results;
 }

@@ -7,11 +7,20 @@
 // node-only budgets the output is bit-for-bit identical for 1 and N
 // threads. Parallelism therefore comes purely from solving different
 // instances concurrently, which is the shape of the Fig. 3–5 grids.
+//
+// By default every batch shares one RelaxationCache across all its
+// requests and portfolio lanes: duplicate and near-duplicate instances
+// (the same grid point under several methods, the same root relaxation
+// under several greedy deviations) collapse to cache hits. Cache keys
+// capture every solve input, so a hit returns exactly the bytes a solve
+// would have produced and the bit-for-bit determinism guarantee above
+// holds with the cache enabled, whichever thread populated it first.
 #pragma once
 
 #include <vector>
 
 #include "core/problem.hpp"
+#include "runtime/relax_cache.hpp"
 #include "runtime/solve.hpp"
 
 namespace mfa::runtime {
@@ -21,6 +30,13 @@ struct BatchOptions {
   int num_threads = 0;
   /// Portfolio applied to every request without its own options.
   PortfolioOptions portfolio;
+  /// Share one relaxation cache across the whole batch (see file
+  /// comment). Disable to reproduce PR-1 cold-solve behavior.
+  bool share_relaxations = true;
+  /// Longer-lived cache to use instead of the per-batch one, so hits
+  /// survive across solve_all() calls (e.g. successive sweeps over one
+  /// design space). Not owned; implies sharing when set.
+  RelaxationCache* relax_cache = nullptr;
 };
 
 class BatchRunner {

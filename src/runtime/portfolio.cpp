@@ -36,6 +36,7 @@ LaneRun run_lane(const StrategySpec& spec, const core::Problem& problem,
     case StrategySpec::Kind::kGpa: {
       alloc::GpaOptions o = options.gpa;
       o.greedy.t_max = spec.t_max;
+      if (options.relax_cache != nullptr) o.relax_cache = options.relax_cache;
       StatusOr<alloc::GpaResult> r = alloc::GpaSolver(o).solve(problem);
       if (r.is_ok()) {
         run.allocation = std::move(r.value().allocation);

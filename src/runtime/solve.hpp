@@ -64,6 +64,15 @@ struct PortfolioOptions {
   /// shared budget so still-running lanes stop at their incumbents.
   bool stop_on_proved_optimal = true;
 
+  /// Shared relaxation memoization for the GP+A lanes (see
+  /// runtime/relax_cache.hpp): every lane solves the identical root
+  /// relaxation and walks the identical discretization tree, so with a
+  /// cache the work is done once and reused. Keys capture every solve
+  /// input, so hits are bit-identical to solving — determinism across
+  /// thread counts is preserved. Not owned; overrides any cache already
+  /// set in `gpa`.
+  core::RelaxationCache* relax_cache = nullptr;
+
   alloc::GpaOptions gpa;       ///< base GP+A knobs (t_max set per lane)
   solver::ExactOptions exact;  ///< per-pack caps etc. (budget overridden)
 

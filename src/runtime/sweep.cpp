@@ -23,16 +23,16 @@ PortfolioOptions method_portfolio(alloc::Method method,
   return o;
 }
 
-alloc::SweepPoint to_point(const SolveResult& result, double constraint,
-                           alloc::Method method) {
+alloc::SweepPoint to_point(const SolveResult& result, double constraint) {
   alloc::SweepPoint point;
   point.constraint = constraint;
   point.seconds = result.seconds;
   if (!result.is_ok()) return point;
   point.feasible = true;
-  point.proved_optimal = method == alloc::Method::kGpa
-                             ? true  // heuristic: "completed", not optimal
-                             : result.proved_optimal;
+  // Real provenance from the portfolio: true only when an exact search
+  // completed and the returned incumbent matches it. GP+A points are
+  // heuristic and never claim a proof.
+  point.proved_optimal = result.proved_optimal;
   point.ii = result.ii;
   point.phi = result.phi;
   point.goal = result.goal;
@@ -73,8 +73,7 @@ std::vector<alloc::SweepSeries> run_sweeps(
     series.method = method;
     series.points.reserve(constraints.size());
     for (double constraint : constraints) {
-      series.points.push_back(
-          to_point(results[next++], constraint, method));
+      series.points.push_back(to_point(results[next++], constraint));
     }
     out.push_back(std::move(series));
   }

@@ -4,10 +4,12 @@
 // Produces the same alloc::SweepSeries as the single-threaded
 // alloc::run_sweep, but fans every (method × constraint) grid point
 // through BatchRunner as an independent SolveRequest, so a whole figure
-// is one batch and the pool stays saturated across methods. Point
-// semantics are preserved: GP+A points report proved_optimal = true on
-// success ("completed", the heuristic has no proof), exact points report
-// the search's own proof flag, and kMinlp forces β = 0 per point.
+// is one batch, the pool stays saturated across methods, and the batch's
+// shared relaxation cache collapses duplicate grid points. Point
+// semantics are preserved: proved_optimal carries the SolveResult's real
+// provenance (true only when an exact search completed — GP+A points
+// are heuristic and never claim a proof), and kMinlp forces β = 0 per
+// point.
 #pragma once
 
 #include <vector>

@@ -27,8 +27,30 @@ std::size_t most_fractional(const std::vector<double>& n_hat, double tol) {
 
 }  // namespace
 
+namespace {
+
+/// Solves one node relaxation, through the shared cache when configured.
+/// The cache key captures (problem, bounds, hint) exactly, so a hit is
+/// bit-identical to solving — see core/relax_cache.hpp.
+StatusOr<core::RelaxedSolution> solve_node(const Problem& problem,
+                                           const CuBounds& bounds,
+                                           double ii_hint,
+                                           core::RelaxationCache* cache) {
+  if (cache == nullptr) {
+    return core::solve_relaxation(problem, bounds, ii_hint);
+  }
+  auto entry = cache->get_or_solve(
+      core::relaxation_cache_key(problem, bounds, ii_hint), [&] {
+        return core::solve_relaxation(problem, bounds, ii_hint);
+      });
+  return *entry;
+}
+
+}  // namespace
+
 StatusOr<DiscretizeResult> Discretizer::run(const Problem& problem) const {
-  auto root = core::solve_relaxation(problem);
+  auto root = solve_node(problem, CuBounds::defaults(problem), 0.0,
+                         options_.cache);
   if (!root.is_ok()) return root.status();
   return run(problem, root.value());
 }
@@ -84,22 +106,27 @@ StatusOr<DiscretizeResult> Discretizer::run(const Problem& problem,
 
     // Branch: N_k ≤ ⌊N̂_k⌋ and N_k ≥ ⌈N̂_k⌉ (paper §3.2.2). The ceil
     // child is pushed last so it is explored first: more CUs means a
-    // lower II incumbent sooner, which sharpens pruning.
+    // lower II incumbent sooner, which sharpens pruning. Children are
+    // warm-started from this node's ÎI: tightening a bound can only
+    // raise the relaxed optimum, so the parent value brackets the child
+    // bisection from below.
     const double floor_v = std::floor(node.relax.n_hat[k]);
     const double ceil_v = std::ceil(node.relax.n_hat[k]);
+    const double hint = options_.warm_start_nodes ? node.relax.ii : 0.0;
 
     Node down{node.bounds, {}};
     down.bounds.upper[k] = std::min(down.bounds.upper[k], floor_v);
-    if (auto rel = core::solve_relaxation(problem, down.bounds);
+    if (auto rel = solve_node(problem, down.bounds, hint, options_.cache);
         rel.is_ok()) {
-      down.relax = rel.value();
+      down.relax = std::move(rel.value());
       stack.push_back(std::move(down));
     }
 
     Node up{std::move(node.bounds), {}};
     up.bounds.lower[k] = std::max(up.bounds.lower[k], ceil_v);
-    if (auto rel = core::solve_relaxation(problem, up.bounds); rel.is_ok()) {
-      up.relax = rel.value();
+    if (auto rel = solve_node(problem, up.bounds, hint, options_.cache);
+        rel.is_ok()) {
+      up.relax = std::move(rel.value());
       stack.push_back(std::move(up));
     }
   }

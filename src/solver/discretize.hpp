@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "core/relax_cache.hpp"
 #include "core/relaxation.hpp"
 #include "support/status.hpp"
 
@@ -30,6 +31,16 @@ struct DiscretizeResult {
 struct DiscretizeOptions {
   std::int64_t max_nodes = 1'000'000;
   double integrality_tol = 1e-6;
+  /// Seed each child node's bisection with its parent's relaxed ÎI — a
+  /// valid bracket end after bound tightening, so the search result is
+  /// unchanged and the node solve converges in fewer iterations.
+  bool warm_start_nodes = true;
+  /// Optional shared memoization of node relaxations, keyed by problem
+  /// fingerprint × bounds × warm hint (core/relax_cache.hpp). Portfolio
+  /// lanes and duplicate batch instances walk identical trees, so a
+  /// shared cache collapses their node solves to lookups. Not owned;
+  /// may be used from several threads concurrently.
+  core::RelaxationCache* cache = nullptr;
 };
 
 /// Discretizes the relaxation of `problem`. An externally computed root

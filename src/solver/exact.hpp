@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "core/allocation.hpp"
 #include "core/problem.hpp"

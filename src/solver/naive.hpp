@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "core/allocation.hpp"
 #include "core/problem.hpp"

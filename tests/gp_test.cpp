@@ -1,7 +1,10 @@
 #include <cmath>
+#include <random>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "gp/compiled.hpp"
 #include "gp/expr.hpp"
 #include "gp/problem.hpp"
 #include "gp/solver.hpp"
@@ -25,6 +28,36 @@ TEST(Monomial, EvalAndAlgebra) {
   Monomial one = m * inv;
   EXPECT_TRUE(one.exponents().empty());
   EXPECT_DOUBLE_EQ(one.coeff(), 1.0);
+}
+
+TEST(Monomial, IntegerExponentFastPathMatchesPow) {
+  // e ∈ {1, 2, −1} take the multiply/divide fast path; parity with the
+  // generic std::pow route must hold for all of them.
+  GpProblem p;
+  const VarId x = p.add_variable("x");
+  const VarId y = p.add_variable("y");
+  const VarId z = p.add_variable("z");
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> point(0.1, 50.0);
+  const double exps[] = {1.0, 2.0, -1.0, 0.5, -2.0, 3.0};
+  for (double ex : exps) {
+    for (double ey : exps) {
+      Monomial m = 1.75 * Monomial::var(x).pow(ex) *
+                   Monomial::var(y).pow(ey) * Monomial::var(z).pow(-1.0);
+      for (int trial = 0; trial < 16; ++trial) {
+        std::vector<double> at{point(rng), point(rng), point(rng)};
+        const double reference = 1.75 * std::pow(at[0], ex) *
+                                 std::pow(at[1], ey) * std::pow(at[2], -1.0);
+        EXPECT_NEAR(m.eval(at), reference, 1e-12 * std::fabs(reference))
+            << "ex=" << ex << " ey=" << ey;
+      }
+    }
+  }
+  // The unit-exponent path is exact, not merely close.
+  std::vector<double> at{1.0 / 3.0, 7.0, 1.0};
+  EXPECT_DOUBLE_EQ(Monomial::var(x).eval(at), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Monomial::var(y).pow(2.0).eval(at), 49.0);
+  EXPECT_DOUBLE_EQ(Monomial::var(x).pow(-1.0).eval(at), 3.0);
 }
 
 TEST(Posynomial, SumAndScale) {
@@ -104,6 +137,155 @@ TEST(LseFunction, HessianMatchesFiniteDifference) {
       EXPECT_NEAR(hess(i, j), fd, 1e-4);
     }
   }
+}
+
+/// Random posynomial over `n` vars: 1–6 terms, exponents drawn from a
+/// grid that includes the fast-path values and repeats often enough to
+/// exercise hash-consing and duplicate-term merging.
+Posynomial random_posynomial(std::mt19937& rng, std::size_t n) {
+  std::uniform_int_distribution<int> terms(1, 6);
+  std::uniform_int_distribution<int> pick(0, 6);
+  std::uniform_real_distribution<double> coeff(0.1, 10.0);
+  const double grid[] = {-2.0, -1.0, -0.5, 0.0, 1.0, 2.0, 3.0};
+  Posynomial p;
+  const int num_terms = terms(rng);
+  for (int t = 0; t < num_terms; ++t) {
+    Monomial m(coeff(rng));
+    for (std::size_t v = 0; v < n; ++v) {
+      const double e = grid[pick(rng)];
+      if (e != 0.0) m *= Monomial::var(static_cast<VarId>(v)).pow(e);
+    }
+    p += m;
+  }
+  return p;
+}
+
+TEST(CompiledGp, MatchesLseOnRandomPosynomials) {
+  // The flat IR must agree with the interpretive LseFunction path on
+  // value, gradient and Hessian across random posynomials and points.
+  std::mt19937 rng(2024);
+  std::uniform_real_distribution<double> point(-1.5, 1.5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 5);
+    GpProblem prob;
+    for (std::size_t v = 0; v < n; ++v) {
+      prob.add_variable("v" + std::to_string(v));
+    }
+    const Posynomial p = random_posynomial(rng, n);
+    const LseFunction lse = prob.compile(p);
+    CompiledGp compiled(n);
+    compiled.add(p);
+
+    linalg::Vector y(n);
+    for (std::size_t v = 0; v < n; ++v) y[v] = point(rng);
+
+    GpWorkspace ws;
+    const double expected = lse.value(y);
+    EXPECT_NEAR(compiled.value(0, y, ws), expected,
+                1e-9 * (1.0 + std::fabs(expected)));
+
+    linalg::Vector grad_ref(n);
+    linalg::Matrix hess_ref(n, n);
+    lse.add_derivatives(y, 1.0, grad_ref, hess_ref);
+    linalg::Vector grad(n);
+    linalg::Matrix hess(n, n);
+    const double val = compiled.prepare(0, y, ws);
+    compiled.scatter(0, 1.0, 1.0, -1.0, grad, hess, ws);
+    EXPECT_NEAR(val, expected, 1e-9 * (1.0 + std::fabs(expected)));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(grad[i], grad_ref[i], 1e-9) << "trial " << trial;
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(hess(i, j), hess_ref(i, j), 1e-9) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(CompiledGp, HashConsesRowsAndMergesDuplicateMonomials) {
+  GpProblem prob;
+  const VarId x = prob.add_variable("x");
+  const VarId y = prob.add_variable("y");
+  // x·y appears in both constraints and twice in the objective.
+  prob.set_objective(2.0 * Monomial::var(x) * Monomial::var(y) +
+                     3.0 * Monomial::var(x) * Monomial::var(y));
+  prob.add_le1(0.5 * Monomial::var(x) * Monomial::var(y) +
+               Monomial::var(x).inverse());
+  prob.add_le1(0.25 * Monomial::var(x) * Monomial::var(y));
+  CompiledGp compiled = prob.compile();
+  EXPECT_EQ(compiled.num_functions(), 3u);
+  // Duplicate monomials merged: the objective is a single term 5·x·y.
+  EXPECT_EQ(compiled.num_terms(0), 1u);
+  // Rows hash-consed: {x·y, 1/x} — two distinct exponent patterns.
+  EXPECT_EQ(compiled.num_rows(), 2u);
+  // Merged coefficient evaluates as 5·x·y.
+  GpWorkspace ws;
+  linalg::Vector at{std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(compiled.value(0, at, ws), std::log(5.0 * 2.0 * 3.0), 1e-12);
+}
+
+TEST(CompiledGp, SlackAugmentationMatchesDefinition) {
+  GpProblem prob;
+  const VarId x = prob.add_variable("x");
+  prob.set_objective(Monomial::var(x));
+  prob.add_le1(2.0 * Monomial::var(x), "x <= 1/2");
+  CompiledGp compiled = prob.compile();
+  CompiledGp slack = compiled.with_slack();
+  ASSERT_EQ(slack.num_vars(), 2u);
+  GpWorkspace ws;
+  // F₀(y, s) = s;  F₁(y, s) = F₁(y) − s.
+  linalg::Vector ys{0.3, 0.7};
+  EXPECT_NEAR(slack.value(0, ys, ws), 0.7, 1e-12);
+  linalg::Vector y1{0.3};
+  EXPECT_NEAR(slack.value(1, ys, ws), compiled.value(1, y1, ws) - 0.7,
+              1e-12);
+}
+
+/// Compiled and legacy kernels must land on the same optimum.
+TEST(GpSolver, CompiledMatchesLegacyOnRandomProblems) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 3);
+    GpProblem prob;
+    for (std::size_t v = 0; v < n; ++v) {
+      prob.add_variable("v" + std::to_string(v));
+    }
+    prob.set_objective(random_posynomial(rng, n));
+    // A box-style constraint per variable keeps the instances bounded
+    // and feasible: x_v ≤ u with u ∈ [1, 8].
+    std::uniform_real_distribution<double> ub(1.0, 8.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      prob.add_le1((1.0 / ub(rng)) * Monomial::var(static_cast<VarId>(v)));
+    }
+    SolverOptions compiled_opts;
+    compiled_opts.use_compiled_kernel = true;
+    SolverOptions legacy_opts;
+    legacy_opts.use_compiled_kernel = false;
+    const GpSolution a = GpSolver(compiled_opts).solve(prob);
+    const GpSolution b = GpSolver(legacy_opts).solve(prob);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (!a.ok()) continue;
+    EXPECT_NEAR(a.objective, b.objective,
+                1e-6 * (1.0 + std::fabs(b.objective)))
+        << "trial " << trial;
+  }
+}
+
+TEST(GpSolver, WarmStartMatchesColdStart) {
+  GpProblem p;
+  const VarId x = p.add_variable("x");
+  const VarId y = p.add_variable("y");
+  p.set_objective(Monomial::var(x) * Monomial::var(y));
+  p.add_le1((Monomial::var(x) * Monomial::var(y)).inverse(), "xy >= 1");
+  const GpSolution cold = GpSolver().solve(p);
+  ASSERT_TRUE(cold.ok());
+  // Seeding with the cold solution (or any positive point) converges to
+  // the same optimum.
+  const GpSolution warm = GpSolver().solve(p, cold.x);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-8);
+  const GpSolution elsewhere = GpSolver().solve(p, {37.0, 0.004});
+  ASSERT_TRUE(elsewhere.ok());
+  EXPECT_NEAR(elsewhere.objective, cold.objective, 1e-6);
 }
 
 // minimize x + 1/x  →  x* = 1, f* = 2 (unconstrained GP).

@@ -14,6 +14,7 @@
 #include "hls/paper.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/portfolio.hpp"
+#include "runtime/relax_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "runtime/thread_pool.hpp"
 #include "testutil.hpp"
@@ -304,6 +305,83 @@ TEST(BatchRunner, FourThreadsFasterThanOneOnMulticore) {
   const double four = time_run(4);
   EXPECT_LT(four, one / 1.1)
       << "1 thread: " << one << " s, 4 threads: " << four << " s";
+}
+
+TEST(BatchRunner, SharedCacheDoesNotChangeResults) {
+  // The relaxation cache is a pure memoization: enabled or disabled,
+  // 1 thread or 4, every result must be bit-for-bit identical.
+  const std::vector<core::Problem> grid = random_grid(12, 99);
+
+  auto run = [&grid](int threads, bool share) {
+    BatchOptions batch;
+    batch.num_threads = threads;
+    batch.share_relaxations = share;
+    batch.portfolio = deterministic_portfolio(50'000);
+    return BatchRunner(batch).solve_all(grid);
+  };
+  const std::vector<SolveResult> cold = run(1, false);
+  const std::vector<SolveResult> cached_one = run(1, true);
+  const std::vector<SolveResult> cached_four = run(4, true);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    for (const auto* other : {&cached_one, &cached_four}) {
+      EXPECT_EQ(cold[i].status.code(), (*other)[i].status.code());
+      EXPECT_EQ(cold[i].winner, (*other)[i].winner);
+      EXPECT_EQ(cold[i].goal, (*other)[i].goal);
+      EXPECT_EQ(cold[i].ii, (*other)[i].ii);
+      EXPECT_EQ(cold[i].phi, (*other)[i].phi);
+    }
+  }
+}
+
+TEST(BatchRunner, ExternalCacheIsPopulatedAndReused) {
+  RelaxationCache cache;
+  BatchOptions batch;
+  batch.num_threads = 2;
+  batch.relax_cache = &cache;
+  batch.portfolio = deterministic_portfolio(50'000);
+
+  const std::vector<core::Problem> grid = random_grid(4, 31);
+  const std::vector<SolveResult> first = BatchRunner(batch).solve_all(grid);
+  const auto after_first = cache.stats();
+  EXPECT_GT(after_first.entries, 0u);
+  // Three GP+A lanes per instance walk identical trees → intra-batch hits.
+  EXPECT_GT(after_first.hits, 0u);
+
+  // A second batch over the same grid is served from the cache: no new
+  // entries, identical results.
+  const std::vector<SolveResult> second = BatchRunner(batch).solve_all(grid);
+  EXPECT_EQ(cache.stats().entries, after_first.entries);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(first[i].goal, second[i].goal);
+    EXPECT_EQ(first[i].winner, second[i].winner);
+  }
+}
+
+TEST(RuntimeSweep, GpaPointsCarryHeuristicProvenance) {
+  // GP+A completion is no optimality proof: such points must not be
+  // labeled proved_optimal (they were before this was fixed).
+  core::Problem problem = test::tiny_problem();
+  alloc::SweepConfig config;
+  config.constraints = alloc::constraint_range(0.70, 0.80, 0.05);
+  SweepOptions options;
+  options.num_threads = 2;
+  options.config = config;
+  const alloc::SweepSeries gpa =
+      run_sweep(problem, alloc::Method::kGpa, options);
+  for (const alloc::SweepPoint& pt : gpa.points) {
+    EXPECT_FALSE(pt.proved_optimal);
+  }
+  // Exact methods keep their real proof flag (node budget is generous
+  // enough for the tiny instance to complete).
+  config.exact.max_nodes = 1'000'000;
+  options.config = config;
+  const alloc::SweepSeries exact =
+      run_sweep(problem, alloc::Method::kMinlpG, options);
+  for (const alloc::SweepPoint& pt : exact.points) {
+    if (pt.feasible) EXPECT_TRUE(pt.proved_optimal);
+  }
 }
 
 TEST(RuntimeSweep, MatchesSingleThreadedAllocSweep) {
