@@ -15,15 +15,23 @@
 // (correctness-of-wiring only; ratios are still printed) and `--iters N`
 // sets an explicit count. Exits non-zero only with `--check`, so timing
 // noise cannot break CI.
+//
+// With MFA_BENCH_OUT set to a directory, the measurements are also
+// written there as BENCH_gp_kernel.json — one machine-readable record
+// per workload (baseline/new seconds, speedup) plus the headline — so
+// CI can archive the perf trajectory run over run.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "alloc/gpa.hpp"
 #include "core/relax_cache.hpp"
 #include "core/relaxation.hpp"
 #include "hls/paper.hpp"
+#include "io/serialize.hpp"
 
 namespace {
 
@@ -47,9 +55,45 @@ double time_per_run(int iters, Body&& body) {
   return seconds_since(t0) / iters;
 }
 
+struct Measurement {
+  std::string name;
+  double baseline_s = 0.0;
+  double new_s = 0.0;
+};
+
+std::vector<Measurement> g_measurements;
+
 void report(const char* name, double base_s, double new_s) {
   std::printf("%-44s %10.1f us %10.1f us %7.2fx\n", name, base_s * 1e6,
               new_s * 1e6, base_s / new_s);
+  g_measurements.push_back({name, base_s, new_s});
+}
+
+/// Emits BENCH_gp_kernel.json into $MFA_BENCH_OUT, if set.
+void emit_json(int iters, double headline) {
+  const char* dir = std::getenv("MFA_BENCH_OUT");
+  if (dir == nullptr || *dir == '\0') return;
+  mfa::io::Json doc = mfa::io::Json::object();
+  doc.set("bench", mfa::io::Json::string("gp_kernel"));
+  doc.set("iters", mfa::io::Json::number(iters));
+  doc.set("headline_speedup", mfa::io::Json::number(headline));
+  mfa::io::Json rows = mfa::io::Json::array();
+  for (const Measurement& m : g_measurements) {
+    mfa::io::Json row = mfa::io::Json::object();
+    row.set("workload", mfa::io::Json::string(m.name));
+    row.set("baseline_s", mfa::io::Json::number(m.baseline_s));
+    row.set("new_s", mfa::io::Json::number(m.new_s));
+    row.set("speedup", mfa::io::Json::number(m.baseline_s / m.new_s));
+    rows.push_back(std::move(row));
+  }
+  doc.set("measurements", std::move(rows));
+  const std::string path = std::string(dir) + "/BENCH_gp_kernel.json";
+  const mfa::Status st = mfa::io::write_file(path, doc.dump(2) + "\n");
+  if (st.is_ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
+  }
 }
 
 }  // namespace
@@ -148,6 +192,7 @@ int main(int argc, char** argv) {
   std::printf("\nheadline speedup (compiled + cached vs PR-1 baseline): "
               "%.2fx (target >= 3x)\n",
               headline);
+  emit_json(iters, headline);
   if (check && headline < 3.0) {
     std::printf("FAIL: headline below 3x\n");
     return 1;

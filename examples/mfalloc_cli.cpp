@@ -6,15 +6,22 @@
 //   mfalloc_cli sweep     <problem.json> <lo%> <hi%> <step%>
 //                         [--method gpa|minlp|minlpg] [--jobs N]
 //   mfalloc_cli simulate  <problem.json> [--images N]
+//   mfalloc_cli gen       <out.json|-> [--seed S] [--kernels N]
+//                         [--fpgas F] [--classes C] [--tightness X]
+//                         [--skew X]
 //
 // `portfolio` races every solving strategy (GP+A at several greedy
 // deviations, the exact search, optionally the naive B&B) concurrently
 // under one deadline and reports the winner with full provenance;
-// `sweep --jobs N` fans the grid across N worker threads.
+// `sweep --jobs N` fans the grid across N worker threads; `gen` writes
+// a seeded random scenario (pipeline × possibly mixed-class platform)
+// as a problem JSON ready for any other subcommand — same seed, same
+// file, byte for byte.
 //
 // The problem file format is documented in src/io/serialize.hpp and
 // examples/data/custom_pipeline.json.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +34,7 @@
 #include "io/table.hpp"
 #include "runtime/portfolio.hpp"
 #include "runtime/sweep.hpp"
+#include "scenario/generate.hpp"
 #include "sim/pipeline_sim.hpp"
 #include "solver/exact.hpp"
 
@@ -42,8 +50,10 @@ int usage(const char* argv0) {
                "[--jobs N]\n"
                "  %s sweep     <problem.json> <lo%%> <hi%%> <step%%> "
                "[--method gpa|minlp|minlpg] [--jobs N]\n"
-               "  %s simulate  <problem.json> [--images N]\n",
-               argv0, argv0, argv0, argv0);
+               "  %s simulate  <problem.json> [--images N]\n"
+               "  %s gen       <out.json|-> [--seed S] [--kernels N] "
+               "[--fpgas F] [--classes C] [--tightness X] [--skew X]\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -243,11 +253,62 @@ int cmd_simulate(const mfa::core::Problem& p, int argc, char** argv) {
   return 0;
 }
 
+int cmd_gen(const char* out_path, int argc, char** argv) {
+  mfa::scenario::ScenarioSpec spec;
+  std::uint64_t seed = 0;
+  if (const char* s = flag_value(argc, argv, "--seed"); s != nullptr) {
+    char* end = nullptr;
+    seed = std::strtoull(s, &end, 10);
+    if (*s == '\0' || *end != '\0') return 2;
+  }
+  if (const char* k = flag_value(argc, argv, "--kernels"); k != nullptr) {
+    const int n = std::atoi(k);
+    if (n < 1) return 2;
+    spec.min_kernels = spec.max_kernels = n;
+  }
+  if (const char* f = flag_value(argc, argv, "--fpgas"); f != nullptr) {
+    const int n = std::atoi(f);
+    if (n < 1) return 2;
+    spec.min_fpgas = spec.max_fpgas = n;
+  }
+  if (const char* c = flag_value(argc, argv, "--classes"); c != nullptr) {
+    spec.max_classes = std::atoi(c);
+    if (spec.max_classes < 1) return 2;
+  }
+  if (const char* t = flag_value(argc, argv, "--tightness"); t != nullptr) {
+    spec.tightness = std::atof(t);
+    if (spec.tightness <= 0.0 || spec.tightness > 1.0) return 2;
+  }
+  if (const char* s = flag_value(argc, argv, "--skew"); s != nullptr) {
+    spec.class_skew = std::atof(s);
+    if (spec.class_skew <= 0.0 || spec.class_skew > 1.0) return 2;
+  }
+
+  const mfa::core::Problem problem = mfa::scenario::generate(spec, seed);
+  const std::string text = mfa::io::to_json(problem).dump(2) + "\n";
+  if (std::strcmp(out_path, "-") == 0) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (mfa::Status st = mfa::io::write_file(out_path, text); !st.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (seed %llu, %zu kernels, %d FPGAs)\n",
+               out_path, static_cast<unsigned long long>(seed),
+               problem.num_kernels(), problem.num_fpgas());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
   const std::string command = argv[1];
+  if (command == "gen") {
+    const int rc = cmd_gen(argv[2], argc - 3, argv + 3);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
   auto problem = load(argv[2]);
   if (!problem.is_ok()) {
     std::fprintf(stderr, "error: %s\n",

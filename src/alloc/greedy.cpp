@@ -15,12 +15,14 @@ using core::Kernel;
 using core::Problem;
 using core::ResourceVec;
 
-/// Mutable per-iteration allocator state over F FPGAs.
+/// Mutable per-iteration allocator state over F (possibly mixed) FPGAs.
 struct FpgaState {
   ResourceVec slack;
   double slack_bw = 0.0;
   bool touched = false;  ///< any CU placed (line 14's "S_f = R" test)
   int index = 0;         ///< original FPGA id
+  ResourceVec cap;       ///< this FPGA's constraint-level resource cap
+  double bw_cap = 0.0;   ///< this FPGA's bandwidth cap
 };
 
 /// Decreasing criticality: the II impact of removing one CU from the
@@ -52,15 +54,16 @@ std::vector<std::size_t> sort_kernels(const Problem& p,
 }
 
 /// Scalar slack for "increasing order of resource slack" (line 22):
-/// smallest normalized remaining headroom across all axes incl. BW.
-double slack_key(const FpgaState& s, const ResourceVec& cap, double bw_cap) {
+/// smallest remaining headroom across all axes incl. BW, normalized by
+/// the FPGA's own caps so device classes compare fairly.
+double slack_key(const FpgaState& s) {
   double key = std::numeric_limits<double>::infinity();
   for (std::size_t axis = 0; axis < core::kNumResources; ++axis) {
-    if (cap.axis(axis) > 0.0) {
-      key = std::min(key, s.slack.axis(axis) / cap.axis(axis));
+    if (s.cap.axis(axis) > 0.0) {
+      key = std::min(key, s.slack.axis(axis) / s.cap.axis(axis));
     }
   }
-  if (bw_cap > 0.0) key = std::min(key, s.slack_bw / bw_cap);
+  if (s.bw_cap > 0.0) key = std::min(key, s.slack_bw / s.bw_cap);
   return key;
 }
 
@@ -83,31 +86,49 @@ class Attempt {
  public:
   Attempt(const Problem& problem, const std::vector<int>& totals, double rc)
       : p_(problem),
-        cap_(problem.platform.capacity * rc),
-        bw_cap_(problem.bw_cap()),
         alloc_(problem),
         targets_(totals),
         remaining_(totals),
         fpgas_(static_cast<std::size_t>(problem.num_fpgas())) {
     for (int f = 0; f < problem.num_fpgas(); ++f) {
-      fpgas_[static_cast<std::size_t>(f)] = {cap_, bw_cap_, false, f};
+      const ResourceVec cap = problem.platform.fpga_capacity(f) * rc;
+      const double bw_cap =
+          problem.platform.fpga_bw_capacity(f) * problem.bw_fraction;
+      fpgas_[static_cast<std::size_t>(f)] = {cap, bw_cap, false, f, cap,
+                                             bw_cap};
     }
+    // Tightest devices first so consolidation fills small FPGAs before
+    // touching roomy ones; stable, so a homogeneous platform keeps its
+    // seed index order exactly.
+    std::stable_sort(fpgas_.begin(), fpgas_.end(),
+                     [](const FpgaState& a, const FpgaState& b) {
+                       if (a.cap.max_axis() != b.cap.max_axis()) {
+                         return a.cap.max_axis() < b.cap.max_axis();
+                       }
+                       return a.bw_cap < b.bw_cap;
+                     });
   }
 
   /// Lines 11–21: split kernels too large for one FPGA across untouched
   /// FPGAs, most critical first. Returns false if a single CU of some
-  /// kernel exceeds the constraint (attempt hopeless at this R_c).
+  /// kernel fits nowhere (attempt hopeless at this R_c).
   bool prepass() {
     for (std::size_t k : sort_kernels(p_, targets_, remaining_)) {
       const Kernel& kern = p_.app.kernels[k];
-      const FpgaState empty{cap_, bw_cap_, false, 0};
       std::size_t f = 0;
       while (remaining_[k] > 0 && f < fpgas_.size()) {
-        // "CU_k · R_k > R": the whole kernel does not fit on one FPGA.
-        if (fits_entirely(kern, remaining_[k], empty)) break;
+        // "CU_k · R_k > R": the whole kernel does not fit on any one
+        // (fresh) FPGA of the fleet.
+        if (fits_on_one_fpga(kern, remaining_[k])) break;
         if (!fpgas_[f].touched) {
           const int chunk = fit(kern, fpgas_[f], remaining_[k]);
-          if (chunk == 0) return false;  // one CU exceeds the constraint
+          if (chunk == 0) {
+            // This device class cannot host even one CU; try the next
+            // FPGA — only give up if no FPGA at all can host one.
+            if (!any_fpga_fits_one(kern)) return false;
+            ++f;
+            continue;
+          }
           place(k, fpgas_[f], chunk);
         } else {
           ++f;
@@ -175,11 +196,34 @@ class Attempt {
   }
 
   void sort_ascending_slack() {
+    // Normalized slack first (most occupied first); ties — notably all
+    // FPGAs still empty — break toward the tightest device class, so
+    // roomy devices are kept free for the kernels that need them.
     std::stable_sort(fpgas_.begin(), fpgas_.end(),
                      [&](const FpgaState& a, const FpgaState& b) {
-                       return slack_key(a, cap_, bw_cap_) <
-                              slack_key(b, cap_, bw_cap_);
+                       const double ka = slack_key(a);
+                       const double kb = slack_key(b);
+                       if (ka != kb) return ka < kb;
+                       return a.cap.max_axis() < b.cap.max_axis();
                      });
+  }
+
+  /// One CU of `kern` fits a fresh FPGA of at least one device class.
+  [[nodiscard]] bool any_fpga_fits_one(const Kernel& kern) const {
+    for (const FpgaState& s : fpgas_) {
+      const FpgaState fresh{s.cap, s.bw_cap, false, 0, s.cap, s.bw_cap};
+      if (fit(kern, fresh, 1) >= 1) return true;
+    }
+    return false;
+  }
+
+  /// All `count` CUs of `kern` fit one fresh FPGA of some class.
+  [[nodiscard]] bool fits_on_one_fpga(const Kernel& kern, int count) const {
+    for (const FpgaState& s : fpgas_) {
+      const FpgaState fresh{s.cap, s.bw_cap, false, 0, s.cap, s.bw_cap};
+      if (fits_entirely(kern, count, fresh)) return true;
+    }
+    return false;
   }
 
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
@@ -244,8 +288,6 @@ class Attempt {
   }
 
   const Problem& p_;
-  ResourceVec cap_;
-  double bw_cap_;
   Allocation alloc_;
   std::vector<int> targets_;
   std::vector<int> remaining_;

@@ -1,7 +1,11 @@
-// The paper's greedy CU allocator (Algorithm 1).
+// The paper's greedy CU allocator (Algorithm 1), device-aware.
 //
 // Given the discretized totals N_k, place CUs on FPGAs so that kernels
 // consolidate (minimizing spreading) while respecting the per-FPGA caps.
+// On heterogeneous platforms every FPGA carries its own device-class
+// caps; placement prefers the tightest class first (roomy devices are
+// held back for the kernels that need them) and the oversized-kernel
+// pre-pass skips devices too small for even one CU instead of failing.
 // The heuristic:
 //   * allocates critical kernels first (a CU reduction on them hurts II
 //     most), re-sorting after each placement;

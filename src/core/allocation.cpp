@@ -95,7 +95,7 @@ double Allocation::fpga_bw(int f) const {
 }
 
 double Allocation::fpga_utilization(int f) const {
-  return fpga_resources(f).max_ratio(problem_->platform.capacity);
+  return fpga_resources(f).max_ratio(problem_->platform.fpga_capacity(f));
 }
 
 double Allocation::average_utilization() const {
@@ -114,9 +114,9 @@ std::vector<std::string> Allocation::check() const {
       violations.emplace_back(buf);
     }
   }
-  const ResourceVec cap = problem_->cap();
-  const double bw_cap = problem_->bw_cap();
   for (int f = 0; f < num_fpgas(); ++f) {
+    const ResourceVec cap = problem_->cap(f);
+    const double bw_cap = problem_->bw_cap(f);
     const ResourceVec used = fpga_resources(f);
     if (!used.fits_within(cap, 1e-6)) {
       std::snprintf(buf, sizeof(buf),

@@ -62,8 +62,9 @@ class Allocation {
   [[nodiscard]] double fpga_bw(int f) const;
 
   /// Utilization of FPGA f: max over resource axes of used/full-capacity.
-  /// Note: measured against the *full* platform capacity (the figures'
-  /// "Average Resource (%)" axis), not the swept constraint.
+  /// Note: measured against the *full* capacity of that FPGA's device
+  /// class (the figures' "Average Resource (%)" axis), not the swept
+  /// constraint.
   [[nodiscard]] double fpga_utilization(int f) const;
 
   /// Mean of fpga_utilization over all F FPGAs (x-axis of the right-hand

@@ -1,10 +1,14 @@
-// The multi-FPGA allocation problem instance (paper §3, Table 1).
+// The multi-FPGA allocation problem instance (paper §3, Table 1),
+// generalized to heterogeneous platforms.
 //
 // An Application is a linear pipeline of kernels, each characterized by
 // its one-CU worst-case execution time (WCET_k), per-CU resource vector
-// (R_k) and per-CU DRAM bandwidth (B_k). A Platform is F identical FPGAs
-// with a capacity vector and a bandwidth cap. A Problem adds the swept
-// "resource constraint" fraction and the objective weights α, β of eq. 5.
+// (R_k) and per-CU DRAM bandwidth (B_k). A Platform is F FPGAs drawn
+// from one or more *device classes* — the paper's platform is the
+// special case of a single class (F identical FPGAs with one capacity
+// vector and one bandwidth cap); mixed fleets assign each FPGA a class
+// with its own caps. A Problem adds the swept "resource constraint"
+// fraction and the objective weights α, β of eq. 5.
 #pragma once
 
 #include <cstddef>
@@ -39,12 +43,49 @@ struct Application {
   [[nodiscard]] double total_bw() const;
 };
 
-/// F identical FPGAs (e.g. the AWS F1 instance of Fig. 1).
+/// One device generation in a mixed fleet: its own capacity vector and
+/// DRAM bandwidth cap, in the same "% of one (reference) FPGA" units as
+/// kernel demands.
+struct DeviceClass {
+  std::string name;
+  ResourceVec capacity = ResourceVec::uniform(100.0);
+  double bw_capacity = 100.0;
+};
+
+/// F FPGAs, homogeneous (e.g. the AWS F1 instance of Fig. 1) or mixed.
+///
+/// Homogeneous platforms use `capacity`/`bw_capacity` and leave
+/// `classes` empty — the seed representation, preserved bit-for-bit.
+/// Heterogeneous platforms list their device classes and map each FPGA
+/// to one via `class_of` (size == num_fpgas); `capacity`/`bw_capacity`
+/// are then ignored.
 struct Platform {
   std::string name;
   int num_fpgas = 1;
   ResourceVec capacity = ResourceVec::uniform(100.0);  ///< full FPGA = 100 %
   double bw_capacity = 100.0;                          ///< full DRAM BW
+
+  std::vector<DeviceClass> classes;  ///< empty ⇒ homogeneous
+  std::vector<int> class_of;         ///< per-FPGA class index
+
+  /// Builds a mixed platform; asserts `class_of` matches and indexes
+  /// into `classes`. A single class is *still* stored heterogeneously —
+  /// solvers treat it identically to the homogeneous encoding.
+  static Platform heterogeneous(std::string name,
+                                std::vector<DeviceClass> classes,
+                                std::vector<int> class_of);
+
+  [[nodiscard]] bool homogeneous() const { return classes.empty(); }
+  [[nodiscard]] std::size_t num_classes() const {
+    return classes.empty() ? 1 : classes.size();
+  }
+
+  /// Class of FPGA f (0 for every FPGA of a homogeneous platform).
+  [[nodiscard]] int class_index(int f) const;
+
+  /// Full capacity vector / bandwidth cap of FPGA f.
+  [[nodiscard]] const ResourceVec& fpga_capacity(int f) const;
+  [[nodiscard]] double fpga_bw_capacity(int f) const;
 };
 
 /// A complete problem instance: application + platform + constraint
@@ -68,25 +109,51 @@ struct Problem {
   [[nodiscard]] std::size_t num_kernels() const { return app.size(); }
   [[nodiscard]] int num_fpgas() const { return platform.num_fpgas; }
 
-  /// Effective per-FPGA resource cap R (eq. 9 right-hand side).
+  /// Effective resource cap R_f of FPGA f (eq. 9 right-hand side,
+  /// per-device on heterogeneous platforms).
+  [[nodiscard]] ResourceVec cap(int f) const {
+    return platform.fpga_capacity(f) * resource_fraction;
+  }
+  /// Effective bandwidth cap B_f of FPGA f (eq. 10 right-hand side).
+  [[nodiscard]] double bw_cap(int f) const {
+    return platform.fpga_bw_capacity(f) * bw_fraction;
+  }
+
+  /// Homogeneous-platform effective caps (the seed API). Valid only when
+  /// the platform has a single device class; heterogeneous callers must
+  /// use the per-FPGA overloads or the pooled caps.
   [[nodiscard]] ResourceVec cap() const {
+    MFA_ASSERT_MSG(platform.homogeneous(),
+                   "cap() on a heterogeneous platform — use cap(f)");
     return platform.capacity * resource_fraction;
   }
-  /// Effective per-FPGA bandwidth cap B (eq. 10 right-hand side).
   [[nodiscard]] double bw_cap() const {
+    MFA_ASSERT_MSG(platform.homogeneous(),
+                   "bw_cap() on a heterogeneous platform — use bw_cap(f)");
     return platform.bw_capacity * bw_fraction;
   }
 
-  /// Largest number of CUs of kernel k that fit on one (empty) FPGA
-  /// under the effective caps. Zero means kernel k is unplaceable.
+  /// Σ_f cap(f) / Σ_f bw_cap(f) — the right-hand sides of the pooled
+  /// relaxation constraints (eqs. 17–18). Computed as F·cap on
+  /// homogeneous platforms so seed arithmetic is reproduced bit-for-bit.
+  [[nodiscard]] ResourceVec pooled_cap() const;
+  [[nodiscard]] double pooled_bw_cap() const;
+
+  /// Largest number of CUs of kernel k that fit on (empty) FPGA f under
+  /// the effective caps. Zero means kernel k cannot use FPGA f.
+  [[nodiscard]] int max_cu_per_fpga(std::size_t k, int f) const;
+
+  /// Largest per-FPGA fit across the platform (the roomiest device).
+  /// Zero means kernel k is unplaceable anywhere.
   [[nodiscard]] int max_cu_per_fpga(std::size_t k) const;
 
-  /// Upper bound on N_k: F · max_cu_per_fpga(k).
+  /// Upper bound on N_k: Σ_f max_cu_per_fpga(k, f).
   [[nodiscard]] int max_cu_total(std::size_t k) const;
 
   /// Structural validation: non-empty pipeline, positive WCETs,
-  /// non-negative demands, F ≥ 1, positive caps, and at least one CU of
-  /// every kernel placeable (a necessary feasibility condition).
+  /// non-negative demands, F ≥ 1, positive caps, a well-formed class
+  /// assignment, and at least one CU of every kernel placeable on some
+  /// FPGA (a necessary feasibility condition).
   [[nodiscard]] Status validate() const;
 };
 

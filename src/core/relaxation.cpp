@@ -22,25 +22,26 @@ std::vector<double> cheapest_n(const Problem& p, const CuBounds& b,
 }
 
 /// Pooled resource feasibility of a candidate N̂ (eqs. 17–18 with bounds).
+/// Pooled capacity is Σ_f R_f — F·R on homogeneous platforms (bit-equal
+/// to the seed arithmetic), the class-weighted sum on mixed ones.
 bool pooled_feasible(const Problem& p, const CuBounds& b,
                      const std::vector<double>& n) {
-  const double f = p.num_fpgas();
   for (std::size_t k = 0; k < p.num_kernels(); ++k) {
     if (n[k] > b.upper[k] * (1.0 + 1e-12) + 1e-12) return false;
   }
-  const ResourceVec cap = p.cap();
+  const ResourceVec pooled = p.pooled_cap();
   for (std::size_t axis = 0; axis < kNumResources; ++axis) {
     double used = 0.0;
     for (std::size_t k = 0; k < p.num_kernels(); ++k) {
       used += n[k] * p.app.kernels[k].res.axis(axis);
     }
-    if (used > f * cap.axis(axis) * (1.0 + 1e-12) + 1e-12) return false;
+    if (used > pooled.axis(axis) * (1.0 + 1e-12) + 1e-12) return false;
   }
   double bw = 0.0;
   for (std::size_t k = 0; k < p.num_kernels(); ++k) {
     bw += n[k] * p.app.kernels[k].bw;
   }
-  return bw <= f * p.bw_cap() * (1.0 + 1e-12) + 1e-12;
+  return bw <= p.pooled_bw_cap() * (1.0 + 1e-12) + 1e-12;
 }
 
 }  // namespace
@@ -143,7 +144,6 @@ gp::GpProblem build_relaxation_gp(const Problem& problem,
 
   model.set_objective(Monomial::var(ii));
 
-  const double f = problem.num_fpgas();
   for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
     const Kernel& kern = problem.app.kernels[k];
     // WCET_k · II⁻¹ · N_k⁻¹ ≤ 1  (eq. 15).
@@ -168,19 +168,19 @@ gp::GpProblem build_relaxation_gp(const Problem& problem,
     }
   }
 
-  // Σ_k N_k·R_k/(F·R) ≤ 1 per resource axis with non-trivial demand
-  // (eq. 17), and the bandwidth twin (eq. 18).
-  const ResourceVec cap = problem.cap();
+  // Σ_k N_k·R_k/Σ_f R_f ≤ 1 per resource axis with non-trivial demand
+  // (eq. 17, pooled over the possibly mixed fleet), and the bandwidth
+  // twin (eq. 18).
+  const ResourceVec pooled = problem.pooled_cap();
   for (std::size_t axis = 0; axis < kNumResources; ++axis) {
     Posynomial sum;
     bool any = false;
     for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
       const double demand = problem.app.kernels[k].res.axis(axis);
       if (demand <= 0.0) continue;
-      MFA_ASSERT_MSG(cap.axis(axis) > 0.0,
+      MFA_ASSERT_MSG(pooled.axis(axis) > 0.0,
                      "demand on a zero-capacity axis (validate() first)");
-      sum += Monomial(demand / (f * cap.axis(axis))) *
-             Monomial::var(n_vars[k]);
+      sum += Monomial(demand / pooled.axis(axis)) * Monomial::var(n_vars[k]);
       any = true;
     }
     if (any) {
@@ -189,15 +189,14 @@ gp::GpProblem build_relaxation_gp(const Problem& problem,
                         resource_name(static_cast<Resource>(axis)));
     }
   }
+  const double pooled_bw = problem.pooled_bw_cap();
   Posynomial bw_sum;
   bool any_bw = false;
   for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
     const double demand = problem.app.kernels[k].bw;
     if (demand <= 0.0) continue;
-    MFA_ASSERT_MSG(problem.bw_cap() > 0.0,
-                   "bandwidth demand with zero bandwidth cap");
-    bw_sum += Monomial(demand / (f * problem.bw_cap())) *
-              Monomial::var(n_vars[k]);
+    MFA_ASSERT_MSG(pooled_bw > 0.0, "bandwidth demand with zero bandwidth cap");
+    bw_sum += Monomial(demand / pooled_bw) * Monomial::var(n_vars[k]);
     any_bw = true;
   }
   if (any_bw) model.add_le1(bw_sum, "bandwidth");

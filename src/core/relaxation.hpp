@@ -1,10 +1,11 @@
 // The symmetric continuous relaxation (paper §3.2.1, eqs. 14–18).
 //
-// With β = 0 and n_{k,f} ∈ R the problem is symmetric across the F
-// identical FPGAs, so only the totals N̂_k matter:
+// With β = 0 and n_{k,f} ∈ R the per-FPGA structure drops out and only
+// the totals N̂_k matter, constrained by the *pooled* platform capacity
+// (F·R for F identical FPGAs; Σ_f R_f on a mixed fleet):
 //
 //   minimize ÎI  s.t.  ÎI ≥ WCET_k/N̂_k,  N̂_k ≥ 1,
-//                      Σ_k N̂_k·R_k ≤ F·R,  Σ_k N̂_k·B_k ≤ F·B.
+//                      Σ_k N̂_k·R_k ≤ Σ_f R_f,  Σ_k N̂_k·B_k ≤ Σ_f B_f.
 //
 // Two independent solvers are provided:
 //  * solve()    — exact bisection on the target ÎI. For a target t the

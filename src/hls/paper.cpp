@@ -76,7 +76,24 @@ Application vgg16() {
 
 Platform f1(int num_fpgas) {
   MFA_ASSERT(num_fpgas >= 1);
-  return Platform{"AWS F1", num_fpgas, ResourceVec::uniform(100.0), 100.0};
+  Platform p;
+  p.name = "AWS F1";
+  p.num_fpgas = num_fpgas;
+  p.capacity = ResourceVec::uniform(100.0);
+  p.bw_capacity = 100.0;
+  return p;
+}
+
+Platform f1_mixed(int full, int half) {
+  MFA_ASSERT(full >= 1 && half >= 1);
+  core::DeviceClass big{"F1-full", ResourceVec::uniform(100.0), 100.0};
+  core::DeviceClass small{"F1-half", ResourceVec::uniform(50.0), 60.0};
+  std::vector<int> class_of;
+  class_of.reserve(static_cast<std::size_t>(full + half));
+  for (int i = 0; i < full; ++i) class_of.push_back(0);
+  for (int i = 0; i < half; ++i) class_of.push_back(1);
+  return Platform::heterogeneous("AWS F1 mixed", {big, small},
+                                 std::move(class_of));
 }
 
 Problem case_alex16_2fpga() {

@@ -27,6 +27,12 @@ core::Application vgg16();
 /// The AWS F1 instance of Fig. 1: 8 FPGAs at 100 % capacity each.
 core::Platform f1(int num_fpgas = 8);
 
+/// A mixed fleet in the CXL-CCL style: `full` F1-class FPGAs at 100 %
+/// capacity plus `half` previous-generation devices at 50 % capacity
+/// and 60 % DRAM bandwidth. Exercises the heterogeneous solver paths on
+/// the paper's own kernel characterizations.
+core::Platform f1_mixed(int full = 1, int half = 1);
+
 /// The three representative cases of §4 with their Table-4 weights.
 /// Each returns a fully configured Problem (resource_fraction = 1).
 core::Problem case_alex16_2fpga();  ///< α = 1, β = 0.7, F = 2

@@ -59,17 +59,53 @@ Json to_json(const Application& app) {
   return j;
 }
 
+namespace {
+
+Json capacity_to_json(const ResourceVec& capacity) {
+  Json cap = Json::object();
+  cap.set("bram", Json::number(capacity[Resource::kBram]));
+  cap.set("dsp", Json::number(capacity[Resource::kDsp]));
+  cap.set("lut", Json::number(capacity[Resource::kLut]));
+  cap.set("ff", Json::number(capacity[Resource::kFf]));
+  return cap;
+}
+
+ResourceVec capacity_from_json(const Json& cap) {
+  ResourceVec v;
+  v[Resource::kBram] = optional_number(cap, "bram", 100.0);
+  v[Resource::kDsp] = optional_number(cap, "dsp", 100.0);
+  v[Resource::kLut] = optional_number(cap, "lut", 100.0);
+  v[Resource::kFf] = optional_number(cap, "ff", 100.0);
+  return v;
+}
+
+}  // namespace
+
+Json to_json(const core::DeviceClass& device_class) {
+  Json j = Json::object();
+  j.set("name", Json::string(device_class.name));
+  j.set("capacity", capacity_to_json(device_class.capacity));
+  j.set("bw_capacity", Json::number(device_class.bw_capacity));
+  return j;
+}
+
 Json to_json(const Platform& platform) {
   Json j = Json::object();
   j.set("name", Json::string(platform.name));
   j.set("fpgas", Json::number(platform.num_fpgas));
-  Json cap = Json::object();
-  cap.set("bram", Json::number(platform.capacity[Resource::kBram]));
-  cap.set("dsp", Json::number(platform.capacity[Resource::kDsp]));
-  cap.set("lut", Json::number(platform.capacity[Resource::kLut]));
-  cap.set("ff", Json::number(platform.capacity[Resource::kFf]));
-  j.set("capacity", std::move(cap));
-  j.set("bw_capacity", Json::number(platform.bw_capacity));
+  if (platform.homogeneous()) {
+    j.set("capacity", capacity_to_json(platform.capacity));
+    j.set("bw_capacity", Json::number(platform.bw_capacity));
+  } else {
+    Json classes = Json::array();
+    for (const core::DeviceClass& dc : platform.classes) {
+      classes.push_back(to_json(dc));
+    }
+    j.set("classes", std::move(classes));
+    Json class_of = Json::array();
+    for (int c : platform.class_of) class_of.push_back(Json::number(c));
+    j.set("class_of", std::move(class_of));
+  }
   return j;
 }
 
@@ -137,6 +173,23 @@ StatusOr<Application> application_from_json(const Json& j) {
   return app;
 }
 
+StatusOr<core::DeviceClass> device_class_from_json(const Json& j) {
+  if (!j.is_object()) {
+    return Status{Code::kInvalid, "device class: not an object"};
+  }
+  core::DeviceClass dc;
+  dc.name = optional_string(j, "name", "class");
+  if (const Json* cap = j.find("capacity"); cap != nullptr) {
+    if (!cap->is_object()) {
+      return Status{Code::kInvalid,
+                    "device class: 'capacity' must be an object"};
+    }
+    dc.capacity = capacity_from_json(*cap);
+  }
+  dc.bw_capacity = optional_number(j, "bw_capacity", 100.0);
+  return dc;
+}
+
 StatusOr<Platform> platform_from_json(const Json& j) {
   if (!j.is_object()) {
     return Status{Code::kInvalid, "platform: not an object"};
@@ -153,12 +206,49 @@ StatusOr<Platform> platform_from_json(const Json& j) {
     if (!cap->is_object()) {
       return Status{Code::kInvalid, "platform: 'capacity' must be an object"};
     }
-    p.capacity[Resource::kBram] = optional_number(*cap, "bram", 100.0);
-    p.capacity[Resource::kDsp] = optional_number(*cap, "dsp", 100.0);
-    p.capacity[Resource::kLut] = optional_number(*cap, "lut", 100.0);
-    p.capacity[Resource::kFf] = optional_number(*cap, "ff", 100.0);
+    p.capacity = capacity_from_json(*cap);
   }
   p.bw_capacity = optional_number(j, "bw_capacity", 100.0);
+
+  // Heterogeneous extension: a device-class list plus a per-FPGA class
+  // assignment. Both must be present together and consistent.
+  const Json* classes = j.find("classes");
+  const Json* class_of = j.find("class_of");
+  if (classes == nullptr && class_of == nullptr) return p;
+  if (classes == nullptr || class_of == nullptr) {
+    return Status{Code::kInvalid,
+                  "platform: 'classes' and 'class_of' must appear together"};
+  }
+  if (!classes->is_array() || classes->size() == 0) {
+    return Status{Code::kInvalid,
+                  "platform: 'classes' must be a non-empty array"};
+  }
+  if (!class_of->is_array() ||
+      class_of->size() != static_cast<std::size_t>(p.num_fpgas)) {
+    return Status{Code::kInvalid,
+                  "platform: 'class_of' must list one class per FPGA"};
+  }
+  for (std::size_t i = 0; i < classes->size(); ++i) {
+    StatusOr<core::DeviceClass> dc = device_class_from_json(classes->at(i));
+    if (!dc.is_ok()) return dc.status();
+    p.classes.push_back(std::move(dc.value()));
+  }
+  for (std::size_t i = 0; i < class_of->size(); ++i) {
+    const Json& c = class_of->at(i);
+    if (!c.is_number()) {
+      return Status{Code::kInvalid,
+                    "platform: 'class_of' entries must be numbers"};
+    }
+    const int idx = static_cast<int>(c.as_number());
+    if (static_cast<double>(idx) != c.as_number()) {
+      return Status{Code::kInvalid,
+                    "platform: 'class_of' entries must be integers"};
+    }
+    if (idx < 0 || idx >= static_cast<int>(p.classes.size())) {
+      return Status{Code::kInvalid, "platform: 'class_of' index out of range"};
+    }
+    p.class_of.push_back(idx);
+  }
   return p;
 }
 

@@ -13,6 +13,19 @@
 //   "resource_fraction": 0.75, "alpha": 1.0, "beta": 0.7
 // }
 //
+// Heterogeneous platforms replace "capacity"/"bw_capacity" with a
+// device-class list and a per-FPGA assignment (both required together):
+//
+//   "platform": {"name": "mixed", "fpgas": 3,
+//                "classes": [
+//                  {"name": "big", "bw_capacity": 100,
+//                   "capacity": {"bram": 100, "dsp": 100, "lut": 100,
+//                                "ff": 100}},
+//                  {"name": "small", "bw_capacity": 60,
+//                   "capacity": {"bram": 50, "dsp": 60, "lut": 50,
+//                                "ff": 50}}],
+//                "class_of": [0, 1, 1]}
+//
 // Missing optional fields take the struct defaults; malformed input is
 // reported as Code::kInvalid with a field path.
 #pragma once
@@ -25,6 +38,7 @@ namespace mfa::io {
 
 Json to_json(const core::Kernel& kernel);
 Json to_json(const core::Application& app);
+Json to_json(const core::DeviceClass& device_class);
 Json to_json(const core::Platform& platform);
 Json to_json(const core::Problem& problem);
 
@@ -33,6 +47,7 @@ Json to_json(const core::Allocation& alloc);
 
 StatusOr<core::Kernel> kernel_from_json(const Json& j);
 StatusOr<core::Application> application_from_json(const Json& j);
+StatusOr<core::DeviceClass> device_class_from_json(const Json& j);
 StatusOr<core::Platform> platform_from_json(const Json& j);
 StatusOr<core::Problem> problem_from_json(const Json& j);
 

@@ -1,0 +1,155 @@
+#include "scenario/generate.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mfa::scenario {
+namespace {
+
+using core::DeviceClass;
+using core::Kernel;
+using core::Platform;
+using core::Problem;
+using core::Resource;
+using core::ResourceVec;
+
+/// splitmix64 (Steele, Lea, Flood 2014): a tiny, well-mixed generator
+/// whose output sequence is fully specified by the seed — unlike
+/// std::uniform_*_distribution, which may differ across standard
+/// libraries and would break cross-platform scenario reproducibility.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform in [lo, hi]. The modulo bias is irrelevant for scenario
+  /// diversity (ranges are tiny against 2^64).
+  int uniform_int(int lo, int hi) {
+    MFA_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+Problem generate(const ScenarioSpec& spec, std::uint64_t seed) {
+  MFA_ASSERT_MSG(spec.min_kernels >= 1, "bad kernel count range");
+  MFA_ASSERT_MSG(spec.max_kernels >= spec.min_kernels,
+                 "bad kernel count range");
+  MFA_ASSERT_MSG(spec.min_fpgas >= 1, "bad FPGA count range");
+  MFA_ASSERT_MSG(spec.max_fpgas >= spec.min_fpgas, "bad FPGA count range");
+  MFA_ASSERT_MSG(spec.max_classes >= 1, "need at least one device class");
+  MFA_ASSERT_MSG(spec.class_skew > 0.0 && spec.class_skew <= 1.0,
+                 "class_skew must be in (0, 1]");
+  MFA_ASSERT_MSG(spec.tightness > 0.0 && spec.tightness <= 1.0,
+                 "tightness must be in (0, 1]");
+  MFA_ASSERT_MSG(spec.max_cu_per_kernel >= 1, "need at least one CU");
+  MFA_ASSERT_MSG(spec.min_wcet_ms > 0.0, "bad WCET range");
+  MFA_ASSERT_MSG(spec.max_wcet_ms >= spec.min_wcet_ms, "bad WCET range");
+
+  // Decorrelate adjacent seeds (0, 1, 2, … is the common fuzz pattern)
+  // before the first draw.
+  Rng rng(seed ^ 0x5ca1ab1e0ddba11ull);
+
+  Problem p;
+
+  // ---- Platform: F FPGAs over C device classes. Class 0 is the
+  // reference (100 %); the others are scaled down into [skew, 1].
+  const int num_fpgas = rng.uniform_int(spec.min_fpgas, spec.max_fpgas);
+  const int num_classes =
+      rng.uniform_int(1, std::min(spec.max_classes, num_fpgas));
+  if (num_classes == 1) {
+    // Homogeneous platforms keep the seed encoding (no class list) so
+    // the corpus also covers the original fast paths.
+    p.platform.name = "scenario-" + std::to_string(seed);
+    p.platform.num_fpgas = num_fpgas;
+    p.platform.capacity = ResourceVec::uniform(100.0);
+    p.platform.bw_capacity = 100.0;
+  } else {
+    std::vector<DeviceClass> classes;
+    classes.reserve(static_cast<std::size_t>(num_classes));
+    for (int c = 0; c < num_classes; ++c) {
+      const double scale = c == 0 ? 1.0 : rng.uniform(spec.class_skew, 1.0);
+      DeviceClass dc;
+      dc.name = "class" + std::to_string(c);
+      dc.capacity = ResourceVec::uniform(100.0 * scale);
+      // Bandwidth shrinks with its own draw: capacity and DRAM do not
+      // scale in lockstep across real device generations.
+      dc.bw_capacity =
+          100.0 * (c == 0 ? 1.0 : rng.uniform(spec.class_skew, 1.0));
+      classes.push_back(std::move(dc));
+    }
+    // Every class appears at least once; remaining FPGAs draw uniformly.
+    std::vector<int> class_of(static_cast<std::size_t>(num_fpgas), 0);
+    for (int f = 0; f < num_fpgas; ++f) {
+      class_of[static_cast<std::size_t>(f)] =
+          f < num_classes ? f : rng.uniform_int(0, num_classes - 1);
+    }
+    p.platform = Platform::heterogeneous("scenario-" + std::to_string(seed),
+                                         std::move(classes),
+                                         std::move(class_of));
+  }
+
+  p.resource_fraction = spec.tightness;
+  p.bw_fraction = 1.0;
+  p.alpha = 1.0;
+  p.beta = rng.uniform() < spec.beta_probability
+               ? rng.uniform(0.1, spec.max_beta)
+               : 0.0;
+
+  // ---- Kernels. Each kernel draws an intended per-reference-FPGA CU
+  // count q and sizes its dominant axis so exactly q CUs fit a fresh
+  // class-0 device under the tightness fraction; the other axis and the
+  // bandwidth demand ride along at a fraction of the dominant one.
+  // Smaller classes may fit fewer (or zero) CUs — that asymmetry is the
+  // heterogeneous hardness.
+  const double ref_axis_cap = 100.0 * spec.tightness;
+  const double ref_bw_cap = 100.0;  // bw_fraction is 1
+  const int num_kernels = rng.uniform_int(spec.min_kernels, spec.max_kernels);
+  p.app.name = "pipeline-" + std::to_string(seed);
+  for (int k = 0; k < num_kernels; ++k) {
+    Kernel kern;
+    kern.name = "K" + std::to_string(k);
+    kern.wcet_ms = rng.uniform(spec.min_wcet_ms, spec.max_wcet_ms);
+    const int q = rng.uniform_int(1, spec.max_cu_per_kernel);
+    // Dominant demand just under cap/q: q CUs fit, q+1 do not. The
+    // draw's lower end must exceed q/(q+1) or ⌊cap/demand⌋ could reach
+    // q+1 and break the spec's CU bound; 0.82 already does for q ≤ 4,
+    // and the max() keeps those draws (and seeded streams) unchanged.
+    const double lo = std::max(0.82, (q + 0.05) / (q + 1.0));
+    const double dominant = ref_axis_cap / q * rng.uniform(lo, 0.98);
+    const double secondary = dominant * rng.uniform(0.1, 0.9);
+    const bool bram_heavy = rng.uniform() < 0.5;
+    kern.res[Resource::kBram] = bram_heavy ? dominant : secondary;
+    kern.res[Resource::kDsp] = bram_heavy ? secondary : dominant;
+    // LUT/FF axes stay zero, like the paper's characterizations.
+    // Bandwidth stays loose on the reference class (at most cap/q) so
+    // resource axes, not DRAM, usually bind — but not always.
+    kern.bw = ref_bw_cap / q * rng.uniform(0.05, 0.8);
+    p.app.kernels.push_back(std::move(kern));
+  }
+
+  MFA_ASSERT_MSG(p.validate().is_ok(),
+                 "scenario generator produced an invalid instance");
+  return p;
+}
+
+}  // namespace mfa::scenario

@@ -1,0 +1,60 @@
+// Seeded scenario generator: random pipelines × heterogeneous platforms.
+//
+// generate(spec, seed) deterministically maps a 64-bit seed to a valid
+// Problem — same seed, same spec ⇒ bit-identical instance on every
+// platform and compiler (the generator uses its own splitmix64-based
+// RNG, never std::<random> distributions, whose outputs are
+// implementation-defined). The spec's knobs control hardness:
+//
+//  * kernel / FPGA / device-class counts — instance size;
+//  * tightness — the problem's resource_fraction, i.e. how much of each
+//    device the allocation may use (the paper's swept axis);
+//  * class_skew — how much smaller the weakest device class is than the
+//    reference class (1 ⇒ all classes identical in capacity);
+//  * max_cu_per_kernel — per-CU demand floor, bounding CU counts and
+//    hence the exact/naive search spaces (keep small for oracle use).
+//
+// Every generated instance passes Problem::validate(): each kernel fits
+// at least one CU on the roomiest class under the tightness fraction.
+// This is the differential-fuzz corpus (tests/differential_fuzz.cpp)
+// and the `gen` subcommand of example_mfalloc_cli.
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+
+namespace mfa::scenario {
+
+struct ScenarioSpec {
+  int min_kernels = 3;
+  int max_kernels = 6;
+  int min_fpgas = 2;
+  int max_fpgas = 3;
+  /// Device classes drawn uniformly from [1, min(max_classes, F)];
+  /// 1 produces a *homogeneous* platform (seed encoding, no class list)
+  /// so the corpus also exercises the homogeneous fast paths.
+  int max_classes = 2;
+  /// Weakest-class capacity scale relative to the reference class
+  /// (class 0), in (0, 1]. Class scales are drawn from [class_skew, 1].
+  double class_skew = 0.5;
+  /// Resource fraction of the generated problem, in (0, 1]. Lower is
+  /// tighter: kernels keep their absolute demands but may use less of
+  /// every device.
+  double tightness = 0.85;
+  double min_wcet_ms = 1.0;
+  double max_wcet_ms = 40.0;
+  /// Upper bound on the CUs of one kernel that fit a fresh reference-
+  /// class FPGA; bounds every exact search space (naive is exponential).
+  int max_cu_per_kernel = 4;
+  /// Probability that the instance carries a spreading objective
+  /// (β > 0, drawn up to max_beta); otherwise β = 0.
+  double beta_probability = 0.5;
+  double max_beta = 2.0;
+};
+
+/// Deterministic seed → instance map; see the file comment. The kernel
+/// and platform names encode the seed for reproducibility.
+core::Problem generate(const ScenarioSpec& spec, std::uint64_t seed);
+
+}  // namespace mfa::scenario

@@ -42,7 +42,11 @@ SimResult PipelineSimulator::run(const core::Allocation& alloc) const {
           problem.app.kernels[k].bw * alloc.cu(k, f);
     }
   }
-  const double bw_cap = problem.bw_cap();
+  // Per-FPGA bandwidth caps: each device class brings its own DRAM.
+  std::vector<double> bw_cap(static_cast<std::size_t>(fpgas), 0.0);
+  for (int f = 0; f < fpgas; ++f) {
+    bw_cap[static_cast<std::size_t>(f)] = problem.bw_cap(f);
+  }
 
   // Pipeline state: each stage works on at most one image at a time;
   // next_image[k] is the image index stage k will take next.
@@ -96,11 +100,13 @@ SimResult PipelineSimulator::run(const core::Allocation& alloc) const {
       if (!job[k].active) continue;
       any_active = true;
       double r = 1.0;
-      if (config_.model_bandwidth && bw_cap > 0.0) {
+      if (config_.model_bandwidth) {
         for (int f = 0; f < fpgas; ++f) {
+          const double cap_f = bw_cap[static_cast<std::size_t>(f)];
+          if (cap_f <= 0.0) continue;  // unmetered device
           const double d = demand[static_cast<std::size_t>(f)];
-          if (stage_bw[k][static_cast<std::size_t>(f)] > 0.0 && d > bw_cap) {
-            r = std::min(r, bw_cap / d);
+          if (stage_bw[k][static_cast<std::size_t>(f)] > 0.0 && d > cap_f) {
+            r = std::min(r, cap_f / d);
           }
         }
       }

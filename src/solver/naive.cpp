@@ -19,9 +19,13 @@ class NaiveSearch {
       : p_(problem),
         budget_(budget),
         fpgas_(static_cast<std::size_t>(problem.num_fpgas())),
-        current_(problem),
-        slack_res_(fpgas_, problem.cap()),
-        slack_bw_(fpgas_, problem.bw_cap()) {
+        current_(problem) {
+    slack_res_.reserve(fpgas_);
+    slack_bw_.reserve(fpgas_);
+    for (std::size_t f = 0; f < fpgas_; ++f) {
+      slack_res_.push_back(problem.cap(static_cast<int>(f)));
+      slack_bw_.push_back(problem.bw_cap(static_cast<int>(f)));
+    }
     // Cap each N_k at the count that already achieves the best II this
     // kernel could ever need; more CUs cannot reduce g (φ only grows).
     max_total_.resize(problem.num_kernels());

@@ -29,9 +29,16 @@ class Search {
         fpgas_(static_cast<std::size_t>(problem.num_fpgas())),
         counts_(totals.size(),
                 std::vector<int>(fpgas_, 0)),
-        slack_res_(fpgas_, problem.cap()),
-        slack_bw_(fpgas_, problem.bw_cap()),
+        fpga_class_(fpgas_, 0),
         fpga_load_(fpgas_, 0) {
+    slack_res_.reserve(fpgas_);
+    slack_bw_.reserve(fpgas_);
+    for (std::size_t f = 0; f < fpgas_; ++f) {
+      const int fi = static_cast<int>(f);
+      slack_res_.push_back(problem.cap(fi));
+      slack_bw_.push_back(problem.bw_cap(fi));
+      fpga_class_[f] = problem.platform.class_index(fi);
+    }
     // Hardest kernels first: largest single-axis share of one FPGA.
     order_.resize(totals.size());
     std::iota(order_.begin(), order_.end(), std::size_t{0});
@@ -69,11 +76,20 @@ class Search {
   }
 
  private:
+  /// Branching-order heuristic: how much of the *friendliest* FPGA one
+  /// CU consumes, times the CU count. On mixed fleets the friendliest
+  /// device (smallest ratio) keeps the score a lower bound on pressure.
   [[nodiscard]] double demand_score(std::size_t k) const {
     const Kernel& kern = p_.app.kernels[k];
-    double score = kern.res.max_ratio(p_.cap()) ;
-    if (p_.bw_cap() > 0.0) score = std::max(score, kern.bw / p_.bw_cap());
-    return score * totals_[k];
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t f = 0; f < fpgas_; ++f) {
+      const int fi = static_cast<int>(f);
+      double score = kern.res.max_ratio(p_.cap(fi));
+      const double bw_cap = p_.bw_cap(fi);
+      if (bw_cap > 0.0) score = std::max(score, kern.bw / bw_cap);
+      best = std::min(best, score);
+    }
+    return best * totals_[k];
   }
 
   /// Necessary condition: pooled demand fits pooled capacity.
@@ -84,9 +100,8 @@ class Search {
       demand += p_.app.kernels[k].res * static_cast<double>(totals_[k]);
       bw += p_.app.kernels[k].bw * totals_[k];
     }
-    const double f = p_.num_fpgas();
-    return demand.fits_within(p_.cap() * f, 1e-6) &&
-           bw <= f * p_.bw_cap() + 1e-6;
+    return demand.fits_within(p_.pooled_cap(), 1e-6) &&
+           bw <= p_.pooled_bw_cap() + 1e-6;
   }
 
   /// Max CUs of kernel k that fit in FPGA f's current slack.
@@ -119,20 +134,27 @@ class Search {
       assign_kernel(order_idx + 1, phi_so_far);
       return;
     }
-    // Snapshot which FPGAs are empty now: they are interchangeable for
-    // this kernel, so counts placed on them are forced non-increasing.
+    // Snapshot which FPGAs are empty now: empty FPGAs *of the same
+    // device class* are interchangeable for this kernel, so counts
+    // placed on them are forced non-increasing within each class.
     std::vector<bool> empty_at_start(fpgas_);
     for (std::size_t f = 0; f < fpgas_; ++f) {
       empty_at_start[f] = (fpga_load_[f] == 0);
     }
-    distribute(order_idx, k, totals_[k], 0, totals_[k], 0.0, phi_so_far,
-               empty_at_start);
+    // Per-class cap on the count the next empty-at-start FPGA of that
+    // class may receive. Owned by this kernel's frame (not a member):
+    // the recursion interleaves later kernels' assign_kernel calls,
+    // which must not disturb this kernel's in-flight clamp state.
+    std::vector<int> last_empty(p_.platform.num_classes(), totals_[k]);
+    distribute(order_idx, k, totals_[k], 0, 0.0, phi_so_far, empty_at_start,
+               last_empty);
   }
 
   // NOLINTNEXTLINE(misc-no-recursion)
   void distribute(std::size_t order_idx, std::size_t k, int rem,
-                  std::size_t f, int last_empty_count, double partial_phi,
-                  double phi_so_far, const std::vector<bool>& empty_at_start) {
+                  std::size_t f, double partial_phi, double phi_so_far,
+                  const std::vector<bool>& empty_at_start,
+                  std::vector<int>& last_empty) {
     if (done_ || aborted_) return;
     if (!budget_.tick()) {
       aborted_ = true;
@@ -155,8 +177,9 @@ class Search {
     }
     if (aggregate < rem) return;
 
+    const auto cls = static_cast<std::size_t>(fpga_class_[f]);
     int cmax = fit(k, f, rem);
-    if (empty_at_start[f]) cmax = std::min(cmax, last_empty_count);
+    if (empty_at_start[f]) cmax = std::min(cmax, last_empty[cls]);
     const Kernel& kern = p_.app.kernels[k];
     // Larger counts first: consolidated placements make good incumbents.
     for (int c = cmax; c >= 0; --c) {
@@ -166,10 +189,11 @@ class Search {
         fpga_load_[f] += c;
         counts_[k][f] = c;
       }
-      const int next_empty_cap =
-          empty_at_start[f] ? c : last_empty_count;
-      distribute(order_idx, k, rem - c, f + 1, next_empty_cap,
-                 partial_phi + phi_of(c), phi_so_far, empty_at_start);
+      const int saved_empty_cap = last_empty[cls];
+      if (empty_at_start[f]) last_empty[cls] = c;
+      distribute(order_idx, k, rem - c, f + 1, partial_phi + phi_of(c),
+                 phi_so_far, empty_at_start, last_empty);
+      last_empty[cls] = saved_empty_cap;
       if (c > 0) {
         slack_res_[f] += kern.res * static_cast<double>(c);
         slack_bw_[f] += kern.bw * c;
@@ -188,6 +212,7 @@ class Search {
 
   std::vector<std::size_t> order_;
   std::vector<std::vector<int>> counts_;
+  std::vector<int> fpga_class_;
   std::vector<ResourceVec> slack_res_;
   std::vector<double> slack_bw_;
   std::vector<int> fpga_load_;
@@ -206,6 +231,8 @@ int min_chunks(const Problem& problem, std::size_t k, int n) {
   MFA_ASSERT(k < problem.num_kernels());
   MFA_ASSERT(n >= 0);
   if (n == 0) return 0;
+  // The roomiest device class bounds any chunk, so this stays a valid
+  // (if looser) lower bound on mixed fleets.
   const int per_fpga = problem.max_cu_per_fpga(k);
   if (per_fpga <= 0) return problem.num_fpgas() + 1;  // unplaceable
   return (n + per_fpga - 1) / per_fpga;
@@ -217,6 +244,8 @@ double phi_lower_bound(const Problem& problem, std::size_t k, int n) {
   if (per_fpga <= 0) return std::numeric_limits<double>::infinity();
   // Most-unequal split: maxed-out chunks plus one remainder chunk is the
   // minimizer of the concave sum Σ n_i/(1+n_i) with parts ≤ per_fpga.
+  // per_fpga is the roomiest class's fit, so every feasible chunk obeys
+  // the part bound and the value remains a lower bound on mixed fleets.
   double phi = 0.0;
   int rem = n;
   while (rem >= per_fpga) {

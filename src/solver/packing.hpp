@@ -1,16 +1,19 @@
-// Exact placement of integer CU counts onto identical FPGAs.
+// Exact placement of integer CU counts onto the platform's FPGAs
+// (identical or mixed-class).
 //
 // Given the totals N_k, this solves the inner problem of the MINLP: find
 // n_{k,f} with Σ_f n_{k,f} = N_k respecting the per-FPGA resource and
-// bandwidth caps (eqs. 9–10), either as a pure feasibility question
-// (MINLP with β = 0 — the placement does not affect II) or minimizing the
-// spreading objective φ = max_k φ_k (the β > 0 case).
+// bandwidth caps (eqs. 9–10, per device class on heterogeneous
+// platforms), either as a pure feasibility question (MINLP with β = 0 —
+// the placement does not affect II) or minimizing the spreading
+// objective φ = max_k φ_k (the β > 0 case).
 //
 // The search is depth-first branch-and-bound over per-kernel count
 // vectors with three accelerations:
-//  1. identical-FPGA symmetry breaking — FPGAs still empty when a kernel
-//     is placed are interchangeable, so counts assigned to them are
-//     forced non-increasing;
+//  1. within-class symmetry breaking — FPGAs of the *same device class*
+//     still empty when a kernel is placed are interchangeable, so counts
+//     assigned to them are forced non-increasing (class by class; FPGAs
+//     of different classes are never conflated);
 //  2. capacity pruning — remaining CUs of the kernel must fit in the
 //     remaining FPGAs' aggregate fit;
 //  3. spreading pruning — a partial φ_k plus the concavity bound

@@ -1,0 +1,202 @@
+// Differential fuzzing over the seeded scenario generator.
+//
+// For each seed a random pipeline × (possibly mixed-class) platform is
+// generated and pushed through every solver path, cross-checking:
+//
+//  1. exact == naive — the structured exact solver (candidate-II
+//     enumeration + within-class symmetry-broken packing) agrees with
+//     the transformation-free naive branch-and-bound on the optimal
+//     goal, and both agree on feasibility;
+//  2. GP+A soundness — when the heuristic returns, its allocation is
+//     feasible at the constraint it reports (used_fraction) and never
+//     beats the proved exact optimum II (β = 0 lanes);
+//  3. relaxation bound — the continuous relaxation never exceeds the
+//     exact optimum II.
+//
+// Usage: differential_fuzz [num_seeds] [--start S] [--out failure.json]
+//
+// On mismatch it prints the seed and the scenario JSON to stderr, writes
+// the scenario to --out (CI uploads it as an artifact) and exits 1.
+// Budget-capped (unproved) exact/naive results are skipped, not failed.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "alloc/gpa.hpp"
+#include "core/relaxation.hpp"
+#include "io/serialize.hpp"
+#include "scenario/generate.hpp"
+#include "solver/exact.hpp"
+#include "solver/naive.hpp"
+
+namespace {
+
+struct Options {
+  std::uint64_t start = 0;
+  std::uint64_t count = 200;
+  const char* out_path = nullptr;
+};
+
+/// Scenario shape small enough for the naive oracle to *prove* optima
+/// within its node budget on every seed.
+mfa::scenario::ScenarioSpec fuzz_spec() {
+  mfa::scenario::ScenarioSpec spec;
+  spec.min_kernels = 2;
+  spec.max_kernels = 4;
+  spec.min_fpgas = 2;
+  spec.max_fpgas = 3;
+  spec.max_classes = 2;
+  spec.class_skew = 0.4;
+  spec.tightness = 0.8;
+  spec.max_cu_per_kernel = 3;
+  return spec;
+}
+
+void report_failure(std::uint64_t seed, const mfa::core::Problem& problem,
+                    const Options& opt, const char* what) {
+  const std::string json = mfa::io::to_json(problem).dump(2) + "\n";
+  std::fprintf(stderr, "\nFAIL seed %" PRIu64 ": %s\n", seed, what);
+  std::fprintf(stderr, "scenario:\n%s", json.c_str());
+  if (opt.out_path != nullptr) {
+    mfa::io::Json doc = mfa::io::Json::object();
+    doc.set("seed", mfa::io::Json::number(static_cast<double>(seed)));
+    doc.set("mismatch", mfa::io::Json::string(what));
+    doc.set("problem", mfa::io::to_json(problem));
+    const mfa::Status st =
+        mfa::io::write_file(opt.out_path, doc.dump(2) + "\n");
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
+    }
+  }
+}
+
+/// Runs all solvers on one scenario; returns nullptr on agreement, else
+/// a static description of the first mismatch. Sets *feasible when the
+/// instance's feasibility was decided.
+const char* check_seed(const mfa::core::Problem& problem, bool* feasible) {
+  // Exact (structured) vs naive (oracle) on the full objective.
+  mfa::solver::ExactOptions exact_options;
+  exact_options.max_nodes = 20'000'000;
+  exact_options.max_seconds = 60.0;
+  auto exact = mfa::solver::ExactSolver(exact_options).solve(problem);
+  mfa::solver::NaiveMinlp naive(mfa::solver::Budget::nodes_only(50'000'000));
+  auto oracle = naive.solve(problem);
+
+  const bool exact_capped =
+      !exact.is_ok() && exact.status().code() == mfa::Code::kLimit;
+  const bool oracle_capped =
+      !oracle.is_ok() && oracle.status().code() == mfa::Code::kLimit;
+  if (exact_capped || oracle_capped) return nullptr;  // skip, don't fail
+
+  if (exact.is_ok() != oracle.is_ok()) {
+    return "exact and naive disagree on feasibility";
+  }
+  *feasible = exact.is_ok();
+  if (exact.is_ok()) {
+    if (!exact.value().proved_optimal || !oracle.value().proved_optimal) {
+      return nullptr;  // a budget-capped incumbent proves nothing
+    }
+    const double g_exact = exact.value().goal;
+    const double g_naive = oracle.value().goal;
+    if (std::abs(g_exact - g_naive) > 1e-6 * (1.0 + std::abs(g_naive))) {
+      std::fprintf(stderr, "exact goal %.9f:\n%s", g_exact,
+                   exact.value().allocation.to_string().c_str());
+      std::fprintf(stderr, "naive goal %.9f:\n%s", g_naive,
+                   oracle.value().allocation.to_string().c_str());
+      return "exact and naive optima differ";
+    }
+    if (!exact.value().allocation.feasible()) {
+      return "exact allocation violates its own constraints";
+    }
+  }
+
+  // GP+A: must be sound whenever it returns.
+  mfa::alloc::GpaOptions gpa_options;
+  gpa_options.greedy.t_max = 0.2;  // allow the paper's constraint slack
+  auto gpa = mfa::alloc::GpaSolver(gpa_options).solve(problem);
+  if (gpa.is_ok()) {
+    // Feasibility at the fraction the allocator actually used.
+    mfa::core::Problem used = problem;
+    used.resource_fraction = gpa.value().used_fraction;
+    mfa::core::Allocation check(used);
+    const mfa::core::Allocation& a = gpa.value().allocation;
+    for (std::size_t k = 0; k < a.num_kernels(); ++k) {
+      for (int f = 0; f < a.num_fpgas(); ++f) {
+        check.set_cu(k, f, a.cu(k, f));
+      }
+    }
+    if (!check.feasible()) {
+      return "GP+A allocation infeasible at its reported used_fraction";
+    }
+    // When GP+A stayed within the original constraint, its allocation
+    // is feasible for the exact model too, so it cannot beat a proved
+    // optimum of the *full* goal α·II + β·φ (II alone would be the
+    // wrong comparison for β > 0: the optimum trades II for φ).
+    if (exact.is_ok() && exact.value().proved_optimal &&
+        gpa.value().used_fraction <= problem.resource_fraction + 1e-12 &&
+        a.goal() < exact.value().goal * (1.0 - 1e-9) - 1e-12) {
+      return "GP+A beat the proved exact optimum goal without extra budget";
+    }
+  }
+
+  // Relaxation lower bound.
+  if (exact.is_ok() && exact.value().proved_optimal) {
+    auto relax = mfa::core::solve_relaxation(problem);
+    if (!relax.is_ok()) {
+      return "integer-feasible instance with infeasible relaxation";
+    }
+    if (relax.value().ii > exact.value().ii * (1.0 + 1e-9)) {
+      return "relaxation exceeds the exact optimum II";
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc) {
+      opt.start = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out_path = argv[++i];
+    } else if (argv[i][0] != '-') {
+      opt.count = std::strtoull(argv[i], nullptr, 10);
+      if (opt.count == 0) {
+        std::fprintf(stderr, "bad seed count '%s'\n", argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [num_seeds] [--start S] [--out failure.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const mfa::scenario::ScenarioSpec spec = fuzz_spec();
+  std::uint64_t checked = 0;
+  std::uint64_t infeasible = 0;
+  for (std::uint64_t seed = opt.start; seed < opt.start + opt.count; ++seed) {
+    const mfa::core::Problem problem = mfa::scenario::generate(spec, seed);
+    bool feasible = true;
+    const char* mismatch = check_seed(problem, &feasible);
+    if (mismatch != nullptr) {
+      report_failure(seed, problem, opt, mismatch);
+      return 1;
+    }
+    ++checked;
+    if (!feasible) ++infeasible;
+    if (checked % 50 == 0) {
+      std::printf("  %" PRIu64 "/%" PRIu64 " seeds ok\n", checked, opt.count);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("differential fuzz: %" PRIu64 " seeds ok\n", checked);
+  std::printf("(%" PRIu64 " infeasible instances exercised)\n", infeasible);
+  return 0;
+}
