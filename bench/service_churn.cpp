@@ -1,0 +1,153 @@
+// Serving-path benchmark: warm-started incremental re-solves vs cold.
+//
+// Replays one seeded arrival trace (scenario/trace.hpp) through two
+// AllocServers that differ only in ServerOptions::warm_start, with the
+// interior-point root relaxation so solver effort is measurable in GP
+// Newton iterations (gp::total_newton_iterations()). The warm server
+// seeds every event's root solve from the incumbent allocation's
+// ÎI/N̂; the cold server re-solves each event from scratch. Both run
+// the same sharded capacity-bounded cache configuration, so the
+// comparison isolates the warm start itself.
+//
+// Reported per mode: total GP Newton iterations, wall-clock replay
+// time, mean per-event latency, and B&B nodes. The headline is the
+// Newton-iteration ratio (cold / warm); `--check` exits non-zero when
+// warm fails to beat cold on total Newton iterations — the PR-4
+// acceptance gate. `--smoke` shrinks the trace for CI wiring checks.
+//
+// With MFA_BENCH_OUT set to a directory, the measurements are written
+// there as BENCH_service_churn.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gp/solver.hpp"
+#include "io/serialize.hpp"
+#include "scenario/trace.hpp"
+#include "service/alloc_server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ReplayStats {
+  std::int64_t newton = 0;   ///< GP Newton iterations spent
+  std::int64_t nodes = 0;    ///< B&B nodes across all events
+  double seconds = 0.0;      ///< wall-clock replay time
+  double mean_event_ms = 0.0;
+  std::uint64_t cache_hits = 0;
+};
+
+ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start) {
+  mfa::service::ServerOptions options;
+  options.warm_start = warm_start;
+  // Interior-point root: the effort metric is GP Newton iterations.
+  options.portfolio.gpa.use_interior_point = true;
+
+  ReplayStats stats;
+  const std::int64_t newton0 = mfa::gp::total_newton_iterations();
+  const auto t0 = Clock::now();
+  mfa::service::AllocServer server(trace.platform, options);
+  double event_s = 0.0;
+  for (const mfa::service::Event& event : trace.events) {
+    const mfa::service::EventOutcome outcome = server.apply(event);
+    stats.nodes += outcome.solve_nodes;
+    event_s += outcome.seconds;
+  }
+  server.stop();
+  stats.seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  stats.newton = mfa::gp::total_newton_iterations() - newton0;
+  stats.mean_event_ms =
+      trace.events.empty() ? 0.0 : 1e3 * event_s / trace.events.size();
+  stats.cache_hits = server.cache_stats().hits;
+  return stats;
+}
+
+void emit_json(int events, const ReplayStats& cold,
+               const ReplayStats& warm) {
+  const char* dir = std::getenv("MFA_BENCH_OUT");
+  if (dir == nullptr || *dir == '\0') return;
+  mfa::io::Json doc = mfa::io::Json::object();
+  doc.set("bench", mfa::io::Json::string("service_churn"));
+  doc.set("events", mfa::io::Json::number(events));
+  doc.set("cold_newton_iterations",
+          mfa::io::Json::number(static_cast<double>(cold.newton)));
+  doc.set("warm_newton_iterations",
+          mfa::io::Json::number(static_cast<double>(warm.newton)));
+  doc.set("newton_ratio",
+          mfa::io::Json::number(static_cast<double>(cold.newton) /
+                                static_cast<double>(warm.newton)));
+  doc.set("cold_seconds", mfa::io::Json::number(cold.seconds));
+  doc.set("warm_seconds", mfa::io::Json::number(warm.seconds));
+  doc.set("cold_mean_event_ms", mfa::io::Json::number(cold.mean_event_ms));
+  doc.set("warm_mean_event_ms", mfa::io::Json::number(warm.mean_event_ms));
+  doc.set("cold_nodes",
+          mfa::io::Json::number(static_cast<double>(cold.nodes)));
+  doc.set("warm_nodes",
+          mfa::io::Json::number(static_cast<double>(warm.nodes)));
+  const std::string path =
+      std::string(dir) + "/BENCH_service_churn.json";
+  const mfa::Status st = mfa::io::write_file(path, doc.dump(2) + "\n");
+  if (st.is_ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int events = 400;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      events = 80;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events = std::atoi(argv[++i]);
+      if (events <= 0) events = 1;
+    }
+  }
+
+  mfa::scenario::TraceSpec spec;
+  spec.num_events = events;
+  const mfa::scenario::Trace trace =
+      mfa::scenario::generate_trace(spec, /*seed=*/20190702);
+  std::printf("service_churn: %d events, %d-FPGA pool (seed fixed)\n\n",
+              events, trace.platform.num_fpgas);
+
+  const ReplayStats cold = replay(trace, /*warm_start=*/false);
+  const ReplayStats warm = replay(trace, /*warm_start=*/true);
+
+  std::printf("%-28s %14s %14s\n", "metric", "cold", "warm");
+  std::printf("%-28s %14lld %14lld\n", "GP Newton iterations",
+              static_cast<long long>(cold.newton),
+              static_cast<long long>(warm.newton));
+  std::printf("%-28s %14lld %14lld\n", "B&B nodes",
+              static_cast<long long>(cold.nodes),
+              static_cast<long long>(warm.nodes));
+  std::printf("%-28s %14.3f %14.3f\n", "replay seconds", cold.seconds,
+              warm.seconds);
+  std::printf("%-28s %14.3f %14.3f\n", "mean event latency (ms)",
+              cold.mean_event_ms, warm.mean_event_ms);
+  std::printf("%-28s %14llu %14llu\n", "cache hits",
+              static_cast<unsigned long long>(cold.cache_hits),
+              static_cast<unsigned long long>(warm.cache_hits));
+  const double ratio = static_cast<double>(cold.newton) /
+                       static_cast<double>(warm.newton);
+  std::printf("\nheadline: warm re-solves use %.2fx fewer GP Newton "
+              "iterations than cold\n",
+              ratio);
+  emit_json(events, cold, warm);
+  if (check && warm.newton >= cold.newton) {
+    std::printf("FAIL: warm starts did not reduce Newton iterations\n");
+    return 1;
+  }
+  return 0;
+}

@@ -9,6 +9,10 @@
 //   mfalloc_cli gen       <out.json|-> [--seed S] [--kernels N]
 //                         [--fpgas F] [--classes C] [--tightness X]
 //                         [--skew X]
+//   mfalloc_cli gentrace  <out.json|-> [--seed S] [--events N]
+//                         [--fpgas F] [--rate R] [--lifetime S]
+//   mfalloc_cli serve     --trace <trace.json> [--jobs N] [--cold]
+//                         [--log <out.json>] [--interior-point] [--exact]
 //
 // `portfolio` races every solving strategy (GP+A at several greedy
 // deviations, the exact search, optionally the naive B&B) concurrently
@@ -16,10 +20,18 @@
 // `sweep --jobs N` fans the grid across N worker threads; `gen` writes
 // a seeded random scenario (pipeline × possibly mixed-class platform)
 // as a problem JSON ready for any other subcommand — same seed, same
-// file, byte for byte.
+// file, byte for byte. `gentrace` writes a seeded arrival trace
+// (Poisson arrivals, exponential lifetimes, churn) and `serve` replays
+// one through a long-lived AllocServer, printing per-event latency/goal
+// JSON to stdout; `--log` additionally writes the *deterministic* event
+// log (no wall-clock fields), which is byte-identical across runs for a
+// fixed trace and thread count. `--cold` disables the incumbent warm
+// start (for comparisons), `--exact` adds the budgeted exact lane.
 //
 // The problem file format is documented in src/io/serialize.hpp and
-// examples/data/custom_pipeline.json.
+// examples/data/custom_pipeline.json; the trace format in
+// src/io/serialize.hpp as well.
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -35,6 +47,8 @@
 #include "runtime/portfolio.hpp"
 #include "runtime/sweep.hpp"
 #include "scenario/generate.hpp"
+#include "scenario/trace.hpp"
+#include "service/alloc_server.hpp"
 #include "sim/pipeline_sim.hpp"
 #include "solver/exact.hpp"
 
@@ -52,8 +66,12 @@ int usage(const char* argv0) {
                "[--method gpa|minlp|minlpg] [--jobs N]\n"
                "  %s simulate  <problem.json> [--images N]\n"
                "  %s gen       <out.json|-> [--seed S] [--kernels N] "
-               "[--fpgas F] [--classes C] [--tightness X] [--skew X]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "[--fpgas F] [--classes C] [--tightness X] [--skew X]\n"
+               "  %s gentrace  <out.json|-> [--seed S] [--events N] "
+               "[--fpgas F] [--rate R] [--lifetime S]\n"
+               "  %s serve     --trace <trace.json> [--jobs N] [--cold] "
+               "[--log <out.json>] [--interior-point] [--exact]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -234,7 +252,8 @@ int cmd_simulate(const mfa::core::Problem& p, int argc, char** argv) {
   if (const char* n = flag_value(argc, argv, "--images"); n != nullptr) {
     cfg.num_images = std::atoi(n);
     cfg.warmup_images = cfg.num_images / 4;
-    if (cfg.num_images <= cfg.warmup_images) return 2;
+    // The steady-state window needs >= 2 post-warmup completions.
+    if (cfg.num_images < cfg.warmup_images + 2) return 2;
   }
   const mfa::sim::SimResult sim =
       mfa::sim::PipelineSimulator(cfg).run(r.value().allocation);
@@ -300,6 +319,150 @@ int cmd_gen(const char* out_path, int argc, char** argv) {
   return 0;
 }
 
+int cmd_gentrace(const char* out_path, int argc, char** argv) {
+  mfa::scenario::TraceSpec spec;
+  std::uint64_t seed = 0;
+  if (const char* s = flag_value(argc, argv, "--seed"); s != nullptr) {
+    char* end = nullptr;
+    seed = std::strtoull(s, &end, 10);
+    if (*s == '\0' || *end != '\0') return 2;
+  }
+  if (const char* n = flag_value(argc, argv, "--events"); n != nullptr) {
+    spec.num_events = std::atoi(n);
+    if (spec.num_events < 1) return 2;
+  }
+  if (const char* f = flag_value(argc, argv, "--fpgas"); f != nullptr) {
+    spec.num_fpgas = std::atoi(f);
+    if (spec.num_fpgas < 1) return 2;
+  }
+  if (const char* r = flag_value(argc, argv, "--rate"); r != nullptr) {
+    spec.arrival_rate_per_s = std::atof(r);
+    if (spec.arrival_rate_per_s <= 0.0) return 2;
+  }
+  if (const char* l = flag_value(argc, argv, "--lifetime"); l != nullptr) {
+    spec.mean_lifetime_s = std::atof(l);
+    if (spec.mean_lifetime_s <= 0.0) return 2;
+  }
+
+  const mfa::scenario::Trace trace =
+      mfa::scenario::generate_trace(spec, seed);
+  const std::string text = mfa::io::to_json(trace).dump(2) + "\n";
+  if (std::strcmp(out_path, "-") == 0) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (mfa::Status st = mfa::io::write_file(out_path, text); !st.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (seed %llu, %zu events, %d FPGAs)\n",
+               out_path, static_cast<unsigned long long>(seed),
+               trace.events.size(), trace.platform.num_fpgas);
+  return 0;
+}
+
+/// The deterministic slice of an outcome: every field except wall-clock
+/// latency. This is what `--log` writes and what CI diffs across runs.
+mfa::io::Json outcome_to_json(const mfa::service::EventOutcome& o) {
+  mfa::io::Json j = mfa::io::Json::object();
+  j.set("seq", mfa::io::Json::number(static_cast<double>(o.sequence)));
+  j.set("type", mfa::io::Json::string(mfa::service::to_string(o.type)));
+  if (!o.id.empty()) j.set("id", mfa::io::Json::string(o.id));
+  j.set("status", mfa::io::Json::string(o.status.to_string()));
+  j.set("solve_status", mfa::io::Json::string(o.solve_status.to_string()));
+  j.set("active", mfa::io::Json::number(
+                      static_cast<double>(o.active_pipelines)));
+  j.set("warm", mfa::io::Json::boolean(o.warm_started));
+  j.set("ii_ms", mfa::io::Json::number(o.ii));
+  j.set("phi", mfa::io::Json::number(o.phi));
+  j.set("goal", mfa::io::Json::number(o.goal));
+  mfa::io::Json totals = mfa::io::Json::array();
+  for (int t : o.totals) totals.push_back(mfa::io::Json::number(t));
+  j.set("totals", std::move(totals));
+  j.set("nodes", mfa::io::Json::number(static_cast<double>(o.solve_nodes)));
+  return j;
+}
+
+int cmd_serve(int argc, char** argv) {
+  const char* trace_path = flag_value(argc, argv, "--trace");
+  if (trace_path == nullptr) return 2;
+  auto text = mfa::io::read_file(trace_path);
+  if (!text.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", text.status().to_string().c_str());
+    return 1;
+  }
+  auto trace = mfa::io::trace_from_text(text.value());
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 trace.status().to_string().c_str());
+    return 1;
+  }
+
+  mfa::service::ServerOptions options;
+  options.warm_start = !has_flag(argc, argv, "--cold");
+  options.portfolio.gpa.use_interior_point =
+      has_flag(argc, argv, "--interior-point");
+  options.portfolio.run_exact = has_flag(argc, argv, "--exact");
+  if (const char* j = flag_value(argc, argv, "--jobs"); j != nullptr) {
+    options.solver_threads = parse_jobs(j);
+    if (options.solver_threads < 0) return 2;
+  }
+
+  mfa::service::AllocServer server(trace.value().platform, options);
+  // Replay as fast as the solver allows: submit in trace order, wait
+  // per event (the queue is MPMC; a replay is a single producer).
+  std::vector<mfa::service::EventOutcome> outcomes;
+  outcomes.reserve(trace.value().events.size());
+  for (const mfa::service::Event& event : trace.value().events) {
+    outcomes.push_back(server.apply(event));
+  }
+  server.stop();
+
+  // Per-event latency/goal JSON on stdout, plus a latency summary.
+  mfa::io::Json doc = mfa::io::Json::object();
+  doc.set("events",
+          mfa::io::Json::number(static_cast<double>(outcomes.size())));
+  doc.set("warm_start", mfa::io::Json::boolean(options.warm_start));
+  double total_s = 0.0;
+  double max_s = 0.0;
+  mfa::io::Json per_event = mfa::io::Json::array();
+  for (const mfa::service::EventOutcome& o : outcomes) {
+    total_s += o.seconds;
+    max_s = std::max(max_s, o.seconds);
+    mfa::io::Json row = outcome_to_json(o);
+    row.set("latency_ms", mfa::io::Json::number(o.seconds * 1e3));
+    per_event.push_back(std::move(row));
+  }
+  doc.set("mean_latency_ms",
+          mfa::io::Json::number(outcomes.empty()
+                                    ? 0.0
+                                    : 1e3 * total_s / outcomes.size()));
+  doc.set("max_latency_ms", mfa::io::Json::number(1e3 * max_s));
+  const auto cache = server.cache_stats();
+  doc.set("cache_hits",
+          mfa::io::Json::number(static_cast<double>(cache.hits)));
+  doc.set("cache_entries",
+          mfa::io::Json::number(static_cast<double>(cache.entries)));
+  doc.set("cache_evictions",
+          mfa::io::Json::number(static_cast<double>(cache.evictions)));
+  doc.set("per_event", std::move(per_event));
+  std::printf("%s\n", doc.dump(2).c_str());
+
+  if (const char* log_path = flag_value(argc, argv, "--log");
+      log_path != nullptr) {
+    mfa::io::Json log = mfa::io::Json::array();
+    for (const mfa::service::EventOutcome& o : outcomes) {
+      log.push_back(outcome_to_json(o));
+    }
+    if (mfa::Status st = mfa::io::write_file(log_path, log.dump(2) + "\n");
+        !st.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -307,6 +470,14 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "gen") {
     const int rc = cmd_gen(argv[2], argc - 3, argv + 3);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (command == "gentrace") {
+    const int rc = cmd_gentrace(argv[2], argc - 3, argv + 3);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (command == "serve") {
+    const int rc = cmd_serve(argc - 2, argv + 2);
     return rc == 2 ? usage(argv[0]) : rc;
   }
   auto problem = load(argv[2]);

@@ -17,20 +17,41 @@ StatusOr<GpaResult> GpaSolver::solve(const core::Problem& problem) const {
   if (!valid.is_ok()) return valid;
 
   // ---- Step 1: continuous relaxation (paper §3.2.1), memoized when a
-  // shared cache is configured (portfolio lanes solve identical roots).
+  // shared cache is configured (portfolio lanes solve identical roots),
+  // warm-started from options_.warm when set (the root bisection probes
+  // the seed ÎI once; the interior-point path seeds the barrier). Cache
+  // keys fold the seed in, so warm and cold entries never alias.
   auto t0 = std::chrono::steady_clock::now();
-  auto solve_root = [this, &problem]() -> StatusOr<core::RelaxedSolution> {
-    return options_.use_interior_point
-               ? core::solve_relaxation_gp(problem, options_.gp)
-               : core::solve_relaxation(problem);
+  // The interior-point seed needs a full (ÎI, N̂) point of the right
+  // shape; the bisection hint only needs ÎI.
+  const core::RelaxedSolution* warm =
+      options_.warm && options_.warm->ii > 0.0 &&
+              (!options_.use_interior_point ||
+               options_.warm->n_hat.size() == problem.num_kernels())
+          ? &*options_.warm
+          : nullptr;
+  auto solve_root = [this, &problem,
+                     warm]() -> StatusOr<core::RelaxedSolution> {
+    if (options_.use_interior_point) {
+      return warm != nullptr
+                 ? core::solve_relaxation_gp(problem, options_.gp, *warm)
+                 : core::solve_relaxation_gp(problem, options_.gp);
+    }
+    return core::solve_relaxation(problem,
+                                  core::CuBounds::defaults(problem),
+                                  warm != nullptr ? warm->ii : 0.0);
   };
   StatusOr<core::RelaxedSolution> relaxed = [&]() {
     if (options_.relax_cache == nullptr) return solve_root();
     const core::Fingerprint key =
         options_.use_interior_point
-            ? core::relaxation_gp_cache_key(problem, options_.gp)
-            : core::relaxation_cache_key(
-                  problem, core::CuBounds::defaults(problem), 0.0);
+            ? (warm != nullptr
+                   ? core::relaxation_gp_cache_key(problem, options_.gp,
+                                                   *warm)
+                   : core::relaxation_gp_cache_key(problem, options_.gp))
+            : core::relaxation_cache_key(problem,
+                                         core::CuBounds::defaults(problem),
+                                         warm != nullptr ? warm->ii : 0.0);
     return StatusOr<core::RelaxedSolution>(
         *options_.relax_cache->get_or_solve(key, solve_root));
   }();
@@ -59,6 +80,7 @@ StatusOr<GpaResult> GpaSolver::solve(const core::Problem& problem) const {
 
   GpaResult result{std::move(greedy.value().allocation),
                    relaxed.value().ii,
+                   relaxed.value().n_hat,
                    discrete.value().ii,
                    discrete.value().totals,
                    greedy.value().used_fraction,

@@ -6,6 +6,8 @@
 // 4.4 s, 100–1000× faster than MINLP") can be reproduced.
 #pragma once
 
+#include <optional>
+
 #include "alloc/greedy.hpp"
 #include "core/allocation.hpp"
 #include "core/problem.hpp"
@@ -22,6 +24,14 @@ struct GpaOptions {
   /// the same N̂_k to tolerance; bisection is the faster default.
   bool use_interior_point = false;
 
+  /// Warm start for the *root* relaxation, typically a related solve's
+  /// (ÎI, N̂) — the allocation service seeds each event's re-solve from
+  /// its incumbent. Bisection probes warm->ii once as a bracket end;
+  /// the interior-point path seeds the barrier from the full point.
+  /// Always safe: a useless seed only costs the probe. Cache keys fold
+  /// the seed in, so warm entries never alias cold ones.
+  std::optional<core::RelaxedSolution> warm;
+
   /// Shared relaxation memoization (core/relax_cache.hpp): the root
   /// solve and every branch-and-bound node go through it, so portfolio
   /// lanes and repeated batch instances reuse each other's work. Also
@@ -36,6 +46,8 @@ struct GpaOptions {
 struct GpaResult {
   core::Allocation allocation;   ///< final feasible placement
   double relaxed_ii = 0.0;       ///< ÎI from the GP step (lower bound)
+  std::vector<double> relaxed_n; ///< N̂_k from the GP step (with ÎI: the
+                                 ///< warm seed for a neighboring solve)
   double discrete_ii = 0.0;      ///< II after discretization (pre-alloc)
   std::vector<int> totals;       ///< discretized N_k
   double used_fraction = 0.0;    ///< R_c the allocator ended at

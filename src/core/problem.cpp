@@ -119,44 +119,50 @@ int Problem::max_cu_total(std::size_t k) const {
   return total;
 }
 
+Status Platform::validate() const {
+  if (num_fpgas < 1) {
+    return {Code::kInvalid, "platform must have at least one FPGA"};
+  }
+  if (homogeneous()) {
+    if (!class_of.empty()) {
+      return {Code::kInvalid,
+              "platform has a class assignment but no device classes"};
+    }
+    if (!capacity.non_negative() || bw_capacity < 0.0) {
+      return {Code::kInvalid, "platform capacities must be non-negative"};
+    }
+  } else {
+    if (class_of.size() != static_cast<std::size_t>(num_fpgas)) {
+      return {Code::kInvalid,
+              "platform 'class_of' must assign every FPGA a class"};
+    }
+    for (int c : class_of) {
+      if (c < 0 || c >= static_cast<int>(classes.size())) {
+        return {Code::kInvalid, "platform 'class_of' index out of range"};
+      }
+    }
+    for (const DeviceClass& dc : classes) {
+      if (!dc.capacity.non_negative() || dc.bw_capacity < 0.0) {
+        return {Code::kInvalid, "device class '" + dc.name +
+                                    "' has negative capacities"};
+      }
+    }
+  }
+  return Status::ok();
+}
+
 Status Problem::validate() const {
   if (app.kernels.empty()) {
     return {Code::kInvalid, "application has no kernels"};
   }
-  if (platform.num_fpgas < 1) {
-    return {Code::kInvalid, "platform must have at least one FPGA"};
+  if (Status platform_valid = platform.validate(); !platform_valid.is_ok()) {
+    return platform_valid;
   }
   if (resource_fraction <= 0.0 || bw_fraction <= 0.0) {
     return {Code::kInvalid, "constraint fractions must be positive"};
   }
   if (alpha < 0.0 || beta < 0.0) {
     return {Code::kInvalid, "objective weights must be non-negative"};
-  }
-  if (platform.homogeneous()) {
-    if (!platform.class_of.empty()) {
-      return {Code::kInvalid,
-              "platform has a class assignment but no device classes"};
-    }
-    if (!platform.capacity.non_negative() || platform.bw_capacity < 0.0) {
-      return {Code::kInvalid, "platform capacities must be non-negative"};
-    }
-  } else {
-    if (platform.class_of.size() !=
-        static_cast<std::size_t>(platform.num_fpgas)) {
-      return {Code::kInvalid,
-              "platform 'class_of' must assign every FPGA a class"};
-    }
-    for (int c : platform.class_of) {
-      if (c < 0 || c >= static_cast<int>(platform.classes.size())) {
-        return {Code::kInvalid, "platform 'class_of' index out of range"};
-      }
-    }
-    for (const DeviceClass& dc : platform.classes) {
-      if (!dc.capacity.non_negative() || dc.bw_capacity < 0.0) {
-        return {Code::kInvalid, "device class '" + dc.name +
-                                    "' has negative capacities"};
-      }
-    }
   }
   for (std::size_t k = 0; k < app.size(); ++k) {
     const Kernel& kern = app.kernels[k];

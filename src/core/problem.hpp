@@ -80,6 +80,12 @@ struct Platform {
     return classes.empty() ? 1 : classes.size();
   }
 
+  /// Structural validity: at least one FPGA, non-negative capacities,
+  /// and a class assignment that covers every FPGA (when mixed).
+  /// Problem::validate() delegates here; online platform changes (the
+  /// allocation service's ResizePlatform) check it before committing.
+  [[nodiscard]] Status validate() const;
+
   /// Class of FPGA f (0 for every FPGA of a homogeneous platform).
   [[nodiscard]] int class_index(int f) const;
 

@@ -2,13 +2,43 @@
 
 #include <utility>
 
+#include "support/assert.hpp"
+
 namespace mfa::core {
+namespace {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+RelaxationCache::RelaxationCache(RelaxCacheConfig config) {
+  // Guard before rounding: round_up_pow2 would loop forever once the
+  // doubling overflows, so an absurd shard count must assert first.
+  MFA_ASSERT_MSG(config.shards <= (std::size_t{1} << 20),
+                 "implausible relaxation-cache shard count");
+  const std::size_t shards = round_up_pow2(
+      config.shards == 0 ? std::size_t{1} : config.shards);
+  shards_ = std::vector<Shard>(shards);
+  unsigned bits = 0;
+  for (std::size_t s = shards; s > 1; s >>= 1) ++bits;
+  shard_shift_ = 64 - bits;  // unused (guarded) when shards == 1
+  if (config.max_entries > 0) {
+    per_shard_capacity_ = config.max_entries / shards;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  }
+}
 
 std::shared_ptr<const CachedRelaxation> RelaxationCache::lookup(
     const Fingerprint& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
@@ -19,8 +49,20 @@ std::shared_ptr<const CachedRelaxation> RelaxationCache::lookup(
 std::shared_ptr<const CachedRelaxation> RelaxationCache::insert(
     const Fingerprint& key, CachedRelaxation result) {
   auto entry = std::make_shared<const CachedRelaxation>(std::move(result));
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.entries.emplace(key, std::move(entry));
+  if (inserted && per_shard_capacity_ > 0) {
+    shard.order.push_back(key);
+    while (shard.entries.size() > per_shard_capacity_) {
+      // FIFO: drop the shard's oldest insertion. Outstanding shared_ptr
+      // holders keep the evicted bytes alive; the key itself re-solves
+      // to identical bytes on its next miss (determinism contract).
+      shard.entries.erase(shard.order.front());
+      shard.order.pop_front();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   return it->second;  // first writer wins; racers get the stored entry
 }
 
@@ -28,19 +70,29 @@ RelaxationCache::Stats RelaxationCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  s.entries = entries_.size();
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    s.entries += shard.entries.size();
+  }
   return s;
 }
 
 std::size_t RelaxationCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 void RelaxationCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.order.clear();
+  }
 }
 
 }  // namespace mfa::core

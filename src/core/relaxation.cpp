@@ -234,14 +234,15 @@ StatusOr<RelaxedSolution> solve_gp_impl(const Problem& problem,
     }
     // A barrier restarted at a small t first drags a near-optimal seed
     // back to the analytic center, wasting the whole warm start. Open
-    // with the duality-gap bound the seed plausibly has (~1e-3 relative)
+    // with the duality-gap bound the seed plausibly has (warm_gap:
+    // ~1e-3 for a same-problem seed, wider for a neighboring problem's)
     // so the path begins where the seed is useful; a poor seed only
     // costs extra centering steps at the first stage, not correctness.
     gp::SolverOptions warm_options = options;
     const double m =
         static_cast<double>(model.constraints().size()) +
         2.0 * static_cast<double>(model.num_variables());  // + box rows
-    warm_options.t0 = std::max(options.t0, m / 1e-3);
+    warm_options.t0 = std::max(options.t0, m / options.warm_gap);
     gp_sol = gp::GpSolver(warm_options).solve(model, x0);
   } else {
     gp_sol = gp::GpSolver(options).solve(model);
@@ -286,7 +287,7 @@ Fingerprint relaxation_gp_cache_key(const Problem& problem,
   // The determinism contract requires the key to capture *every* solve
   // input. If this assert fires, a SolverOptions field was added or
   // resized: mix the new field below, then update the expected size.
-  static_assert(sizeof(gp::SolverOptions) == 8 * sizeof(double),
+  static_assert(sizeof(gp::SolverOptions) == 9 * sizeof(double),
                 "SolverOptions changed: update relaxation_gp_cache_key");
   Fingerprint key = relaxation_fingerprint(problem);
   mix_bounds(key, CuBounds::defaults(problem));
@@ -298,8 +299,20 @@ Fingerprint relaxation_gp_cache_key(const Problem& problem,
   key.mix(options.newton_tol);
   key.mix(options.feas_margin);
   key.mix(options.variable_box);
+  key.mix(options.warm_gap);
   key.mix(static_cast<std::uint64_t>(options.use_compiled_kernel));
   key.mix(std::uint64_t{0x6b9});  // algorithm tag: interior point
+  return key;
+}
+
+Fingerprint relaxation_gp_cache_key(const Problem& problem,
+                                    const gp::SolverOptions& options,
+                                    const RelaxedSolution& warm) {
+  Fingerprint key = relaxation_gp_cache_key(problem, options);
+  key.mix(warm.ii);
+  for (double n : warm.n_hat) key.mix(n);
+  key.mix(std::uint64_t{warm.n_hat.size()});
+  key.mix(std::uint64_t{0x3a96});  // algorithm tag: warm-started barrier
   return key;
 }
 

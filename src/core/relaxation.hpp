@@ -93,4 +93,12 @@ Fingerprint relaxation_cache_key(const Problem& problem,
 Fingerprint relaxation_gp_cache_key(const Problem& problem,
                                     const gp::SolverOptions& options);
 
+/// Cache key for a *warm-started* interior-point solve: the warm seed
+/// changes the returned bits (same optimum only to tolerance), so warm
+/// entries must never alias the cold ones — the seed's ÎI and N̂ are
+/// folded into the key.
+Fingerprint relaxation_gp_cache_key(const Problem& problem,
+                                    const gp::SolverOptions& options,
+                                    const RelaxedSolution& warm);
+
 }  // namespace mfa::core

@@ -1,6 +1,8 @@
 #include "gp/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -469,7 +471,13 @@ GpSolution solve_legacy(const GpProblem& problem, const SolverOptions& options,
                        initial_y(n, x0, options.variable_box));
 }
 
+std::atomic<std::int64_t> g_newton_iterations{0};
+
 }  // namespace
+
+std::int64_t total_newton_iterations() {
+  return g_newton_iterations.load(std::memory_order_relaxed);
+}
 
 const char* to_string(GpStatus status) {
   switch (status) {
@@ -486,15 +494,22 @@ const char* to_string(GpStatus status) {
 }
 
 GpSolution GpSolver::solve(const GpProblem& problem) const {
-  return options_.use_compiled_kernel
-             ? solve_compiled(problem, options_, nullptr)
-             : solve_legacy(problem, options_, nullptr);
+  GpSolution sol = options_.use_compiled_kernel
+                       ? solve_compiled(problem, options_, nullptr)
+                       : solve_legacy(problem, options_, nullptr);
+  g_newton_iterations.fetch_add(sol.newton_iterations,
+                                std::memory_order_relaxed);
+  return sol;
 }
 
 GpSolution GpSolver::solve(const GpProblem& problem,
                            const std::vector<double>& x0) const {
-  return options_.use_compiled_kernel ? solve_compiled(problem, options_, &x0)
-                                      : solve_legacy(problem, options_, &x0);
+  GpSolution sol = options_.use_compiled_kernel
+                       ? solve_compiled(problem, options_, &x0)
+                       : solve_legacy(problem, options_, &x0);
+  g_newton_iterations.fetch_add(sol.newton_iterations,
+                                std::memory_order_relaxed);
+  return sol;
 }
 
 }  // namespace mfa::gp

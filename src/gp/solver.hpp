@@ -15,6 +15,7 @@
 // inside every exponent keeps each constraint a log-sum-exp in (y, s).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "gp/problem.hpp"
@@ -36,6 +37,15 @@ struct SolverOptions {
   /// phase-I merit bounded and phase II free of drift along flat
   /// directions. 46 ≈ log(1e20).
   double variable_box = 46.0;
+  /// Relative duality gap a warm-start seed is assumed to carry: the
+  /// warm-started barrier opens at t0 = m / warm_gap instead of
+  /// replaying the whole path. 1e-3 suits a seed from the *same*
+  /// problem (re-solve, cache replay); callers seeding from a
+  /// *neighboring* problem — the allocation service warm-starts each
+  /// event from the previous workload's optimum — should widen this
+  /// (~3e-2), or the high-t opening grinds on a seed that is no longer
+  /// near-optimal. Cold solves ignore it.
+  double warm_gap = 1e-3;
   /// Evaluate through the compiled flat LSE IR (gp/compiled.hpp): fused
   /// value/gradient/Hessian over CSR arrays with preallocated scratch.
   /// The interpretive LseFunction path is kept for cross-validation and
@@ -52,6 +62,13 @@ enum class GpStatus {
 
 /// Stable text name of a solver status.
 const char* to_string(GpStatus status);
+
+/// Process-wide running total of Newton steps executed by every
+/// GpSolver::solve (both phases, all threads; relaxed counter). Sample
+/// before and after a workload to attribute its solver effort — the
+/// serving benchmarks use this to compare warm vs cold re-solve cost
+/// without threading counters through every intermediate layer.
+std::int64_t total_newton_iterations();
 
 /// Result of a GP solve.
 struct GpSolution {

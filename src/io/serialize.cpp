@@ -284,6 +284,121 @@ StatusOr<Problem> problem_from_text(std::string_view text) {
   return problem_from_json(doc.value());
 }
 
+Json to_json(const service::Event& event) {
+  using Type = service::Event::Type;
+  Json j = Json::object();
+  j.set("type", Json::string(service::to_string(event.type)));
+  j.set("time_ms", Json::number(event.time_ms));
+  switch (event.type) {
+    case Type::kAddPipeline:
+      j.set("id", Json::string(event.pipeline.id));
+      j.set("weight", Json::number(event.pipeline.weight));
+      j.set("application", to_json(event.pipeline.app));
+      break;
+    case Type::kRemovePipeline:
+      j.set("id", Json::string(event.id));
+      break;
+    case Type::kReprioritize:
+      j.set("id", Json::string(event.id));
+      j.set("weight", Json::number(event.weight));
+      break;
+    case Type::kResizePlatform:
+      j.set("platform", to_json(event.platform));
+      break;
+  }
+  return j;
+}
+
+Json to_json(const scenario::Trace& trace) {
+  Json j = Json::object();
+  j.set("platform", to_json(trace.platform));
+  Json events = Json::array();
+  for (const service::Event& e : trace.events) events.push_back(to_json(e));
+  j.set("events", std::move(events));
+  return j;
+}
+
+StatusOr<service::Event> event_from_json(const Json& j) {
+  using Type = service::Event::Type;
+  if (!j.is_object()) return Status{Code::kInvalid, "event: not an object"};
+  const std::string type = optional_string(j, "type", "");
+  service::Event e;
+  e.time_ms = optional_number(j, "time_ms", 0.0);
+  if (type == "add") {
+    e.type = Type::kAddPipeline;
+    e.pipeline.id = optional_string(j, "id", "");
+    if (e.pipeline.id.empty()) {
+      return Status{Code::kInvalid, "add event: missing 'id'"};
+    }
+    e.pipeline.weight = optional_number(j, "weight", 1.0);
+    const Json* app = j.find("application");
+    if (app == nullptr) {
+      return Status{Code::kInvalid, "add event: missing 'application'"};
+    }
+    StatusOr<Application> parsed = application_from_json(*app);
+    if (!parsed.is_ok()) return parsed.status();
+    e.pipeline.app = std::move(parsed.value());
+    return e;
+  }
+  if (type == "remove" || type == "reprioritize") {
+    e.type = type == "remove" ? Type::kRemovePipeline : Type::kReprioritize;
+    e.id = optional_string(j, "id", "");
+    if (e.id.empty()) {
+      return Status{Code::kInvalid, type + " event: missing 'id'"};
+    }
+    if (e.type == Type::kReprioritize) {
+      StatusOr<double> weight = need_number(j, "weight", "reprioritize");
+      if (!weight.is_ok()) return weight.status();
+      e.weight = weight.value();
+    }
+    return e;
+  }
+  if (type == "resize") {
+    e.type = Type::kResizePlatform;
+    const Json* plat = j.find("platform");
+    if (plat == nullptr) {
+      return Status{Code::kInvalid, "resize event: missing 'platform'"};
+    }
+    StatusOr<Platform> parsed = platform_from_json(*plat);
+    if (!parsed.is_ok()) return parsed.status();
+    e.platform = std::move(parsed.value());
+    return e;
+  }
+  return Status{Code::kInvalid, "event: unknown type '" + type + "'"};
+}
+
+StatusOr<scenario::Trace> trace_from_json(const Json& j) {
+  if (!j.is_object()) return Status{Code::kInvalid, "trace: not an object"};
+  scenario::Trace trace;
+  const Json* plat = j.find("platform");
+  if (plat == nullptr) {
+    return Status{Code::kInvalid, "trace: missing 'platform'"};
+  }
+  StatusOr<Platform> platform = platform_from_json(*plat);
+  if (!platform.is_ok()) return platform.status();
+  trace.platform = std::move(platform.value());
+  const Json* events = j.find("events");
+  if (events == nullptr || !events->is_array()) {
+    return Status{Code::kInvalid, "trace: missing 'events' array"};
+  }
+  trace.events.reserve(events->size());
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    StatusOr<service::Event> e = event_from_json(events->at(i));
+    if (!e.is_ok()) {
+      return Status{Code::kInvalid, "events[" + std::to_string(i) +
+                                        "]: " + e.status().message()};
+    }
+    trace.events.push_back(std::move(e.value()));
+  }
+  return trace;
+}
+
+StatusOr<scenario::Trace> trace_from_text(std::string_view text) {
+  StatusOr<Json> doc = Json::parse(text);
+  if (!doc.is_ok()) return doc.status();
+  return trace_from_json(doc.value());
+}
+
 StatusOr<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status{Code::kInvalid, "cannot open file: " + path};

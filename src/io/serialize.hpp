@@ -28,11 +28,23 @@
 //
 // Missing optional fields take the struct defaults; malformed input is
 // reported as Code::kInvalid with a field path.
+// Service traces (the `gentrace` / `serve --trace` formats) are a
+// platform plus an event list; each event carries exactly its payload:
+//
+//   {"platform": {...}, "events": [
+//     {"type": "add", "time_ms": 12.5, "id": "p0", "weight": 1.3,
+//      "application": {...}},
+//     {"type": "reprioritize", "time_ms": 31.0, "id": "p0",
+//      "weight": 0.7},
+//     {"type": "resize", "time_ms": 40.0, "platform": {...}},
+//     {"type": "remove", "time_ms": 55.1, "id": "p0"}]}
 #pragma once
 
 #include "core/allocation.hpp"
 #include "core/problem.hpp"
 #include "io/json.hpp"
+#include "scenario/trace.hpp"
+#include "service/event.hpp"
 
 namespace mfa::io {
 
@@ -53,6 +65,17 @@ StatusOr<core::Problem> problem_from_json(const Json& j);
 
 /// Convenience: parse text and build the problem in one step.
 StatusOr<core::Problem> problem_from_text(std::string_view text);
+
+// ---- Service traces (see the file comment for the schema). -------------
+
+Json to_json(const service::Event& event);
+Json to_json(const scenario::Trace& trace);
+
+StatusOr<service::Event> event_from_json(const Json& j);
+StatusOr<scenario::Trace> trace_from_json(const Json& j);
+
+/// Convenience: parse text and build the trace in one step.
+StatusOr<scenario::Trace> trace_from_text(std::string_view text);
 
 /// Reads a whole file into a string (kInvalid on I/O failure).
 StatusOr<std::string> read_file(const std::string& path);

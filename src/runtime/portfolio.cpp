@@ -23,10 +23,12 @@ double seconds_since(Clock::time_point t0) {
 struct LaneRun {
   StrategyOutcome outcome;
   std::optional<core::Allocation> allocation;  // bound to the request problem
+  std::optional<core::RelaxedSolution> relaxed;  // GP+A root (ÎI, N̂)
 };
 
 LaneRun run_lane(const StrategySpec& spec, const core::Problem& problem,
                  const PortfolioOptions& options,
+                 const std::optional<core::RelaxedSolution>& warm,
                  solver::Budget& shared) {
   LaneRun run;
   run.outcome.strategy = spec.name();
@@ -37,10 +39,13 @@ LaneRun run_lane(const StrategySpec& spec, const core::Problem& problem,
       alloc::GpaOptions o = options.gpa;
       o.greedy.t_max = spec.t_max;
       if (options.relax_cache != nullptr) o.relax_cache = options.relax_cache;
+      if (warm) o.warm = warm;  // root-relaxation seed (request-level)
       StatusOr<alloc::GpaResult> r = alloc::GpaSolver(o).solve(problem);
       if (r.is_ok()) {
         run.allocation = std::move(r.value().allocation);
         run.outcome.nodes = r.value().discretize_nodes;
+        run.relaxed = core::RelaxedSolution{
+            r.value().relaxed_ii, std::move(r.value().relaxed_n)};
       } else {
         run.outcome.status = r.status();
       }
@@ -113,6 +118,9 @@ Portfolio::Portfolio(PortfolioOptions options, int num_threads)
   pool_ = std::make_unique<ThreadPool>(num_threads);
 }
 
+Portfolio::Portfolio(PortfolioOptions options, ThreadPool* shared_pool)
+    : options_(std::move(options)), shared_pool_(shared_pool) {}
+
 Portfolio::~Portfolio() = default;
 
 SolveResult Portfolio::solve(const core::Problem& problem) const {
@@ -148,13 +156,14 @@ SolveResult Portfolio::solve(const SolveRequest& request) const {
   solver::Budget shared(options.max_nodes, options.max_seconds);
 
   std::vector<LaneRun> runs(lanes.size());
-  if (pool_ != nullptr && lanes.size() > 1) {
-    pool_->parallel_for(lanes.size(), [&](std::size_t i) {
-      runs[i] = run_lane(lanes[i], problem, options, shared);
+  ThreadPool* workers = pool();
+  if (workers != nullptr && lanes.size() > 1) {
+    workers->parallel_for(lanes.size(), [&](std::size_t i) {
+      runs[i] = run_lane(lanes[i], problem, options, request.warm, shared);
     });
   } else {
     for (std::size_t i = 0; i < lanes.size(); ++i) {
-      runs[i] = run_lane(lanes[i], problem, options, shared);
+      runs[i] = run_lane(lanes[i], problem, options, request.warm, shared);
     }
   }
 
@@ -171,8 +180,11 @@ SolveResult Portfolio::solve(const SolveRequest& request) const {
   }
 
   if (winner == lanes.size()) {
-    // No lane produced an allocation. An exact-kind lane's kInfeasible
-    // is a proof; GP+A's is heuristic — prefer the strongest statement.
+    // No lane produced an allocation. Only an exact-kind lane's
+    // kInfeasible is a *proof*; GP+A's is heuristic (Algorithm 1 giving
+    // up within T says nothing about the true feasible set), so a
+    // portfolio of heuristic lanes must never promote their unanimous
+    // failure to a proof-grade kInfeasible — it stays kLimit.
     Status status{Code::kLimit, "every lane exhausted its budget"};
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       if (lanes[i].kind == StrategySpec::Kind::kGpa) continue;
@@ -187,8 +199,9 @@ SolveResult Portfolio::solve(const SolveRequest& request) const {
             return r.outcome.status.code() == Code::kInfeasible;
           });
       if (all_infeasible) {
-        status = Status{Code::kInfeasible,
-                        "every strategy reported infeasibility"};
+        status = Status{Code::kLimit,
+                        "every heuristic lane reported infeasibility "
+                        "(no exact lane ran; not a proof)"};
       }
     }
     result.status = std::move(status);
@@ -197,6 +210,7 @@ SolveResult Portfolio::solve(const SolveRequest& request) const {
   }
 
   result.allocation = rebind(*runs[winner].allocation, *result.problem);
+  result.relaxed = std::move(runs[winner].relaxed);
   result.ii = result.lanes[winner].ii;
   result.phi = result.lanes[winner].phi;
   result.goal = result.lanes[winner].goal;

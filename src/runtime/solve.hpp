@@ -20,6 +20,7 @@
 #include "alloc/gpa.hpp"
 #include "core/allocation.hpp"
 #include "core/problem.hpp"
+#include "core/relaxation.hpp"
 #include "solver/exact.hpp"
 #include "support/status.hpp"
 
@@ -84,6 +85,13 @@ struct SolveRequest {
   std::shared_ptr<const core::Problem> problem;
   /// Overrides the batch-level portfolio configuration when set.
   std::optional<PortfolioOptions> options;
+  /// Warm start for the GP+A lanes' root relaxation, typically the
+  /// incumbent of a closely related solve (the allocation service seeds
+  /// each event's re-solve from the previous allocation's ÎI and N̂).
+  /// Exact/naive lanes ignore it. Always safe: a stale seed only costs
+  /// one feasibility probe, never correctness — the root solver
+  /// converges to the same optimum and cache keys fold the seed in.
+  std::optional<core::RelaxedSolution> warm;
 
   static SolveRequest of(core::Problem problem) {
     SolveRequest r;
@@ -120,6 +128,10 @@ struct SolveResult {
   double goal = 0.0;
   /// True when an exact lane on the true objective completed its search.
   bool proved_optimal = false;
+  /// Root relaxation (ÎI, N̂) of the winning lane, when it was a GP+A
+  /// lane — the seed an online caller passes back as the next related
+  /// request's `warm` (exact/naive winners leave it empty).
+  std::optional<core::RelaxedSolution> relaxed;
   std::string winner;       ///< name of the winning lane
   std::int64_t nodes = 0;   ///< Σ nodes across lanes
   double seconds = 0.0;     ///< wall time of the whole portfolio call

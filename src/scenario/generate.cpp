@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/rng.hpp"
 #include "support/assert.hpp"
 
 namespace mfa::scenario {
@@ -15,38 +16,6 @@ using core::Platform;
 using core::Problem;
 using core::Resource;
 using core::ResourceVec;
-
-/// splitmix64 (Steele, Lea, Flood 2014): a tiny, well-mixed generator
-/// whose output sequence is fully specified by the seed — unlike
-/// std::uniform_*_distribution, which may differ across standard
-/// libraries and would break cross-platform scenario reproducibility.
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : state_(seed) {}
-
-  std::uint64_t next() {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-
-  /// Uniform in [0, 1) with 53 bits of precision.
-  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
-
-  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
-  /// Uniform in [lo, hi]. The modulo bias is irrelevant for scenario
-  /// diversity (ranges are tiny against 2^64).
-  int uniform_int(int lo, int hi) {
-    MFA_ASSERT(lo <= hi);
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<int>(next() % span);
-  }
-
- private:
-  std::uint64_t state_;
-};
 
 }  // namespace
 

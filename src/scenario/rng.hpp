@@ -1,0 +1,51 @@
+// The scenario module's deterministic RNG.
+//
+// splitmix64 (Steele, Lea, Flood 2014): a tiny, well-mixed generator
+// whose output sequence is fully specified by the seed — unlike
+// std::uniform_*_distribution, which may differ across standard
+// libraries. Shared by the instance generator (scenario/generate.cpp)
+// and the arrival-trace generator (scenario/trace.cpp); both promise
+// byte-identical output for a fixed (spec, seed) within a build. The
+// raw 64-bit stream (and everything derived from it by arithmetic
+// alone) is identical on every platform; generators that additionally
+// route draws through libm (std::log in the trace generator's
+// exponential draws) are reproducible per libm implementation, which
+// is what the replay/CI determinism checks rely on — they always
+// compare runs of the same binary.
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace mfa::scenario {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform in [lo, hi]. The modulo bias is irrelevant for scenario
+  /// diversity (ranges are tiny against 2^64).
+  int uniform_int(int lo, int hi) {
+    MFA_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mfa::scenario

@@ -1,0 +1,158 @@
+#include "scenario/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "scenario/rng.hpp"
+#include "support/assert.hpp"
+
+namespace mfa::scenario {
+namespace {
+
+using core::Kernel;
+using core::Platform;
+using core::Resource;
+using service::Event;
+using service::PipelineSpec;
+
+/// Exponential draw with the given mean (inverse-CDF on a uniform;
+/// uniform() < 1 keeps the log argument positive).
+double exponential(Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+/// Draws one pipelined application, sized so each kernel fits a few CUs
+/// on a fresh reference FPGA — the same demand model as the instance
+/// generator (scenario/generate.cpp), minus the heterogeneity knobs.
+PipelineSpec draw_pipeline(Rng& rng, const TraceSpec& spec,
+                           const std::string& id) {
+  PipelineSpec pipe;
+  pipe.id = id;
+  pipe.app.name = id;
+  pipe.weight = rng.uniform(spec.min_weight, spec.max_weight);
+  const int num_kernels = rng.uniform_int(spec.min_kernels, spec.max_kernels);
+  for (int k = 0; k < num_kernels; ++k) {
+    Kernel kern;
+    kern.name = "K" + std::to_string(k);
+    kern.wcet_ms = rng.uniform(spec.min_wcet_ms, spec.max_wcet_ms);
+    // Dominant axis sized for q CUs per fresh FPGA, with slack below
+    // the per-slot cap so several tenants can share a device.
+    const int q = rng.uniform_int(1, spec.max_cu_per_kernel);
+    const double dominant = 100.0 / q * rng.uniform(0.35, 0.8);
+    const double secondary = dominant * rng.uniform(0.1, 0.9);
+    const bool bram_heavy = rng.uniform() < 0.5;
+    kern.res[Resource::kBram] = bram_heavy ? dominant : secondary;
+    kern.res[Resource::kDsp] = bram_heavy ? secondary : dominant;
+    kern.bw = 100.0 / q * rng.uniform(0.05, 0.4);
+    pipe.app.kernels.push_back(std::move(kern));
+  }
+  return pipe;
+}
+
+}  // namespace
+
+Trace generate_trace(const TraceSpec& spec, std::uint64_t seed) {
+  MFA_ASSERT_MSG(spec.num_events >= 1, "empty trace");
+  MFA_ASSERT_MSG(spec.arrival_rate_per_s > 0.0, "bad arrival rate");
+  MFA_ASSERT_MSG(spec.mean_lifetime_s > 0.0, "bad lifetime");
+  MFA_ASSERT_MSG(spec.max_live_pipelines >= 1, "bad live cap");
+  MFA_ASSERT_MSG(spec.min_kernels >= 1 &&
+                     spec.max_kernels >= spec.min_kernels,
+                 "bad kernel count range");
+  MFA_ASSERT_MSG(spec.min_wcet_ms > 0.0 &&
+                     spec.max_wcet_ms >= spec.min_wcet_ms,
+                 "bad WCET range");
+  MFA_ASSERT_MSG(spec.max_cu_per_kernel >= 1, "need at least one CU");
+  MFA_ASSERT_MSG(spec.min_weight > 0.0 &&
+                     spec.max_weight >= spec.min_weight,
+                 "bad weight range");
+  MFA_ASSERT_MSG(spec.num_fpgas >= 1 && spec.max_extra_fpgas >= 0,
+                 "bad FPGA counts");
+  MFA_ASSERT_MSG(spec.reprioritize_fraction >= 0.0 &&
+                     spec.resize_fraction >= 0.0 &&
+                     spec.reprioritize_fraction + spec.resize_fraction < 1.0,
+                 "churn fractions must leave room for arrivals");
+
+  // Decorrelate adjacent seeds before the first draw (same pattern as
+  // the instance generator, different stream constant).
+  Rng rng(seed ^ 0x7ace5eed5ca1ab1eull);
+
+  Trace trace;
+  trace.platform.name = "pool-" + std::to_string(seed);
+  trace.platform.num_fpgas = spec.num_fpgas;
+
+  struct Live {
+    std::string id;
+    double death_ms = 0.0;
+  };
+  std::vector<Live> live;  // arrival order; linear scans are fine here
+  double now_ms = 0.0;
+  int next_id = 0;
+
+  auto pop_due_removal = [&](double horizon_ms) -> const Live* {
+    const Live* due = nullptr;
+    for (const Live& l : live) {
+      if (l.death_ms <= horizon_ms &&
+          (due == nullptr || l.death_ms < due->death_ms)) {
+        due = &l;
+      }
+    }
+    return due;
+  };
+
+  auto& events = trace.events;
+  while (static_cast<int>(events.size()) < spec.num_events) {
+    const double arrival_ms =
+        now_ms + 1000.0 * exponential(rng, 1.0 / spec.arrival_rate_per_s);
+
+    // Departures scheduled before the next arrival fire first.
+    if (const Live* due = pop_due_removal(arrival_ms)) {
+      events.push_back(Event::remove(due->id, due->death_ms));
+      now_ms = due->death_ms;
+      live.erase(live.begin() + (due - live.data()));
+      continue;
+    }
+    now_ms = arrival_ms;
+
+    const double churn = rng.uniform();
+    if (churn < spec.resize_fraction) {
+      Platform resized = trace.platform;
+      resized.name = "pool-" + std::to_string(seed) + "-r" +
+                     std::to_string(events.size());
+      resized.num_fpgas = rng.uniform_int(
+          std::max(1, spec.num_fpgas - spec.max_extra_fpgas),
+          spec.num_fpgas + spec.max_extra_fpgas);
+      events.push_back(Event::resize(std::move(resized), now_ms));
+      continue;
+    }
+    if (churn < spec.resize_fraction + spec.reprioritize_fraction &&
+        !live.empty()) {
+      const Live& target =
+          live[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(live.size()) - 1))];
+      events.push_back(Event::reprioritize(
+          target.id, rng.uniform(spec.min_weight, spec.max_weight),
+          now_ms));
+      continue;
+    }
+    if (static_cast<int>(live.size()) >= spec.max_live_pipelines) {
+      // At the concurrency cap: retire the oldest tenant early instead
+      // of stalling the stream (keeps event counts exact and the trace
+      // free of unremovable pile-ups).
+      events.push_back(Event::remove(live.front().id, now_ms));
+      live.erase(live.begin());
+      continue;
+    }
+    PipelineSpec pipe =
+        draw_pipeline(rng, spec, "p" + std::to_string(next_id++));
+    live.push_back(
+        {pipe.id,
+         now_ms + 1000.0 * exponential(rng, spec.mean_lifetime_s)});
+    events.push_back(Event::add(std::move(pipe), now_ms));
+  }
+  return trace;
+}
+
+}  // namespace mfa::scenario

@@ -1,0 +1,77 @@
+// Seeded arrival-trace generator for the allocation service.
+//
+// generate_trace(spec, seed) deterministically maps a 64-bit seed to a
+// stream of service events — same seed, same spec ⇒ byte-identical
+// trace for a fixed build (splitmix64 RNG, no std:: distributions;
+// the exponential draws go through std::log, so traces are
+// reproducible per libm implementation rather than across every
+// platform — the replay determinism contract compares runs of one
+// binary). The model:
+//
+//  * pipelines arrive by a Poisson process (exponential inter-arrival
+//    gaps at `arrival_rate_per_s`), each carrying a freshly drawn
+//    linear pipeline and a priority weight;
+//  * each pipeline lives an exponentially distributed lifetime
+//    (`mean_lifetime_s`), after which its RemovePipeline event fires;
+//  * churn knobs replace a fraction of arrivals with Reprioritize
+//    events on a random live pipeline, or (rarely) with a
+//    ResizePlatform event that grows/shrinks the pool;
+//  * `max_live_pipelines` caps concurrency so composite problems stay
+//    inside the solvers' comfortable range.
+//
+// The trace replayer (`mfalloc_cli serve --trace`) and the churn bench
+// (bench/service_churn) consume these; tests/service_test.cpp checks
+// the determinism promise end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "service/event.hpp"
+
+namespace mfa::scenario {
+
+struct TraceSpec {
+  int num_events = 500;
+
+  /// Poisson arrival intensity and mean pipeline lifetime. Their
+  /// product (×: rate · lifetime) is the offered load in simultaneously
+  /// live pipelines, clipped by max_live_pipelines.
+  double arrival_rate_per_s = 50.0;
+  double mean_lifetime_s = 0.1;
+  int max_live_pipelines = 5;
+
+  /// Fraction of arrival slots replaced by churn events (require at
+  /// least one live pipeline; resizes need none).
+  double reprioritize_fraction = 0.12;
+  double resize_fraction = 0.02;
+
+  /// Per-pipeline shape: kernel count, WCET range, and how many CUs of
+  /// one kernel fit a fresh FPGA (bounds demand like ScenarioSpec).
+  int min_kernels = 2;
+  int max_kernels = 4;
+  double min_wcet_ms = 1.0;
+  double max_wcet_ms = 20.0;
+  int max_cu_per_kernel = 3;
+
+  /// Priority weights drawn uniformly from [min_weight, max_weight].
+  double min_weight = 0.5;
+  double max_weight = 2.0;
+
+  /// Initial pool size; resizes draw uniformly from
+  /// [max(1, num_fpgas - max_extra_fpgas), num_fpgas + max_extra_fpgas]
+  /// so a trace exercises both pool growth and shrink-below-demand.
+  int num_fpgas = 4;
+  int max_extra_fpgas = 2;
+};
+
+struct Trace {
+  core::Platform platform;  ///< the pool before the first event
+  std::vector<service::Event> events;
+};
+
+/// Deterministic seed → trace map; see the file comment.
+Trace generate_trace(const TraceSpec& spec, std::uint64_t seed);
+
+}  // namespace mfa::scenario

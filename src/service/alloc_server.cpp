@@ -1,0 +1,317 @@
+#include "service/alloc_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace mfa::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+AllocServer::AllocServer(core::Platform platform, ServerOptions options)
+    : options_(std::move(options)),
+      cache_(core::RelaxCacheConfig{options_.cache_shards,
+                                    options_.cache_entries}),
+      platform_(std::move(platform)) {
+  options_.portfolio.relax_cache = &cache_;
+  if (options_.solver_threads != 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(options_.solver_threads);
+  }
+  portfolio_ = std::make_unique<runtime::Portfolio>(options_.portfolio,
+                                                    pool_.get());
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+AllocServer::~AllocServer() { stop(); }
+
+void AllocServer::stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<EventOutcome> AllocServer::submit(Event event) {
+  return queue_.push(std::move(event));
+}
+
+void AllocServer::dispatcher_loop() {
+  while (auto item = queue_.pop()) {
+    EventOutcome outcome = process(std::move(item->event));
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      log_.push_back(outcome);
+      if (options_.log_capacity > 0) {
+        while (log_.size() > options_.log_capacity) log_.pop_front();
+      }
+    }
+    item->reply.set_value(std::move(outcome));
+  }
+}
+
+core::Problem AllocServer::compose() const {
+  core::Problem p;
+  p.app.name = "composite";
+  p.platform = platform_;
+  p.resource_fraction = options_.resource_fraction;
+  p.bw_fraction = options_.bw_fraction;
+  p.alpha = options_.alpha;
+  p.beta = options_.beta;
+  for (const PipelineSpec& pipe : pipelines_) {
+    for (const core::Kernel& k : pipe.app.kernels) {
+      core::Kernel scaled = k;
+      scaled.name = pipe.id + "/" + k.name;
+      // Priority enters through the effective WCET: minimizing
+      // max_k weight·WCET_k/N_k pulls CUs toward heavy pipelines.
+      scaled.wcet_ms = k.wcet_ms * pipe.weight;
+      p.app.kernels.push_back(std::move(scaled));
+    }
+  }
+  return p;
+}
+
+std::optional<core::RelaxedSolution> AllocServer::make_warm(
+    const core::Problem& problem) const {
+  if (!options_.warm_start || last_ii_ <= 0.0) return std::nullopt;
+  core::RelaxedSolution warm;
+  warm.ii = last_ii_;
+  warm.n_hat.reserve(problem.num_kernels());
+  for (const PipelineSpec& pipe : pipelines_) {
+    auto it = last_totals_.find(pipe.id);
+    for (std::size_t k = 0; k < pipe.app.kernels.size(); ++k) {
+      if (it != last_totals_.end() && k < it->second.size()) {
+        // Surviving pipeline: carry its previous N̂ over.
+        warm.n_hat.push_back(it->second[k]);
+      } else {
+        // New arrival: the CU count that would meet the incumbent ÎI.
+        const double wcet = pipe.app.kernels[k].wcet_ms * pipe.weight;
+        warm.n_hat.push_back(std::max(1.0, wcet / last_ii_));
+      }
+    }
+  }
+
+  // Pull the seed inside the *new* composite's pooled constraints: a
+  // fresh arrival's N̂ rides on top of the survivors', which can
+  // overshoot the pool and force the barrier's phase I to run from an
+  // infeasible point. Scaling N̂ by s < 1 and ÎI by 1/s preserves the
+  // latency products ÎI·N̂_k, so the scaled seed stays latency-feasible
+  // while re-entering the resource region (the 0.95 margin keeps it
+  // strictly interior; the N̂ ≥ 1 clamp in the GP warm path can nudge
+  // usage back up, which the margin absorbs).
+  const core::ResourceVec pooled = problem.pooled_cap();
+  double scale = 1.0;
+  for (std::size_t axis = 0; axis < core::kNumResources; ++axis) {
+    if (pooled.axis(axis) <= 0.0) continue;
+    double used = 0.0;
+    for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+      used += warm.n_hat[k] * problem.app.kernels[k].res.axis(axis);
+    }
+    if (used > 0.0) {
+      scale = std::min(scale, 0.95 * pooled.axis(axis) / used);
+    }
+  }
+  double bw_used = 0.0;
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    bw_used += warm.n_hat[k] * problem.app.kernels[k].bw;
+  }
+  if (bw_used > 0.0 && problem.pooled_bw_cap() > 0.0) {
+    scale = std::min(scale, 0.95 * problem.pooled_bw_cap() / bw_used);
+  }
+  if (scale < 1.0) {
+    warm.ii /= scale;
+    for (double& n : warm.n_hat) n *= scale;
+  }
+  return warm;
+}
+
+EventOutcome AllocServer::process(Event event) {
+  const auto t0 = Clock::now();
+  // The dispatcher is the only mutator, but observers (active_pipelines,
+  // incumbent, log) read concurrently: hold the state lock across the
+  // mutation *and* the re-solve so they always see a consistent pair of
+  // (workload, incumbent). Events are coarse; observer latency under a
+  // solve is acceptable for a serving loop.
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  EventOutcome outcome;
+  outcome.sequence = sequence_++;
+  outcome.type = event.type;
+
+  // ---- Apply the workload mutation.
+  auto find_pipeline = [this](const std::string& id) {
+    return std::find_if(pipelines_.begin(), pipelines_.end(),
+                        [&id](const PipelineSpec& p) { return p.id == id; });
+  };
+  // Rollback snapshots: a mutation whose composite fails *structural*
+  // validation is reverted wholesale, so one malformed event (a resize
+  // to a platform with a broken class assignment, an add with a
+  // negative-resource kernel) can never poison the server — without
+  // them the bad state would out-live the event and fail every later
+  // solve. Cheap against the solve each event already pays for.
+  const core::Platform saved_platform = platform_;
+  const std::vector<PipelineSpec> saved_pipelines = pipelines_;
+
+  bool workload_changed = false;
+  switch (event.type) {
+    case Event::Type::kAddPipeline: {
+      outcome.id = event.pipeline.id;
+      if (event.pipeline.id.empty()) {
+        outcome.status = Status{Code::kInvalid, "empty pipeline id"};
+      } else if (event.pipeline.app.kernels.empty()) {
+        outcome.status =
+            Status{Code::kInvalid, "pipeline without kernels: '" +
+                                       event.pipeline.id + "'"};
+      } else if (event.pipeline.weight <= 0.0) {
+        outcome.status = Status{Code::kInvalid, "non-positive weight"};
+      } else if (find_pipeline(event.pipeline.id) != pipelines_.end()) {
+        outcome.status =
+            Status{Code::kInvalid,
+                   "duplicate pipeline id: '" + event.pipeline.id + "'"};
+      } else {
+        pipelines_.push_back(std::move(event.pipeline));
+        workload_changed = true;
+      }
+      break;
+    }
+    case Event::Type::kRemovePipeline: {
+      outcome.id = event.id;
+      auto it = find_pipeline(event.id);
+      if (it == pipelines_.end()) {
+        outcome.status = Status{Code::kInvalid,
+                                "unknown pipeline id: '" + event.id + "'"};
+      } else {
+        last_totals_.erase(it->id);
+        pipelines_.erase(it);
+        workload_changed = true;
+      }
+      break;
+    }
+    case Event::Type::kReprioritize: {
+      outcome.id = event.id;
+      auto it = find_pipeline(event.id);
+      if (it == pipelines_.end()) {
+        outcome.status = Status{Code::kInvalid,
+                                "unknown pipeline id: '" + event.id + "'"};
+      } else if (event.weight <= 0.0) {
+        outcome.status = Status{Code::kInvalid, "non-positive weight"};
+      } else {
+        it->weight = event.weight;
+        workload_changed = true;
+      }
+      break;
+    }
+    case Event::Type::kResizePlatform: {
+      // Full structural validation up front: the composite-level
+      // validate/rollback below never runs for an *empty* pool, so a
+      // malformed platform accepted here would poison every later add.
+      if (Status valid = event.platform.validate(); !valid.is_ok()) {
+        outcome.status = std::move(valid);
+      } else {
+        platform_ = std::move(event.platform);
+        workload_changed = true;
+      }
+      break;
+    }
+  }
+
+  // ---- Incremental re-solve.
+  if (workload_changed) {
+    if (pipelines_.empty()) {
+      incumbent_.reset();
+      last_totals_.clear();
+      last_ii_ = 0.0;
+    } else {
+      core::Problem composite = compose();
+      if (Status valid = composite.validate();
+          valid.code() == Code::kInvalid) {
+        // Structurally malformed composite: revert the mutation and
+        // fail the *event*, keeping the previous (valid) workload and
+        // incumbent. kInfeasible is deliberately not rolled back — a
+        // pool that genuinely shrank below its tenants' demand is a
+        // real workload state; solves report it until churn resolves
+        // it.
+        platform_ = saved_platform;
+        pipelines_ = saved_pipelines;
+        outcome.status = std::move(valid);
+      } else {
+        runtime::SolveRequest request;
+        request.problem =
+            std::make_shared<const core::Problem>(std::move(composite));
+        request.warm = make_warm(*request.problem);
+        outcome.warm_started = request.warm.has_value();
+        runtime::SolveResult result = portfolio_->solve(request);
+        outcome.solve_status = result.status;
+        outcome.solve_nodes = result.nodes;
+        if (result.is_ok() && result.allocation) {
+          // Refresh the warm seed: the winning lane's root relaxation
+          // (ÎI, N̂), sliced per pipeline so surviving tenants carry
+          // their N̂ into the next composite. An exact-lane winner has
+          // no root; fall back to its integer totals.
+          last_totals_.clear();
+          const bool have_relaxed =
+              result.relaxed.has_value() &&
+              result.relaxed->n_hat.size() ==
+                  result.allocation->num_kernels();
+          std::size_t k = 0;
+          for (const PipelineSpec& pipe : pipelines_) {
+            std::vector<double>& totals = last_totals_[pipe.id];
+            totals.reserve(pipe.app.kernels.size());
+            for (std::size_t j = 0; j < pipe.app.kernels.size();
+                 ++j, ++k) {
+              totals.push_back(
+                  have_relaxed
+                      ? result.relaxed->n_hat[k]
+                      : static_cast<double>(
+                            result.allocation->total_cu(k)));
+            }
+          }
+          last_ii_ = have_relaxed ? result.relaxed->ii : result.ii;
+          incumbent_ = std::move(result);
+        } else {
+          // Keep serving the previous allocation; the failed state's
+          // seed data would poison the next warm start, so drop it.
+          last_totals_.clear();
+          last_ii_ = 0.0;
+        }
+      }
+    }
+  }
+
+  outcome.active_pipelines = pipelines_.size();
+  if (incumbent_) {
+    outcome.ii = incumbent_->ii;
+    outcome.phi = incumbent_->phi;
+    outcome.goal = incumbent_->goal;
+    outcome.totals.reserve(incumbent_->allocation->num_kernels());
+    for (std::size_t k = 0; k < incumbent_->allocation->num_kernels();
+         ++k) {
+      outcome.totals.push_back(incumbent_->allocation->total_cu(k));
+    }
+  }
+  outcome.seconds = seconds_since(t0);
+  return outcome;
+}
+
+std::size_t AllocServer::active_pipelines() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return pipelines_.size();
+}
+
+std::optional<runtime::SolveResult> AllocServer::incumbent() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return incumbent_;
+}
+
+std::vector<EventOutcome> AllocServer::log() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return {log_.begin(), log_.end()};
+}
+
+}  // namespace mfa::service

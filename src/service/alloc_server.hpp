@@ -1,0 +1,168 @@
+// Long-lived allocation service over the shared multi-FPGA pool.
+//
+// AllocServer turns the static per-instance solvers into an online
+// system: it owns the pool (a core::Platform), the set of live
+// pipelines, a sharded capacity-bounded RelaxationCache, and a solver
+// ThreadPool, and consumes a stream of events — AddPipeline,
+// RemovePipeline, Reprioritize, ResizePlatform — through an MPMC queue.
+//
+// Each event mutates the workload and triggers an *incremental*
+// re-solve of the composite problem (all live pipelines concatenated
+// into one super-pipeline on the shared platform, each pipeline's WCETs
+// scaled by its priority weight): the solve is warm-started from the
+// incumbent allocation's ÎI/N̂ via SolveRequest::warm, so the root
+// relaxation re-converges in a handful of probes instead of a cold
+// bisection or barrier path, and branch-and-bound node relaxations hit
+// the shared cache. Warm starts are pure accelerations — the solved
+// optimum matches a cold solve — and the per-event portfolio budget
+// (ServerOptions::portfolio.max_nodes/max_seconds, enforced through the
+// portfolio's shared solver::Budget when exact lanes are enabled) bounds
+// each event's latency.
+//
+// Determinism: events are applied in submission order by one dispatcher
+// thread, and with the default heuristic-only portfolio every
+// EventOutcome field except wall-clock `seconds` is a pure function of
+// (initial platform, event sequence, options) — the property the trace
+// replayer's byte-identical log check rides on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/relax_cache.hpp"
+#include "runtime/portfolio.hpp"
+#include "runtime/solve.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/event.hpp"
+#include "service/event_queue.hpp"
+
+namespace mfa::service {
+
+struct ServerOptions {
+  /// Per-event solver configuration. The default differs from the
+  /// batch default: exact lanes are off, because a daemon must not
+  /// spend minutes proving optimality per event and because wall-clock-
+  /// budgeted exact lanes would make the event log timing-dependent.
+  /// Enable run_exact for proof-grade serving where latency permits.
+  runtime::PortfolioOptions portfolio;
+
+  /// Seed each event's re-solve from the incumbent (see file comment).
+  bool warm_start = true;
+
+  /// Sharded, capacity-bounded relaxation cache owned by the server —
+  /// a daemon must not grow without bound. 0 entries = unbounded.
+  std::size_t cache_shards = 16;
+  std::size_t cache_entries = 1 << 16;
+
+  /// Outcomes retained for log(): the newest `log_capacity` events
+  /// (0 = unbounded — replay/test harnesses that diff the full log).
+  /// Same rationale as the cache bound: a daemon processing millions
+  /// of events must not accumulate per-event records forever.
+  std::size_t log_capacity = 4096;
+
+  /// Worker threads the portfolio lanes race on (the server keeps one
+  /// pool for its lifetime): 1 = sequential lanes, 0 = hardware size.
+  int solver_threads = 1;
+
+  /// Composite-problem knobs (the pool-wide objective and the swept
+  /// resource fraction; individual pipelines only carry weights).
+  double resource_fraction = 1.0;
+  double bw_fraction = 1.0;
+  double alpha = 1.0;
+  double beta = 0.0;
+
+  ServerOptions() {
+    portfolio.run_exact = false;
+    portfolio.run_naive = false;
+    portfolio.max_seconds = 5.0;
+    portfolio.max_nodes = 2'000'000;
+    // Event seeds come from the *previous* workload's optimum, not the
+    // same problem's: open the warm barrier at a coarser gap (see
+    // gp::SolverOptions::warm_gap).
+    portfolio.gpa.gp.warm_gap = 3e-2;
+  }
+};
+
+class AllocServer {
+ public:
+  explicit AllocServer(core::Platform platform, ServerOptions options = {});
+
+  /// Stops accepting events, drains the queue, joins the dispatcher.
+  ~AllocServer();
+
+  AllocServer(const AllocServer&) = delete;
+  AllocServer& operator=(const AllocServer&) = delete;
+
+  /// Enqueues an event (safe from any thread); the future resolves once
+  /// the dispatcher has applied it and re-solved.
+  std::future<EventOutcome> submit(Event event);
+
+  /// Convenience: submit and wait. Must not be called from the
+  /// dispatcher thread (it would deadlock on itself).
+  EventOutcome apply(Event event) { return submit(std::move(event)).get(); }
+
+  /// Idempotent shutdown: drains queued events, then joins.
+  void stop();
+
+  // ---- Observers (safe from any thread). -------------------------------
+
+  [[nodiscard]] std::size_t active_pipelines() const;
+
+  /// Copy of the current winning solve (nullopt for an empty pool or
+  /// before the first successful solve).
+  [[nodiscard]] std::optional<runtime::SolveResult> incumbent() const;
+
+  /// Copy of the retained event outcomes, in sequence order — the
+  /// newest ServerOptions::log_capacity of them (all, when 0).
+  [[nodiscard]] std::vector<EventOutcome> log() const;
+
+  [[nodiscard]] core::RelaxationCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  void dispatcher_loop();
+  EventOutcome process(Event event);
+
+  /// Builds the composite super-pipeline problem from the live set.
+  [[nodiscard]] core::Problem compose() const;
+
+  /// Warm seed for the next solve, aligned to `problem`'s kernels from
+  /// the per-pipeline totals of the previous one (nullopt on cold
+  /// starts or when disabled).
+  [[nodiscard]] std::optional<core::RelaxedSolution> make_warm(
+      const core::Problem& problem) const;
+
+  ServerOptions options_;
+  core::RelaxationCache cache_;
+  std::unique_ptr<runtime::ThreadPool> pool_;  ///< null → sequential lanes
+  std::unique_ptr<runtime::Portfolio> portfolio_;
+
+  // ---- Dispatcher-owned workload state (read under state_mutex_). ------
+  core::Platform platform_;
+  std::vector<PipelineSpec> pipelines_;  ///< live set, arrival order
+  std::optional<runtime::SolveResult> incumbent_;
+  /// Previous solve's per-pipeline CU totals and ÎI, the warm seed.
+  std::unordered_map<std::string, std::vector<double>> last_totals_;
+  double last_ii_ = 0.0;
+  std::deque<EventOutcome> log_;  ///< newest log_capacity outcomes
+  std::uint64_t sequence_ = 0;
+
+  mutable std::mutex state_mutex_;
+  EventQueue queue_;
+  std::thread dispatcher_;
+  bool stopped_ = false;
+  std::mutex stop_mutex_;
+};
+
+}  // namespace mfa::service

@@ -1,0 +1,123 @@
+// Workload events consumed by the allocation service.
+//
+// The paper's setting is a shared multi-FPGA pool serving a *stream* of
+// pipelined applications; this header is that stream's vocabulary. A
+// pipeline arrives (AddPipeline), departs (RemovePipeline), changes
+// priority (Reprioritize), or the pool itself changes shape
+// (ResizePlatform). Events are plain data — the trace generator
+// (scenario/trace.hpp) produces them, JSON I/O round-trips them, and
+// AllocServer (service/alloc_server.hpp) consumes them — so this header
+// depends only on core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "support/status.hpp"
+
+namespace mfa::service {
+
+/// One tenant of the shared pool: a pipelined application plus its
+/// priority weight. The weight scales the pipeline's effective WCETs in
+/// the composite problem, so a heavier pipeline pulls more CUs.
+struct PipelineSpec {
+  std::string id;  ///< unique among live pipelines
+  core::Application app;
+  double weight = 1.0;  ///< priority multiplier (> 0)
+};
+
+/// One workload change. Exactly the payload for its type is meaningful;
+/// the rest stays default-constructed (and serializes away).
+struct Event {
+  enum class Type {
+    kAddPipeline,     ///< `pipeline` joins the pool
+    kRemovePipeline,  ///< pipeline `id` departs
+    kReprioritize,    ///< pipeline `id` takes priority `weight`
+    kResizePlatform,  ///< the pool becomes `platform`
+  };
+
+  Type type = Type::kAddPipeline;
+  /// Trace timestamp (reporting only; replay runs as fast as it can).
+  double time_ms = 0.0;
+
+  PipelineSpec pipeline;    ///< kAddPipeline payload
+  std::string id;           ///< kRemovePipeline / kReprioritize target
+  double weight = 1.0;      ///< kReprioritize payload
+  core::Platform platform;  ///< kResizePlatform payload
+
+  static Event add(PipelineSpec spec, double time_ms = 0.0) {
+    Event e;
+    e.type = Type::kAddPipeline;
+    e.time_ms = time_ms;
+    e.pipeline = std::move(spec);
+    return e;
+  }
+  static Event remove(std::string id, double time_ms = 0.0) {
+    Event e;
+    e.type = Type::kRemovePipeline;
+    e.time_ms = time_ms;
+    e.id = std::move(id);
+    return e;
+  }
+  static Event reprioritize(std::string id, double weight,
+                            double time_ms = 0.0) {
+    Event e;
+    e.type = Type::kReprioritize;
+    e.time_ms = time_ms;
+    e.id = std::move(id);
+    e.weight = weight;
+    return e;
+  }
+  static Event resize(core::Platform platform, double time_ms = 0.0) {
+    Event e;
+    e.type = Type::kResizePlatform;
+    e.time_ms = time_ms;
+    e.platform = std::move(platform);
+    return e;
+  }
+};
+
+/// Stable text name of an event type ("add", "remove", "reprioritize",
+/// "resize") — used by logs and the JSON trace format. Defined here so
+/// the io layer can serialize events without linking the server TU.
+inline const char* to_string(Event::Type type) {
+  switch (type) {
+    case Event::Type::kAddPipeline:
+      return "add";
+    case Event::Type::kRemovePipeline:
+      return "remove";
+    case Event::Type::kReprioritize:
+      return "reprioritize";
+    case Event::Type::kResizePlatform:
+      return "resize";
+  }
+  return "unknown";
+}
+
+/// What the server reports for one processed event. Every field except
+/// `seconds` is deterministic for a fixed trace, configuration and
+/// thread count — the replay log the CLI writes (and CI diffs) contains
+/// exactly those fields; `seconds` is wall clock and reported
+/// separately.
+struct EventOutcome {
+  std::uint64_t sequence = 0;  ///< position in the server's event order
+  Event::Type type = Event::Type::kAddPipeline;
+  std::string id;  ///< affected pipeline id (empty for resize)
+  Status status;   ///< event application (e.g. unknown id → kInvalid)
+  Status solve_status;  ///< re-solve outcome (ok for an empty pool)
+  std::size_t active_pipelines = 0;  ///< live pipelines after the event
+  bool warm_started = false;  ///< re-solve was seeded from the incumbent
+  double ii = 0.0;            ///< incumbent II after the event (ms)
+  double phi = 0.0;           ///< incumbent spreading after the event
+  double goal = 0.0;          ///< incumbent α·II + β·φ after the event
+  /// Discretized CU totals of the composite allocation, in composite
+  /// kernel order (empty when there is no incumbent).
+  std::vector<int> totals;
+  std::int64_t solve_nodes = 0;  ///< Σ nodes across portfolio lanes
+  double seconds = 0.0;          ///< wall-clock event latency (not logged)
+};
+
+}  // namespace mfa::service

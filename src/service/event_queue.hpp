@@ -1,0 +1,92 @@
+// MPMC work queue feeding the allocation service's dispatcher.
+//
+// Producers (request handlers, the trace replayer, tests) push events
+// from any thread and receive a future for the outcome; consumers
+// block-pop in FIFO order. The queue is deliberately tiny — mutex +
+// condition variable, like runtime::ThreadPool — because service events
+// are coarse (each triggers a solve); what matters is strict FIFO
+// hand-off, multi-producer safety, and a clean shutdown that fails
+// still-queued submissions instead of dropping their promises.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "service/event.hpp"
+#include "support/status.hpp"
+
+namespace mfa::service {
+
+class EventQueue {
+ public:
+  /// One queued submission: the event plus the promise its producer
+  /// holds the future of.
+  struct Item {
+    Event event;
+    std::promise<EventOutcome> reply;
+  };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues `event`; the future resolves once a consumer has processed
+  /// it. After close(), the returned future fails immediately with a
+  /// kInvalid outcome instead of queueing.
+  std::future<EventOutcome> push(Event event) {
+    std::promise<EventOutcome> reply;
+    std::future<EventOutcome> future = reply.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        EventOutcome outcome;
+        outcome.type = event.type;
+        outcome.status = Status{Code::kInvalid, "event queue closed"};
+        reply.set_value(std::move(outcome));
+        return future;
+      }
+      items_.push_back(Item{std::move(event), std::move(reply)});
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Blocks until an item is available or the queue is closed; nullopt
+  /// means closed *and* drained (consumers should exit).
+  std::optional<Item> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops accepting submissions; queued items remain poppable so the
+  /// dispatcher drains them before exiting.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mfa::service

@@ -24,7 +24,13 @@ SimResult PipelineSimulator::run(const core::Allocation& alloc) const {
   const std::size_t stages = alloc.num_kernels();
   const int fpgas = alloc.num_fpgas();
   const int images = config_.num_images;
-  MFA_ASSERT(images > config_.warmup_images && config_.warmup_images >= 0);
+  // At least two post-warmup completions are required: the steady-state
+  // II is the mean gap between consecutive post-warmup finishes, so with
+  // only one (images == warmup + 1) the window spans zero gaps and the
+  // division below would yield inf/NaN II and throughput.
+  MFA_ASSERT_MSG(images >= config_.warmup_images + 2,
+                 "steady-state window needs >= 2 post-warmup images");
+  MFA_ASSERT(config_.warmup_images >= 0);
   for (std::size_t k = 0; k < stages; ++k) {
     MFA_ASSERT_MSG(alloc.total_cu(k) >= 1,
                    "simulation requires at least one CU per kernel");

@@ -20,7 +20,10 @@
 namespace mfa::sim {
 
 struct SimConfig {
-  int num_images = 200;    ///< images pushed through the pipeline
+  /// Images pushed through the pipeline. Must exceed `warmup_images` by
+  /// at least 2: the steady-state II is the mean gap between
+  /// consecutive post-warmup completions, which needs two of them.
+  int num_images = 200;
   int warmup_images = 50;  ///< excluded from steady-state statistics
   bool model_bandwidth = true;  ///< enable DRAM contention throttling
 };

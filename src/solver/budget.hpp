@@ -47,12 +47,15 @@ class Budget {
   Budget(const Budget& other)
       : max_nodes_(other.max_nodes_),
         nodes_(other.nodes_.load(std::memory_order_relaxed)),
+        ticks_(other.ticks_.load(std::memory_order_relaxed)),
         deadline_(other.deadline_),
         has_deadline_(other.has_deadline_),
         exhausted_(other.exhausted_.load(std::memory_order_relaxed)) {}
   Budget& operator=(const Budget& other) {
     max_nodes_ = other.max_nodes_;
     nodes_.store(other.nodes_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    ticks_.store(other.ticks_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     deadline_ = other.deadline_;
     has_deadline_ = other.has_deadline_;
@@ -62,7 +65,13 @@ class Budget {
   }
 
   /// Counts one search node; returns false once the budget is exhausted.
-  /// The deadline is polled every 1024 nodes to keep the check cheap.
+  /// The deadline is polled every 1024 of *this budget's* ticks, counted
+  /// by a dedicated tick counter — never against the shared node count,
+  /// which bulk consume() calls from racing lanes can jump past every
+  /// multiple of 1024, starving an alignment-based poll indefinitely.
+  /// Since consume() never touches the tick counter, every 1024th tick
+  /// lands exactly on a poll regardless of what other lanes do, and the
+  /// shared exhausted_ flag stops all of them.
   /// Safe to call from several threads; each node is counted exactly once.
   bool tick() {
     const std::int64_t n =
@@ -71,9 +80,13 @@ class Budget {
       exhausted_.store(true, std::memory_order_relaxed);
       return false;
     }
-    if (has_deadline_ && (n & 1023) == 0 && Clock::now() > deadline_) {
-      exhausted_.store(true, std::memory_order_relaxed);
-      return false;
+    if (has_deadline_) {
+      const std::int64_t t =
+          ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if ((t & 1023) == 0 && Clock::now() > deadline_) {
+        exhausted_.store(true, std::memory_order_relaxed);
+        return false;
+      }
     }
     return !exhausted_.load(std::memory_order_relaxed);
   }
@@ -120,6 +133,8 @@ class Budget {
   using Clock = std::chrono::steady_clock;
   std::int64_t max_nodes_ = std::numeric_limits<std::int64_t>::max();
   std::atomic<std::int64_t> nodes_{0};
+  /// tick()-only counter driving deadline polls (see tick()).
+  std::atomic<std::int64_t> ticks_{0};
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   std::atomic<bool> exhausted_{false};

@@ -83,12 +83,77 @@ TEST(Budget, ExpireCancelsAcrossThreads) {
 
 TEST(Budget, DeadlineExpiresDuringTicking) {
   Budget b(std::numeric_limits<std::int64_t>::max(), 0.02);
-  // The deadline is polled every 1024 nodes; a few million iterations
+  // The deadline is polled every 1024 per-thread ticks; a few million iterations
   // vastly outlast 20 ms, so tick() must return false long before that.
   std::int64_t ticks = 0;
   while (b.tick() && ticks < 500'000'000) ++ticks;
   EXPECT_LT(ticks, 500'000'000);
   EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Budget, TickPollsDeadlineDespiteBulkConsumeSkew) {
+  // Regression: tick() used to poll the clock only when the *shared*
+  // node count hit a multiple of 1024, so bulk consume() calls from a
+  // racing lane could jump the counter past every poll point and leave
+  // the ticking lane running on a stale deadline. Polling now counts
+  // the budget's own tick()s (consume() never touches that counter),
+  // so the deadline is re-checked within 1024 ticks no matter how the
+  // shared node counter is skewed.
+  Budget b(std::numeric_limits<std::int64_t>::max(), 0.02);
+  std::atomic<bool> stop{false};
+  // The skewing lane keeps the shared counter jumping in 1023-node
+  // strides, exactly the interleaving that starved the old alignment
+  // check whenever its own poll lost the race.
+  std::thread skewer([&b, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) b.consume(1023);
+  });
+  std::int64_t ticks = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (b.tick() && ticks < 2'000'000'000) ++ticks;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stop.store(true, std::memory_order_relaxed);
+  skewer.join();
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_LT(ticks, 2'000'000'000);
+  // The ticking lane itself must stop within its polling period of the
+  // 20 ms deadline, not after an unbounded overrun.
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Budget, TickObservesDeadlineWithinOwnPollingPeriod) {
+  // Deterministic single-thread variant: skew the shared counter off
+  // the old 1024-alignment, let the deadline pass, then tick. Expiry
+  // must arrive within ~1024 of this thread's own ticks.
+  Budget b(std::numeric_limits<std::int64_t>::max(), 0.005);
+  b.consume(700);  // deadline still ahead: consume's own poll passes
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::int64_t ticks = 0;
+  while (b.tick() && ticks < 1'000'000) ++ticks;
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_LE(ticks, 2048);
+}
+
+TEST(Budget, InterleavedBudgetsEachObserveTheirDeadline) {
+  // The poll counter is per *budget*, not per thread: one thread
+  // alternating tick() across two deadline budgets must still poll
+  // each within 1024 of that budget's own ticks (a thread-local
+  // counter would land every poll on the same budget of the pair).
+  Budget a(std::numeric_limits<std::int64_t>::max(), 0.005);
+  Budget b(std::numeric_limits<std::int64_t>::max(), 0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::int64_t ticks = 0;
+  bool a_alive = true;
+  bool b_alive = true;
+  while ((a_alive || b_alive) && ticks < 1'000'000) {
+    if (a_alive) a_alive = a.tick();
+    if (b_alive) b_alive = b.tick();
+    ++ticks;
+  }
+  EXPECT_TRUE(a.exhausted());
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_LE(ticks, 2048);
 }
 
 TEST(Budget, ConsumeAccountsBulkNodes) {

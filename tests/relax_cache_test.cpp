@@ -139,6 +139,88 @@ TEST(RelaxationCache, ConcurrentGetOrSolveIsConsistent) {
   EXPECT_GT(stats.hits, 0u);
 }
 
+TEST(RelaxationCache, ShardedCacheBehavesLikeSingleShard) {
+  // Sharding is a pure concurrency optimization: the same key set lands
+  // in the same cache with identical hit/miss behavior, just spread
+  // over independently locked shards.
+  RelaxCacheConfig config;
+  config.shards = 7;  // rounded up to 8
+  RelaxationCache cache(config);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  EXPECT_EQ(cache.capacity(), 0u);  // unbounded
+
+  const Problem p = tiny_problem();
+  std::vector<Fingerprint> keys;
+  for (int i = 0; i < 64; ++i) {
+    CuBounds b = CuBounds::defaults(p);
+    b.lower[i % p.num_kernels()] += 0.1 * (i + 1);
+    keys.push_back(relaxation_cache_key(p, b, 0.0));
+    cache.insert(keys.back(), solve_relaxation(p, b));
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  for (const Fingerprint& key : keys) {
+    EXPECT_NE(cache.lookup(key), nullptr);
+  }
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RelaxationCache, EvictionBoundsResidencyAndStaysTransparent) {
+  RelaxCacheConfig config;
+  config.shards = 4;
+  config.max_entries = 16;  // 4 per shard
+  RelaxationCache cache(config);
+  EXPECT_EQ(cache.capacity(), 16u);
+
+  const Problem p = tiny_problem();
+  std::vector<CuBounds> bounds;
+  std::vector<Fingerprint> keys;
+  for (int i = 0; i < 200; ++i) {
+    CuBounds b = CuBounds::defaults(p);
+    b.lower[i % p.num_kernels()] += 0.05 * (i + 1);
+    bounds.push_back(b);
+    keys.push_back(relaxation_cache_key(p, b, 0.0));
+    cache.get_or_solve(keys.back(),
+                       [&] { return solve_relaxation(p, b); });
+  }
+  // Residency never exceeds the bound, and evictions happened.
+  EXPECT_LE(cache.size(), 16u);
+  const auto stats = cache.stats();
+  EXPECT_GE(stats.evictions, 200u - 16u);
+  EXPECT_LE(stats.entries, 16u);
+
+  // Transparency: an evicted key re-solves to bit-identical bytes.
+  for (int i = 0; i < 200; ++i) {
+    auto entry = cache.get_or_solve(
+        keys[static_cast<std::size_t>(i)],
+        [&] { return solve_relaxation(p, bounds[static_cast<std::size_t>(i)]); });
+    const auto fresh = solve_relaxation(p, bounds[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(entry->is_ok(), fresh.is_ok());
+    if (fresh.is_ok()) {
+      EXPECT_EQ(entry->value().ii, fresh.value().ii);
+      EXPECT_EQ(entry->value().n_hat, fresh.value().n_hat);
+    }
+  }
+}
+
+TEST(RelaxationCache, EvictedEntriesStayAliveForHolders) {
+  RelaxCacheConfig config;
+  config.shards = 1;
+  config.max_entries = 1;
+  RelaxationCache cache(config);
+  const Problem p = tiny_problem();
+  CuBounds b0 = CuBounds::defaults(p);
+  auto held = cache.insert(relaxation_cache_key(p, b0, 0.0),
+                           solve_relaxation(p, b0));
+  CuBounds b1 = CuBounds::defaults(p);
+  b1.lower[0] += 1.0;
+  cache.insert(relaxation_cache_key(p, b1, 0.0), solve_relaxation(p, b1));
+  EXPECT_EQ(cache.size(), 1u);  // b0's entry was evicted…
+  ASSERT_NE(held, nullptr);     // …but the held pointer still works
+  EXPECT_TRUE(held->is_ok());
+  EXPECT_GT(held->value().ii, 0.0);
+}
+
 TEST(RelaxationWarmStart, BisectionHintPreservesOptimum) {
   // Any positive hint — inside or outside the bracket, feasible or not —
   // must leave the bisection optimum unchanged to tolerance.

@@ -197,6 +197,33 @@ TEST(Portfolio, InfeasibleProblemReportsInfeasible) {
   EXPECT_FALSE(r.allocation.has_value());
 }
 
+TEST(Portfolio, HeuristicOnlyPortfolioNeverClaimsInfeasibilityProof) {
+  // Regression: with every configured lane heuristic (GP+A), unanimous
+  // kInfeasible used to be promoted to the aggregate kInfeasible — a
+  // proof-grade claim no heuristic lane can back. Two kernels at 60 %
+  // of one FPGA each fit alone (validate passes) but can never share
+  // the device, so every GP+A lane reports infeasibility.
+  core::Problem problem;
+  problem.app.name = "overcommitted";
+  problem.app.kernels = {test::make_kernel("a", 10.0, 60.0, 10.0, 5.0),
+                         test::make_kernel("b", 10.0, 60.0, 10.0, 5.0)};
+  problem.platform = core::Platform{"1fpga", 1};
+  PortfolioOptions o;
+  o.run_exact = false;
+  o.run_naive = false;
+  const SolveResult r = Portfolio(o, 1).solve(problem);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status.code(), Code::kLimit);
+  for (const StrategyOutcome& lane : r.lanes) {
+    EXPECT_EQ(lane.status.code(), Code::kInfeasible);
+  }
+
+  // The same instance with an exact lane *does* earn the proof.
+  o.run_exact = true;
+  const SolveResult proved = Portfolio(o, 1).solve(problem);
+  EXPECT_EQ(proved.status.code(), Code::kInfeasible);
+}
+
 TEST(Portfolio, DeadlineStopsExactSolver) {
   // A 17-kernel × 8-FPGA exact search runs for minutes unbudgeted; a
   // 50 ms shared deadline must cut it off quickly, keeping any incumbent.

@@ -1,0 +1,413 @@
+// Allocation-service coverage: trace generator determinism and JSON
+// round-trips, replay-log determinism (the `serve --trace` contract),
+// warm == cold solution parity on every event, cache-eviction
+// transparency, event-queue MPMC behavior, and the event error paths
+// (unknown ids, duplicates, empty pools).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/serialize.hpp"
+#include "scenario/trace.hpp"
+#include "service/alloc_server.hpp"
+#include "service/event_queue.hpp"
+#include "testutil.hpp"
+
+namespace mfa::service {
+namespace {
+
+using scenario::Trace;
+using scenario::TraceSpec;
+
+TraceSpec small_spec(int events) {
+  TraceSpec spec;
+  spec.num_events = events;
+  spec.num_fpgas = 3;
+  spec.max_live_pipelines = 4;
+  spec.max_kernels = 3;
+  return spec;
+}
+
+/// Replays `trace` through a fresh server, returning every outcome.
+std::vector<EventOutcome> replay(const Trace& trace,
+                                 const ServerOptions& options) {
+  AllocServer server(trace.platform, options);
+  std::vector<EventOutcome> outcomes;
+  outcomes.reserve(trace.events.size());
+  for (const Event& event : trace.events) {
+    outcomes.push_back(server.apply(event));
+  }
+  return outcomes;
+}
+
+/// Equality over the deterministic outcome fields (everything the CLI
+/// writes to the replay log; wall-clock seconds excluded).
+void expect_deterministic_eq(const std::vector<EventOutcome>& a,
+                             const std::vector<EventOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(a[i].sequence, b[i].sequence);
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].status.code(), b[i].status.code());
+    EXPECT_EQ(a[i].status.message(), b[i].status.message());
+    EXPECT_EQ(a[i].solve_status.code(), b[i].solve_status.code());
+    EXPECT_EQ(a[i].active_pipelines, b[i].active_pipelines);
+    EXPECT_EQ(a[i].warm_started, b[i].warm_started);
+    EXPECT_EQ(a[i].ii, b[i].ii);    // bit-identical, not merely close
+    EXPECT_EQ(a[i].phi, b[i].phi);
+    EXPECT_EQ(a[i].goal, b[i].goal);
+    EXPECT_EQ(a[i].totals, b[i].totals);
+    EXPECT_EQ(a[i].solve_nodes, b[i].solve_nodes);
+  }
+}
+
+TEST(TraceGenerator, SameSeedSameBytes) {
+  const TraceSpec spec = small_spec(80);
+  const Trace a = scenario::generate_trace(spec, 11);
+  const Trace b = scenario::generate_trace(spec, 11);
+  EXPECT_EQ(io::to_json(a).dump(), io::to_json(b).dump());
+  const Trace c = scenario::generate_trace(spec, 12);
+  EXPECT_NE(io::to_json(a).dump(), io::to_json(c).dump());
+}
+
+TEST(TraceGenerator, ProducesRequestedEventMixAndValidLifecycle) {
+  const Trace trace = scenario::generate_trace(small_spec(200), 3);
+  ASSERT_EQ(trace.events.size(), 200u);
+  int adds = 0;
+  int removes = 0;
+  std::vector<std::string> live;
+  double last_time = 0.0;
+  for (const Event& e : trace.events) {
+    EXPECT_GE(e.time_ms, last_time);  // non-decreasing timestamps
+    last_time = e.time_ms;
+    switch (e.type) {
+      case Event::Type::kAddPipeline: {
+        ++adds;
+        EXPECT_FALSE(e.pipeline.app.kernels.empty());
+        EXPECT_GT(e.pipeline.weight, 0.0);
+        // Arrivals are unique and not yet live.
+        for (const std::string& id : live) {
+          EXPECT_NE(id, e.pipeline.id);
+        }
+        live.push_back(e.pipeline.id);
+        break;
+      }
+      case Event::Type::kRemovePipeline: {
+        ++removes;
+        // Every removal targets a live pipeline.
+        auto it = std::find(live.begin(), live.end(), e.id);
+        ASSERT_NE(it, live.end()) << "removal of dead id " << e.id;
+        live.erase(it);
+        break;
+      }
+      case Event::Type::kReprioritize: {
+        auto it = std::find(live.begin(), live.end(), e.id);
+        EXPECT_NE(it, live.end()) << "reprioritize of dead id " << e.id;
+        EXPECT_GT(e.weight, 0.0);
+        break;
+      }
+      case Event::Type::kResizePlatform:
+        EXPECT_GE(e.platform.num_fpgas, 1);
+        break;
+    }
+  }
+  EXPECT_GT(adds, 0);
+  EXPECT_GT(removes, 0);
+}
+
+TEST(TraceGenerator, JsonRoundTripIsLossless) {
+  const Trace trace = scenario::generate_trace(small_spec(60), 5);
+  const std::string text = io::to_json(trace).dump(2);
+  auto parsed = io::trace_from_text(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(io::to_json(parsed.value()).dump(2), text);
+}
+
+TEST(AllocServer, ReplayLogIsDeterministic) {
+  const Trace trace = scenario::generate_trace(small_spec(120), 17);
+  const ServerOptions options;
+  const auto a = replay(trace, options);
+  const auto b = replay(trace, options);
+  expect_deterministic_eq(a, b);
+
+  // Lane parallelism must not change the log either (lanes write into
+  // indexed slots; the winner is chosen by goal, not completion time).
+  ServerOptions parallel = options;
+  parallel.solver_threads = 3;
+  expect_deterministic_eq(a, replay(trace, parallel));
+}
+
+TEST(AllocServer, WarmMatchesColdOnEveryEvent) {
+  const Trace trace = scenario::generate_trace(small_spec(120), 29);
+  ServerOptions warm;
+  ServerOptions cold;
+  cold.warm_start = false;
+  const auto w = replay(trace, warm);
+  const auto c = replay(trace, cold);
+  ASSERT_EQ(w.size(), c.size());
+  bool any_warm = false;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    any_warm = any_warm || w[i].warm_started;
+    EXPECT_FALSE(c[i].warm_started);
+    // The warm start is a pure acceleration: identical solutions.
+    EXPECT_EQ(w[i].solve_status.code(), c[i].solve_status.code());
+    EXPECT_EQ(w[i].totals, c[i].totals);
+    EXPECT_EQ(w[i].ii, c[i].ii);
+    EXPECT_EQ(w[i].phi, c[i].phi);
+    EXPECT_EQ(w[i].goal, c[i].goal);
+  }
+  EXPECT_TRUE(any_warm);
+}
+
+TEST(AllocServer, WarmMatchesColdWithInteriorPointRoot) {
+  // The GP-rooted path (what bench_service_churn measures) converges to
+  // the same discretized solution warm or cold; the continuous root
+  // only matches to solver tolerance, so compare the integer outputs.
+  const Trace trace = scenario::generate_trace(small_spec(60), 31);
+  ServerOptions warm;
+  warm.portfolio.gpa.use_interior_point = true;
+  ServerOptions cold = warm;
+  cold.warm_start = false;
+  const auto w = replay(trace, warm);
+  const auto c = replay(trace, cold);
+  ASSERT_EQ(w.size(), c.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(w[i].solve_status.code(), c[i].solve_status.code());
+    EXPECT_EQ(w[i].totals, c[i].totals);
+  }
+}
+
+TEST(AllocServer, CacheEvictionIsTransparent) {
+  const Trace trace = scenario::generate_trace(small_spec(100), 41);
+  const ServerOptions unbounded;  // default: 2^16 entries, never hit here
+
+  ServerOptions tiny = unbounded;
+  tiny.cache_shards = 2;
+  tiny.cache_entries = 32;  // far below the replay's working set
+
+  AllocServer big(trace.platform, unbounded);
+  AllocServer small(trace.platform, tiny);
+  std::vector<EventOutcome> a;
+  std::vector<EventOutcome> b;
+  for (const Event& event : trace.events) {
+    a.push_back(big.apply(event));
+    b.push_back(small.apply(event));
+  }
+  // Eviction really happened, and changed nothing observable: every
+  // evicted entry re-solves to identical bytes.
+  EXPECT_GT(small.cache_stats().evictions, 0u);
+  EXPECT_LE(small.cache_stats().entries, 32u);
+  EXPECT_EQ(big.cache_stats().evictions, 0u);
+  expect_deterministic_eq(a, b);
+}
+
+TEST(AllocServer, RemoveUnknownIdFailsCleanly) {
+  core::Platform platform{"pool", 2};
+  AllocServer server(platform, ServerOptions{});
+
+  EventOutcome outcome = server.apply(Event::remove("ghost"));
+  EXPECT_EQ(outcome.status.code(), Code::kInvalid);
+  EXPECT_NE(outcome.status.message().find("ghost"), std::string::npos);
+  EXPECT_EQ(outcome.active_pipelines, 0u);
+
+  // The server keeps serving: a real add still works afterwards.
+  PipelineSpec pipe;
+  pipe.id = "p0";
+  pipe.app.kernels = {test::make_kernel("a", 8.0, 10.0, 20.0, 5.0)};
+  outcome = server.apply(Event::add(pipe));
+  EXPECT_TRUE(outcome.status.is_ok());
+  EXPECT_TRUE(outcome.solve_status.is_ok());
+  EXPECT_EQ(outcome.active_pipelines, 1u);
+  EXPECT_GT(outcome.goal, 0.0);
+
+  // Unknown reprioritize targets fail the same way.
+  outcome = server.apply(Event::reprioritize("ghost", 2.0));
+  EXPECT_EQ(outcome.status.code(), Code::kInvalid);
+  // Duplicate arrivals are rejected without disturbing the incumbent.
+  outcome = server.apply(Event::add(pipe));
+  EXPECT_EQ(outcome.status.code(), Code::kInvalid);
+  EXPECT_EQ(outcome.active_pipelines, 1u);
+}
+
+TEST(AllocServer, MalformedEventRollsBackAndNeverPoisonsTheServer) {
+  core::Platform platform{"pool", 2};
+  AllocServer server(platform, ServerOptions{});
+
+  // A malformed resize on an *empty* pool (no composite to validate)
+  // must be rejected outright, not silently installed.
+  core::Platform empty_pool_broken{"broken", 2};
+  empty_pool_broken.classes.push_back(core::DeviceClass{
+      "c0", core::ResourceVec::uniform(100.0), 100.0});
+  empty_pool_broken.class_of = {0};  // one entry for two FPGAs
+  EventOutcome rejected = server.apply(Event::resize(empty_pool_broken));
+  EXPECT_EQ(rejected.status.code(), Code::kInvalid);
+
+  PipelineSpec pipe;
+  pipe.id = "p0";
+  pipe.app.kernels = {test::make_kernel("a", 8.0, 10.0, 20.0, 5.0)};
+  EventOutcome ok = server.apply(Event::add(pipe));
+  ASSERT_TRUE(ok.status.is_ok());
+  ASSERT_TRUE(ok.solve_status.is_ok());
+  const double goal_before = ok.goal;
+
+  // A resize that passes the shallow check (num_fpgas >= 1) but fails
+  // structural validation: classes without a matching class_of. The
+  // event must fail — and must NOT leave the broken platform behind.
+  core::Platform broken{"broken", 2};
+  broken.classes.push_back(core::DeviceClass{
+      "c0", core::ResourceVec::uniform(100.0), 100.0});
+  broken.class_of = {0};  // one entry for two FPGAs
+  EventOutcome bad = server.apply(Event::resize(broken));
+  EXPECT_EQ(bad.status.code(), Code::kInvalid);
+  EXPECT_EQ(bad.goal, goal_before);  // incumbent untouched
+
+  // An add whose kernel carries negative resource demand fails the
+  // same way, without growing the live set.
+  PipelineSpec negative;
+  negative.id = "neg";
+  negative.app.kernels = {test::make_kernel("n", 5.0, -1.0, 10.0, 2.0)};
+  bad = server.apply(Event::add(negative));
+  EXPECT_EQ(bad.status.code(), Code::kInvalid);
+  EXPECT_EQ(bad.active_pipelines, 1u);
+
+  // The server still serves: a well-formed event after the malformed
+  // ones solves on the *original* platform.
+  PipelineSpec pipe2;
+  pipe2.id = "p1";
+  pipe2.app.kernels = {test::make_kernel("b", 6.0, 8.0, 12.0, 3.0)};
+  EventOutcome after = server.apply(Event::add(pipe2));
+  EXPECT_TRUE(after.status.is_ok());
+  EXPECT_TRUE(after.solve_status.is_ok());
+  EXPECT_EQ(after.active_pipelines, 2u);
+}
+
+TEST(AllocServer, LogRetentionIsBounded) {
+  const Trace trace = scenario::generate_trace(small_spec(40), 53);
+  ServerOptions options;
+  options.log_capacity = 8;
+  AllocServer server(trace.platform, options);
+  for (const Event& event : trace.events) server.apply(event);
+
+  // Only the newest log_capacity outcomes survive, in sequence order.
+  const std::vector<EventOutcome> log = server.log();
+  ASSERT_EQ(log.size(), 8u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].sequence, 40u - 8u + i);
+  }
+}
+
+TEST(AllocServer, LifecycleAndIncumbentTracking) {
+  core::Platform platform{"pool", 2};
+  AllocServer server(platform, ServerOptions{});
+  EXPECT_FALSE(server.incumbent().has_value());
+
+  PipelineSpec heavy;
+  heavy.id = "heavy";
+  heavy.app.kernels = {test::make_kernel("a", 16.0, 10.0, 20.0, 5.0),
+                       test::make_kernel("b", 8.0, 8.0, 15.0, 4.0)};
+  const EventOutcome added = server.apply(Event::add(heavy));
+  ASSERT_TRUE(added.solve_status.is_ok());
+  ASSERT_TRUE(server.incumbent().has_value());
+  EXPECT_EQ(server.active_pipelines(), 1u);
+
+  // Raising a pipeline's weight re-solves to a different (worse-goal)
+  // composite: weight scales effective WCET.
+  const EventOutcome heavier =
+      server.apply(Event::reprioritize("heavy", 2.0));
+  ASSERT_TRUE(heavier.solve_status.is_ok());
+  EXPECT_GT(heavier.goal, added.goal);
+
+  // Growing the pool can only help the goal.
+  const EventOutcome grown =
+      server.apply(Event::resize(core::Platform{"pool4", 4}));
+  ASSERT_TRUE(grown.solve_status.is_ok());
+  EXPECT_LE(grown.goal, heavier.goal + 1e-12);
+
+  // Removing the last pipeline clears the incumbent.
+  const EventOutcome removed = server.apply(Event::remove("heavy"));
+  EXPECT_TRUE(removed.status.is_ok());
+  EXPECT_EQ(removed.active_pipelines, 0u);
+  EXPECT_FALSE(server.incumbent().has_value());
+  EXPECT_EQ(removed.goal, 0.0);
+}
+
+TEST(AllocServer, MpmcSubmissionProcessesEveryEventExactlyOnce) {
+  core::Platform platform{"pool", 2};
+  AllocServer server(platform, ServerOptions{});
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 8;
+
+  std::vector<std::thread> producers;
+  std::atomic<int> ok_adds{0};
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&server, &ok_adds, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        PipelineSpec pipe;
+        pipe.id = "p" + std::to_string(t) + "_" + std::to_string(i);
+        pipe.app.kernels = {test::make_kernel("k", 4.0 + t, 8.0, 12.0, 2.0)};
+        const EventOutcome outcome =
+            server.apply(Event::add(std::move(pipe)));
+        if (outcome.status.is_ok()) ok_adds.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  EXPECT_EQ(ok_adds.load(), kProducers * kPerProducer);
+  EXPECT_EQ(server.active_pipelines(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  // Sequences are unique and dense: every event was processed once.
+  const std::vector<EventOutcome> log = server.log();
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::vector<bool> seen(log.size(), false);
+  for (const EventOutcome& o : log) {
+    ASSERT_LT(o.sequence, log.size());
+    EXPECT_FALSE(seen[o.sequence]);
+    seen[o.sequence] = true;
+  }
+}
+
+TEST(EventQueue, ClosedQueueFailsFastAndDrains) {
+  EventQueue queue;
+  auto f1 = queue.push(Event::remove("a"));
+  queue.close();
+  // Still-queued items drain…
+  auto item = queue.pop();
+  ASSERT_TRUE(item.has_value());
+  item->reply.set_value(EventOutcome{});
+  f1.get();
+  // …then pop reports closed, and new pushes fail fast.
+  EXPECT_FALSE(queue.pop().has_value());
+  auto f2 = queue.push(Event::remove("b"));
+  EXPECT_EQ(f2.get().status.code(), Code::kInvalid);
+}
+
+TEST(AllocServer, StopDrainsQueuedEvents) {
+  core::Platform platform{"pool", 2};
+  auto server = std::make_unique<AllocServer>(platform, ServerOptions{});
+  std::vector<std::future<EventOutcome>> futures;
+  for (int i = 0; i < 16; ++i) {
+    PipelineSpec pipe;
+    pipe.id = "p" + std::to_string(i);
+    pipe.app.kernels = {test::make_kernel("k", 6.0, 9.0, 14.0, 3.0)};
+    futures.push_back(server->submit(Event::add(std::move(pipe))));
+  }
+  server->stop();  // must process everything already submitted
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.is_ok());
+  }
+}
+
+}  // namespace
+}  // namespace mfa::service

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/pipeline_sim.hpp"
 #include "solver/exact.hpp"
 #include "testutil.hpp"
@@ -46,6 +48,37 @@ TEST(PipelineSimulator, LatencyIsAtLeastSumOfStageTimes) {
   a.set_cu(2, 1, 1);
   SimResult r = PipelineSimulator().run(a);
   EXPECT_GE(r.pipeline_latency_ms, 8.0 + 12.0 + 4.0 - 1e-9);
+}
+
+TEST(PipelineSimulator, RejectsWindowWithOnePostWarmupImage) {
+  // Regression: num_images == warmup_images + 1 used to pass the guard
+  // but leaves zero completion gaps in the steady-state window, so
+  // measured_ii_ms divided by zero into inf/NaN. The window now
+  // requires at least two post-warmup images.
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 1, 1);
+  SimConfig cfg;
+  cfg.num_images = 5;
+  cfg.warmup_images = 4;
+  EXPECT_DEATH(PipelineSimulator(cfg).run(a), "post-warmup");
+}
+
+TEST(PipelineSimulator, SmallestValidWindowYieldsFiniteStats) {
+  Problem p = tiny_problem();
+  Allocation a(p);
+  a.set_cu(0, 0, 1);
+  a.set_cu(1, 0, 1);
+  a.set_cu(2, 1, 1);
+  SimConfig cfg;
+  cfg.num_images = 6;
+  cfg.warmup_images = 4;  // exactly two post-warmup completions
+  const SimResult r = PipelineSimulator(cfg).run(a);
+  EXPECT_TRUE(std::isfinite(r.measured_ii_ms));
+  EXPECT_TRUE(std::isfinite(r.throughput_ips));
+  EXPECT_NEAR(r.measured_ii_ms, 12.0, 1e-9);  // bottleneck stage ET
 }
 
 TEST(PipelineSimulator, BandwidthThrottlingSlowsPipeline) {
