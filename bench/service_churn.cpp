@@ -1,4 +1,5 @@
-// Serving-path benchmark: warm-started incremental re-solves vs cold.
+// Serving-path benchmark: warm-started incremental re-solves vs cold,
+// plus the compiled-GP model-cache economics.
 //
 // Replays one seeded arrival trace (scenario/trace.hpp) through two
 // AllocServers that differ only in ServerOptions::warm_start, with the
@@ -10,19 +11,28 @@
 // comparison isolates the warm start itself.
 //
 // Reported per mode: total GP Newton iterations, wall-clock replay
-// time, mean per-event latency, and B&B nodes. The headline is the
-// Newton-iteration ratio (cold / warm); `--check` exits non-zero when
-// warm fails to beat cold on total Newton iterations — the PR-4
-// acceptance gate. `--smoke` shrinks the trace for CI wiring checks.
+// time, mean/p50/p95 per-event latency, B&B nodes, and the
+// structure/coefficient-split counters — full GP IR lowerings
+// (compiles) vs in-place coefficient patches, plus hit/miss/eviction
+// stats of both the relaxation cache and the compiled-model cache.
+//
+// `--check` exits non-zero when either PR gate fails:
+//   * warm must beat cold on total Newton iterations (PR-4), and
+//   * Reprioritize/ResizePlatform events must perform *zero* full GP
+//     recompiles — numeric-only deltas keep the composite's structure,
+//     so every such solve must be a model-cache hit + patch (PR-5).
+// `--smoke` shrinks the trace for CI wiring checks.
 //
 // With MFA_BENCH_OUT set to a directory, the measurements are written
-// there as BENCH_service_churn.json.
+// there as BENCH_service_churn.json and BENCH_compile_cache.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "gp/solver.hpp"
 #include "io/serialize.hpp"
@@ -34,69 +44,160 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 struct ReplayStats {
-  std::int64_t newton = 0;   ///< GP Newton iterations spent
-  std::int64_t nodes = 0;    ///< B&B nodes across all events
-  double seconds = 0.0;      ///< wall-clock replay time
+  std::int64_t newton = 0;  ///< GP Newton iterations spent
+  std::int64_t nodes = 0;   ///< B&B nodes across all events
+  double seconds = 0.0;     ///< wall-clock replay time
   double mean_event_ms = 0.0;
-  std::uint64_t cache_hits = 0;
+  double p50_event_ms = 0.0;
+  double p95_event_ms = 0.0;
+  std::int64_t gp_compiles = 0;  ///< full IR lowerings
+  std::int64_t gp_patches = 0;   ///< coefficient patches
+  /// Full recompiles charged to numeric-only (reprioritize/resize)
+  /// events — the --check gate requires zero.
+  std::int64_t numeric_event_compiles = 0;
+  mfa::core::RelaxationCache::Stats relax;
+  mfa::core::CompiledModelCache::Stats model;
 };
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
 
 ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start) {
   mfa::service::ServerOptions options;
   options.warm_start = warm_start;
-  // Interior-point root: the effort metric is GP Newton iterations.
+  // Interior-point root: the effort metric is GP Newton iterations and
+  // the model cache is on the hot path.
   options.portfolio.gpa.use_interior_point = true;
 
   ReplayStats stats;
   const std::int64_t newton0 = mfa::gp::total_newton_iterations();
   const auto t0 = Clock::now();
   mfa::service::AllocServer server(trace.platform, options);
-  double event_s = 0.0;
+  std::vector<double> event_ms;
+  event_ms.reserve(trace.events.size());
   for (const mfa::service::Event& event : trace.events) {
     const mfa::service::EventOutcome outcome = server.apply(event);
     stats.nodes += outcome.solve_nodes;
-    event_s += outcome.seconds;
+    stats.gp_compiles += outcome.gp_compiles;
+    stats.gp_patches += outcome.gp_patches;
+    if (event.type == mfa::service::Event::Type::kReprioritize ||
+        event.type == mfa::service::Event::Type::kResizePlatform) {
+      stats.numeric_event_compiles += outcome.gp_compiles;
+    }
+    event_ms.push_back(outcome.seconds * 1e3);
   }
   server.stop();
-  stats.seconds =
-      std::chrono::duration<double>(Clock::now() - t0).count();
+  stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   stats.newton = mfa::gp::total_newton_iterations() - newton0;
+  double total_ms = 0.0;
+  for (double ms : event_ms) total_ms += ms;
   stats.mean_event_ms =
-      trace.events.empty() ? 0.0 : 1e3 * event_s / trace.events.size();
-  stats.cache_hits = server.cache_stats().hits;
+      event_ms.empty() ? 0.0 : total_ms / static_cast<double>(event_ms.size());
+  stats.p50_event_ms = percentile(event_ms, 0.50);
+  stats.p95_event_ms = percentile(event_ms, 0.95);
+  stats.relax = server.cache_stats();
+  stats.model = server.model_cache_stats();
   return stats;
 }
 
-void emit_json(int events, const ReplayStats& cold,
-               const ReplayStats& warm) {
-  const char* dir = std::getenv("MFA_BENCH_OUT");
-  if (dir == nullptr || *dir == '\0') return;
-  mfa::io::Json doc = mfa::io::Json::object();
-  doc.set("bench", mfa::io::Json::string("service_churn"));
-  doc.set("events", mfa::io::Json::number(events));
-  doc.set("cold_newton_iterations",
-          mfa::io::Json::number(static_cast<double>(cold.newton)));
-  doc.set("warm_newton_iterations",
-          mfa::io::Json::number(static_cast<double>(warm.newton)));
-  doc.set("newton_ratio",
-          mfa::io::Json::number(static_cast<double>(cold.newton) /
-                                static_cast<double>(warm.newton)));
-  doc.set("cold_seconds", mfa::io::Json::number(cold.seconds));
-  doc.set("warm_seconds", mfa::io::Json::number(warm.seconds));
-  doc.set("cold_mean_event_ms", mfa::io::Json::number(cold.mean_event_ms));
-  doc.set("warm_mean_event_ms", mfa::io::Json::number(warm.mean_event_ms));
-  doc.set("cold_nodes",
-          mfa::io::Json::number(static_cast<double>(cold.nodes)));
-  doc.set("warm_nodes",
-          mfa::io::Json::number(static_cast<double>(warm.nodes)));
-  const std::string path =
-      std::string(dir) + "/BENCH_service_churn.json";
+void write_json(const std::string& path, const mfa::io::Json& doc) {
   const mfa::Status st = mfa::io::write_file(path, doc.dump(2) + "\n");
   if (st.is_ok()) {
     std::printf("wrote %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
   }
+}
+
+void emit_json(int events, const ReplayStats& cold, const ReplayStats& warm) {
+  const char* dir = std::getenv("MFA_BENCH_OUT");
+  if (dir == nullptr || *dir == '\0') return;
+  {
+    mfa::io::Json doc = mfa::io::Json::object();
+    doc.set("bench", mfa::io::Json::string("service_churn"));
+    doc.set("events", mfa::io::Json::number(events));
+    doc.set("cold_newton_iterations",
+            mfa::io::Json::number(static_cast<double>(cold.newton)));
+    doc.set("warm_newton_iterations",
+            mfa::io::Json::number(static_cast<double>(warm.newton)));
+    doc.set("newton_ratio",
+            mfa::io::Json::number(static_cast<double>(cold.newton) /
+                                  static_cast<double>(warm.newton)));
+    doc.set("cold_seconds", mfa::io::Json::number(cold.seconds));
+    doc.set("warm_seconds", mfa::io::Json::number(warm.seconds));
+    doc.set("cold_mean_event_ms", mfa::io::Json::number(cold.mean_event_ms));
+    doc.set("warm_mean_event_ms", mfa::io::Json::number(warm.mean_event_ms));
+    doc.set("cold_nodes",
+            mfa::io::Json::number(static_cast<double>(cold.nodes)));
+    doc.set("warm_nodes",
+            mfa::io::Json::number(static_cast<double>(warm.nodes)));
+    write_json(std::string(dir) + "/BENCH_service_churn.json", doc);
+  }
+  {
+    // Compile-cache economics: how many events paid a full lowering vs
+    // an in-place coefficient patch, and what that did to per-event
+    // latency (p50/p95, warm vs cold).
+    mfa::io::Json doc = mfa::io::Json::object();
+    doc.set("bench", mfa::io::Json::string("compile_cache"));
+    doc.set("events", mfa::io::Json::number(events));
+    for (const auto& [mode, stats] :
+         {std::pair<const char*, const ReplayStats&>{"cold", cold},
+          std::pair<const char*, const ReplayStats&>{"warm", warm}}) {
+      mfa::io::Json row = mfa::io::Json::object();
+      row.set("gp_compiles",
+              mfa::io::Json::number(static_cast<double>(stats.gp_compiles)));
+      row.set("gp_patches",
+              mfa::io::Json::number(static_cast<double>(stats.gp_patches)));
+      row.set("numeric_event_compiles",
+              mfa::io::Json::number(
+                  static_cast<double>(stats.numeric_event_compiles)));
+      row.set("p50_event_ms", mfa::io::Json::number(stats.p50_event_ms));
+      row.set("p95_event_ms", mfa::io::Json::number(stats.p95_event_ms));
+      row.set("mean_event_ms", mfa::io::Json::number(stats.mean_event_ms));
+      row.set("model_cache_hits",
+              mfa::io::Json::number(static_cast<double>(stats.model.hits)));
+      row.set("model_cache_misses",
+              mfa::io::Json::number(static_cast<double>(stats.model.misses)));
+      row.set("model_cache_entries",
+              mfa::io::Json::number(static_cast<double>(stats.model.entries)));
+      row.set("relax_cache_hits",
+              mfa::io::Json::number(static_cast<double>(stats.relax.hits)));
+      doc.set(mode, std::move(row));
+    }
+    write_json(std::string(dir) + "/BENCH_compile_cache.json", doc);
+  }
+}
+
+void print_mode_table(const ReplayStats& cold, const ReplayStats& warm) {
+  const auto row_i = [](const char* name, std::int64_t c, std::int64_t w) {
+    std::printf("%-28s %14lld %14lld\n", name, static_cast<long long>(c),
+                static_cast<long long>(w));
+  };
+  const auto row_f = [](const char* name, double c, double w) {
+    std::printf("%-28s %14.3f %14.3f\n", name, c, w);
+  };
+  std::printf("%-28s %14s %14s\n", "metric", "cold", "warm");
+  row_i("GP Newton iterations", cold.newton, warm.newton);
+  row_i("B&B nodes", cold.nodes, warm.nodes);
+  row_f("replay seconds", cold.seconds, warm.seconds);
+  row_f("mean event latency (ms)", cold.mean_event_ms, warm.mean_event_ms);
+  row_f("p50 event latency (ms)", cold.p50_event_ms, warm.p50_event_ms);
+  row_f("p95 event latency (ms)", cold.p95_event_ms, warm.p95_event_ms);
+  row_i("GP full compiles", cold.gp_compiles, warm.gp_compiles);
+  row_i("GP coefficient patches", cold.gp_patches, warm.gp_patches);
+  row_i("  of compiles: numeric evts", cold.numeric_event_compiles,
+        warm.numeric_event_compiles);
+  row_i("model cache hits", static_cast<std::int64_t>(cold.model.hits),
+        static_cast<std::int64_t>(warm.model.hits));
+  row_i("model cache misses", static_cast<std::int64_t>(cold.model.misses),
+        static_cast<std::int64_t>(warm.model.misses));
+  row_i("relaxation cache hits", static_cast<std::int64_t>(cold.relax.hits),
+        static_cast<std::int64_t>(warm.relax.hits));
 }
 
 }  // namespace
@@ -125,29 +226,34 @@ int main(int argc, char** argv) {
   const ReplayStats cold = replay(trace, /*warm_start=*/false);
   const ReplayStats warm = replay(trace, /*warm_start=*/true);
 
-  std::printf("%-28s %14s %14s\n", "metric", "cold", "warm");
-  std::printf("%-28s %14lld %14lld\n", "GP Newton iterations",
-              static_cast<long long>(cold.newton),
-              static_cast<long long>(warm.newton));
-  std::printf("%-28s %14lld %14lld\n", "B&B nodes",
-              static_cast<long long>(cold.nodes),
-              static_cast<long long>(warm.nodes));
-  std::printf("%-28s %14.3f %14.3f\n", "replay seconds", cold.seconds,
-              warm.seconds);
-  std::printf("%-28s %14.3f %14.3f\n", "mean event latency (ms)",
-              cold.mean_event_ms, warm.mean_event_ms);
-  std::printf("%-28s %14llu %14llu\n", "cache hits",
-              static_cast<unsigned long long>(cold.cache_hits),
-              static_cast<unsigned long long>(warm.cache_hits));
+  print_mode_table(cold, warm);
   const double ratio = static_cast<double>(cold.newton) /
                        static_cast<double>(warm.newton);
   std::printf("\nheadline: warm re-solves use %.2fx fewer GP Newton "
-              "iterations than cold\n",
-              ratio);
+              "iterations than cold; %lld/%lld warm solves were "
+              "patch-only (zero recompiles on numeric events: %s)\n",
+              ratio, static_cast<long long>(warm.gp_patches),
+              static_cast<long long>(warm.gp_patches + warm.gp_compiles),
+              warm.numeric_event_compiles == 0 &&
+                      cold.numeric_event_compiles == 0
+                  ? "yes"
+                  : "NO");
   emit_json(events, cold, warm);
-  if (check && warm.newton >= cold.newton) {
-    std::printf("FAIL: warm starts did not reduce Newton iterations\n");
-    return 1;
+  if (check) {
+    int rc = 0;
+    if (warm.newton >= cold.newton) {
+      std::printf("FAIL: warm starts did not reduce Newton iterations\n");
+      rc = 1;
+    }
+    if (cold.numeric_event_compiles != 0 ||
+        warm.numeric_event_compiles != 0) {
+      std::printf("FAIL: reprioritize/resize events triggered %lld full GP "
+                  "recompiles (expected 0)\n",
+                  static_cast<long long>(cold.numeric_event_compiles +
+                                         warm.numeric_event_compiles));
+      rc = 1;
+    }
+    return rc;
   }
   return 0;
 }

@@ -380,6 +380,19 @@ mfa::io::Json outcome_to_json(const mfa::service::EventOutcome& o) {
   for (int t : o.totals) totals.push_back(mfa::io::Json::number(t));
   j.set("totals", std::move(totals));
   j.set("nodes", mfa::io::Json::number(static_cast<double>(o.solve_nodes)));
+  // Compilation-cache observability (deterministic with the default
+  // sequential lanes; see EventOutcome).
+  j.set("delta", mfa::io::Json::string(mfa::service::to_string(o.delta)));
+  j.set("gp_compiles",
+        mfa::io::Json::number(static_cast<double>(o.gp_compiles)));
+  j.set("gp_patches",
+        mfa::io::Json::number(static_cast<double>(o.gp_patches)));
+  j.set("model_hits",
+        mfa::io::Json::number(static_cast<double>(o.model_hits)));
+  j.set("model_misses",
+        mfa::io::Json::number(static_cast<double>(o.model_misses)));
+  j.set("relax_hits",
+        mfa::io::Json::number(static_cast<double>(o.relax_hits)));
   return j;
 }
 
@@ -445,6 +458,13 @@ int cmd_serve(int argc, char** argv) {
           mfa::io::Json::number(static_cast<double>(cache.entries)));
   doc.set("cache_evictions",
           mfa::io::Json::number(static_cast<double>(cache.evictions)));
+  const auto models = server.model_cache_stats();
+  doc.set("model_cache_hits",
+          mfa::io::Json::number(static_cast<double>(models.hits)));
+  doc.set("model_cache_entries",
+          mfa::io::Json::number(static_cast<double>(models.entries)));
+  doc.set("model_cache_evictions",
+          mfa::io::Json::number(static_cast<double>(models.evictions)));
   doc.set("per_event", std::move(per_event));
   std::printf("%s\n", doc.dump(2).c_str());
 

@@ -34,8 +34,10 @@ StatusOr<GpaResult> GpaSolver::solve(const core::Problem& problem) const {
                      warm]() -> StatusOr<core::RelaxedSolution> {
     if (options_.use_interior_point) {
       return warm != nullptr
-                 ? core::solve_relaxation_gp(problem, options_.gp, *warm)
-                 : core::solve_relaxation_gp(problem, options_.gp);
+                 ? core::solve_relaxation_gp(problem, options_.gp, *warm,
+                                             options_.model_cache)
+                 : core::solve_relaxation_gp(problem, options_.gp,
+                                             options_.model_cache);
     }
     return core::solve_relaxation(problem,
                                   core::CuBounds::defaults(problem),

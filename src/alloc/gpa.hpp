@@ -10,6 +10,7 @@
 
 #include "alloc/greedy.hpp"
 #include "core/allocation.hpp"
+#include "core/compiled_cache.hpp"
 #include "core/problem.hpp"
 #include "core/relax_cache.hpp"
 #include "core/relaxation.hpp"
@@ -37,6 +38,14 @@ struct GpaOptions {
   /// lanes and repeated batch instances reuse each other's work. Also
   /// forwarded to the discretizer unless it carries its own. Not owned.
   core::RelaxationCache* relax_cache = nullptr;
+
+  /// Shared compiled-GP model cache (core/compiled_cache.hpp) for the
+  /// interior-point root: structurally identical roots — every event of
+  /// a serving loop whose workload only changed numerically — reuse one
+  /// compiled artifact and pay a coefficient patch instead of a full
+  /// lowering. Byte-transparent (hits are re-patched before solving).
+  /// Not owned.
+  core::CompiledModelCache* model_cache = nullptr;
 
   gp::SolverOptions gp;
   solver::DiscretizeOptions discretize;

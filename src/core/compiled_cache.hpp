@@ -1,0 +1,49 @@
+// Thread-safe cache of compiled GP models, keyed by structural
+// fingerprint.
+//
+// The serving hot loop re-solves the relaxation GP on every workload
+// event, yet most events change only *numbers* — a priority weight
+// rescales WCETs, a platform resize moves capacities — while the model's
+// structure (variables, monomial sparsity, exponent rows, constraint
+// shapes) is untouched. solve_relaxation_gp() therefore keys compiled
+// artifacts by gp::GpProblem::structural_fingerprint(): a hit clones the
+// stored model (cheap — the structure is shared, only the coefficient
+// vector is copied) and rewrites the coefficients in place with
+// patch_coefficients(), skipping the whole hash-consing lowering. A miss
+// compiles once and publishes the artifact for every later structurally
+// identical solve.
+//
+// Determinism: a hit is *always* re-patched from the caller's own
+// problem before solving, so the solved bytes are identical to a fresh
+// compile no matter which problem populated the entry — the cache is
+// transparent under the PR-2 determinism contract even though entries
+// are shared across different coefficient vectors.
+//
+// The cache machinery (sharding, FIFO bounding, first-writer-wins) is
+// core::ShardedCache, shared with RelaxationCache.
+#pragma once
+
+#include "core/sharded_cache.hpp"
+#include "gp/compiled.hpp"
+#include "gp/problem.hpp"
+
+namespace mfa::core {
+
+using CompiledModelCache = ShardedCache<gp::CompiledModel>;
+
+/// Cache key for the compiled artifact of a GP model: its structural
+/// fingerprint plus an artifact tag (the stored model also carries the
+/// box rows, which a future artifact variant might not).
+inline Fingerprint compiled_model_cache_key(const Fingerprint& structural) {
+  Fingerprint key = structural;
+  key.mix(std::uint64_t{0xc03de1});  // artifact tag: boxed barrier model
+  return key;
+}
+
+/// Convenience overload hashing `model` itself. Hot paths that also
+/// patch should hash once and use the Fingerprint overload.
+inline Fingerprint compiled_model_cache_key(const gp::GpProblem& model) {
+  return compiled_model_cache_key(model.structural_fingerprint());
+}
+
+}  // namespace mfa::core

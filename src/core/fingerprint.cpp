@@ -1,18 +1,8 @@
 #include "core/fingerprint.hpp"
 
-#include <cstring>
-
 #include "core/relaxation.hpp"
 
 namespace mfa::core {
-
-void Fingerprint::mix(double d) {
-  if (d == 0.0) d = 0.0;  // canonicalize -0.0
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(d));
-  std::memcpy(&bits, &d, sizeof(bits));
-  mix(bits);
-}
 
 Fingerprint relaxation_fingerprint(const Problem& problem) {
   Fingerprint fp;

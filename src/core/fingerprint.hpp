@@ -1,11 +1,7 @@
-// Structural fingerprints of problem instances, used as cache keys.
-//
-// A Fingerprint is a 128-bit rolling hash (two independently mixed 64-bit
-// lanes) over the exact bit patterns of the numbers that determine a
-// computation's result. Collisions would silently alias two different
-// relaxations, so the two lanes use unrelated mixing functions: both
-// lanes would have to collide simultaneously for a false cache hit,
-// which is negligible at any realistic cache population.
+// Structural fingerprints of allocation-problem instances, used as cache
+// keys. The 128-bit Fingerprint primitive itself lives in
+// support/fingerprint.hpp (shared with the gp layer); this header owns
+// the problem-level hashing.
 //
 // relaxation_fingerprint() hashes precisely the fields the continuous
 // relaxation (core/relaxation) depends on — kernel WCET/resources/
@@ -16,36 +12,13 @@
 // e.g. a β = 0 twin of a problem shares its relaxation cache entries.
 #pragma once
 
-#include <cstdint>
-
 #include "core/problem.hpp"
 #include "core/resources.hpp"
+#include "support/fingerprint.hpp"
 
 namespace mfa::core {
 
-struct Fingerprint {
-  std::uint64_t hi = 0x9e3779b97f4a7c15ull;
-  std::uint64_t lo = 0xcbf29ce484222325ull;  // FNV-1a offset basis
-
-  void mix(std::uint64_t v) {
-    // Lane lo: FNV-1a on 64-bit words. Lane hi: xor-rotate-multiply with
-    // a golden-ratio pre-scramble (splitmix-style), independent of lo.
-    lo = (lo ^ v) * 0x00000100000001b3ull;  // FNV prime
-    std::uint64_t x = v * 0x9e3779b97f4a7c15ull;
-    x ^= x >> 29;
-    hi = (hi ^ x) * 0xbf58476d1ce4e5b9ull;
-    hi ^= hi >> 32;
-  }
-
-  void mix(double d);
-
-  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
-    return a.hi == b.hi && a.lo == b.lo;
-  }
-  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
-    return !(a == b);
-  }
-};
+using ::mfa::Fingerprint;
 
 /// Hashes exactly the problem fields the continuous relaxation depends
 /// on: per-kernel (WCET, resource vector, bandwidth), the FPGA count and

@@ -7,38 +7,21 @@
 // 128-bit fingerprint of everything the result depends on (problem,
 // bounds, warm-start hint, algorithm tag — see core/fingerprint.hpp).
 //
-// Determinism contract: a key must capture *all* inputs of the solve, so
-// every thread that computes a given key computes bit-identical bytes.
-// Insertion is first-writer-wins; later writers discard their copy. A
-// lookup hit therefore returns exactly what the thread would have
-// computed itself, which is how BatchRunner stays bit-for-bit identical
-// across thread counts with the cache enabled.
-//
 // Both feasible solutions and infeasibility proofs are cached (branch-
-// and-bound prunes through infeasible nodes constantly). Entries are
-// shared_ptr-owned, so a hit stays valid after eviction, clear() or
-// cache death.
+// and-bound prunes through infeasible nodes constantly).
 //
-// Sharding and eviction (for long-lived owners, e.g. the allocation
-// service): the key space can be split across several independently
-// locked shards — selected by the fingerprint's high bits, so hot
-// concurrent traffic does not serialize on one mutex — and each shard
-// can be capacity-bounded with FIFO eviction. Eviction is *transparent*
-// under the determinism contract: an evicted key simply re-solves to
-// the identical bytes on its next miss. The default configuration (one
-// shard, unbounded) reproduces the original behavior exactly.
+// The cache machinery itself — sharding, FIFO bounding, first-writer-
+// wins insertion, the determinism contract — is the generic
+// core::ShardedCache (core/sharded_cache.hpp), shared with the
+// compiled-GP model cache. A lookup hit returns exactly what the thread
+// would have computed itself, which is how BatchRunner stays bit-for-bit
+// identical across thread counts with the cache enabled; the default
+// configuration (one shard, unbounded) reproduces the original
+// single-map behavior exactly.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <deque>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
-
-#include "core/fingerprint.hpp"
 #include "core/relaxation.hpp"
+#include "core/sharded_cache.hpp"
 #include "support/status.hpp"
 
 namespace mfa::core {
@@ -48,92 +31,8 @@ using CachedRelaxation = StatusOr<RelaxedSolution>;
 
 /// Sharding / bounding knobs; the defaults reproduce the original
 /// single-shard unbounded cache bit-for-bit.
-struct RelaxCacheConfig {
-  /// Number of independently locked shards; rounded up to a power of
-  /// two. Keys map to shards by their fingerprint's high bits.
-  std::size_t shards = 1;
-  /// Upper bound on resident entries across all shards (0 = unbounded).
-  /// Enforced per shard as max_entries / shards (at least 1), with FIFO
-  /// eviction of the shard's oldest insertion.
-  std::size_t max_entries = 0;
-};
+using RelaxCacheConfig = CacheConfig;
 
-class RelaxationCache {
- public:
-  RelaxationCache() : RelaxationCache(RelaxCacheConfig{}) {}
-  explicit RelaxationCache(RelaxCacheConfig config);
-  RelaxationCache(const RelaxationCache&) = delete;
-  RelaxationCache& operator=(const RelaxationCache&) = delete;
-
-  /// Returns the cached outcome for `key`, or nullptr on a miss.
-  [[nodiscard]] std::shared_ptr<const CachedRelaxation> lookup(
-      const Fingerprint& key) const;
-
-  /// Inserts `result` under `key` unless another thread got there first;
-  /// either way returns the entry that ends up (or already was) stored.
-  /// May evict the owning shard's oldest entry when capacity-bounded.
-  std::shared_ptr<const CachedRelaxation> insert(const Fingerprint& key,
-                                                 CachedRelaxation result);
-
-  /// Convenience: lookup, and on a miss run `solve()` and insert its
-  /// outcome. Exactly-once execution is NOT guaranteed under races (two
-  /// threads may both solve; one insert wins), but the returned entry is
-  /// identical either way per the determinism contract.
-  template <typename SolveFn>
-  std::shared_ptr<const CachedRelaxation> get_or_solve(const Fingerprint& key,
-                                                       SolveFn&& solve) {
-    if (auto hit = lookup(key)) return hit;
-    return insert(key, solve());
-  }
-
-  struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t entries = 0;
-    std::uint64_t evictions = 0;
-  };
-  [[nodiscard]] Stats stats() const;
-
-  [[nodiscard]] std::size_t size() const;
-  void clear();
-
-  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
-  /// Resident-entry bound across all shards (0 = unbounded).
-  [[nodiscard]] std::size_t capacity() const {
-    return per_shard_capacity_ == 0 ? 0
-                                    : per_shard_capacity_ * shards_.size();
-  }
-
- private:
-  struct KeyHash {
-    std::size_t operator()(const Fingerprint& fp) const {
-      return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ull));
-    }
-  };
-
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<Fingerprint, std::shared_ptr<const CachedRelaxation>,
-                       KeyHash>
-        entries;
-    /// Insertion order of resident keys, oldest first (FIFO eviction).
-    std::deque<Fingerprint> order;
-  };
-
-  [[nodiscard]] Shard& shard_for(const Fingerprint& key) const {
-    // High bits select the shard: the map's own hash (above) leans on
-    // the low lane, so the two functions stay independent. The explicit
-    // single-shard case avoids a 64-bit shift by 64 (UB).
-    if (shards_.size() == 1) return shards_[0];
-    return shards_[key.hi >> shard_shift_];
-  }
-
-  mutable std::vector<Shard> shards_;
-  unsigned shard_shift_ = 64;     ///< 64 − log2(shard count)
-  std::size_t per_shard_capacity_ = 0;  ///< 0 = unbounded
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-};
+using RelaxationCache = ShardedCache<CachedRelaxation>;
 
 }  // namespace mfa::core

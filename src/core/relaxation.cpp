@@ -206,9 +206,39 @@ gp::GpProblem build_relaxation_gp(const Problem& problem,
 
 namespace {
 
+/// Solves `model` through GpSolver, consulting the compiled-model cache
+/// when one is provided: a hit clones the artifact (shared structure,
+/// private coefficients) and re-patches it from *this* model's
+/// coefficients, so the solved bytes never depend on which structurally
+/// identical problem populated the entry. A miss compiles and publishes.
+gp::GpSolution solve_model(const gp::GpProblem& model,
+                           const gp::SolverOptions& options,
+                           const std::vector<double>* x0,
+                           CompiledModelCache* models) {
+  const gp::GpSolver solver(options);
+  if (models == nullptr || !options.use_compiled_kernel) {
+    return x0 != nullptr ? solver.solve(model, *x0) : solver.solve(model);
+  }
+  // Hash the structure once per solve: the same fingerprint is the
+  // cache key and the patch-compatibility check.
+  const Fingerprint structural = model.structural_fingerprint();
+  const Fingerprint key = compiled_model_cache_key(structural);
+  gp::CompiledModel prepared;
+  if (auto hit = models->lookup(key)) {
+    prepared = *hit;  // clone: shares structure, copies coefficients
+    prepared.patch_coefficients(model, options.variable_box, structural);
+  } else {
+    prepared = gp::CompiledModel::build(model, options.variable_box);
+    models->insert(key, prepared);  // stored copy shares the structure
+  }
+  return x0 != nullptr ? solver.solve(model, prepared, *x0)
+                       : solver.solve(model, prepared);
+}
+
 StatusOr<RelaxedSolution> solve_gp_impl(const Problem& problem,
                                         const gp::SolverOptions& options,
-                                        const RelaxedSolution* warm) {
+                                        const RelaxedSolution* warm,
+                                        CompiledModelCache* models) {
   const CuBounds bounds = CuBounds::defaults(problem);
   for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
     if (bounds.lower[k] > bounds.upper[k]) {
@@ -243,9 +273,9 @@ StatusOr<RelaxedSolution> solve_gp_impl(const Problem& problem,
         static_cast<double>(model.constraints().size()) +
         2.0 * static_cast<double>(model.num_variables());  // + box rows
     warm_options.t0 = std::max(options.t0, m / options.warm_gap);
-    gp_sol = gp::GpSolver(warm_options).solve(model, x0);
+    gp_sol = solve_model(model, warm_options, &x0, models);
   } else {
-    gp_sol = gp::GpSolver(options).solve(model);
+    gp_sol = solve_model(model, options, nullptr, models);
   }
   if (gp_sol.status == gp::GpStatus::kInfeasible) {
     return Status{Code::kInfeasible, "GP phase I proved infeasibility"};
@@ -262,15 +292,17 @@ StatusOr<RelaxedSolution> solve_gp_impl(const Problem& problem,
 
 }  // namespace
 
-StatusOr<RelaxedSolution> solve_relaxation_gp(
-    const Problem& problem, const gp::SolverOptions& options) {
-  return solve_gp_impl(problem, options, nullptr);
+StatusOr<RelaxedSolution> solve_relaxation_gp(const Problem& problem,
+                                              const gp::SolverOptions& options,
+                                              CompiledModelCache* models) {
+  return solve_gp_impl(problem, options, nullptr, models);
 }
 
 StatusOr<RelaxedSolution> solve_relaxation_gp(const Problem& problem,
                                               const gp::SolverOptions& options,
-                                              const RelaxedSolution& warm) {
-  return solve_gp_impl(problem, options, &warm);
+                                              const RelaxedSolution& warm,
+                                              CompiledModelCache* models) {
+  return solve_gp_impl(problem, options, &warm, models);
 }
 
 Fingerprint relaxation_cache_key(const Problem& problem,

@@ -21,8 +21,10 @@
 
 #include <vector>
 
+#include "core/compiled_cache.hpp"
 #include "core/problem.hpp"
 #include "gp/solver.hpp"
+#include "support/fingerprint.hpp"
 #include "support/status.hpp"
 
 namespace mfa::core {
@@ -66,20 +68,27 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
 gp::GpProblem build_relaxation_gp(const Problem& problem,
                                   const CuBounds& bounds);
 
-/// Solves the relaxation through the interior-point GP solver.
+/// Solves the relaxation through the interior-point GP solver. When
+/// `models` is non-null (and the compiled kernel is enabled), the
+/// compiled artifact is fetched from / published to the cache by the GP
+/// model's structural fingerprint: a hit skips the whole lowering and
+/// only patches coefficients, producing byte-identical results to a
+/// fresh compile (see core/compiled_cache.hpp).
 StatusOr<RelaxedSolution> solve_relaxation_gp(
-    const Problem& problem, const gp::SolverOptions& options = {});
+    const Problem& problem, const gp::SolverOptions& options = {},
+    CompiledModelCache* models = nullptr);
 
 /// Warm-started interior-point solve: seeds the barrier from `warm`
 /// (e.g. a neighboring sweep point's relaxation). The ÎI seed is
 /// inflated a few percent so latency constraints start strictly slack;
 /// if the seed is still infeasible, phase I runs from it instead of from
 /// scratch. Converges to the cold-start optimum (to solver tolerance).
+/// `models` as above.
 StatusOr<RelaxedSolution> solve_relaxation_gp(const Problem& problem,
                                               const gp::SolverOptions& options,
-                                              const RelaxedSolution& warm);
-
-struct Fingerprint;  // core/fingerprint.hpp
+                                              const RelaxedSolution& warm,
+                                              CompiledModelCache* models =
+                                                  nullptr);
 
 /// Cache key for a bisection solve of (problem, bounds, ii_hint): hashes
 /// every input the result depends on plus an algorithm tag, so entries

@@ -80,6 +80,16 @@ class GpProblem {
   /// duplicate monomials merged (see gp/compiled.hpp).
   [[nodiscard]] CompiledGp compile() const;
 
+  /// 128-bit fingerprint of the problem's *structure*: the variable
+  /// count and the exact ordered sequence of monomial exponent rows of
+  /// the objective and every constraint — everything that determines
+  /// the compiled IR's shape — and deliberately not the coefficients.
+  /// Two problems with equal structural fingerprints compile() to
+  /// identical structures (same rows, same merge plan), so one compiled
+  /// model serves both after a patch_coefficients(); this is the
+  /// core::CompiledModelCache key.
+  [[nodiscard]] Fingerprint structural_fingerprint() const;
+
  private:
   std::vector<std::string> names_;
   Posynomial objective_;

@@ -401,33 +401,42 @@ GpSolution run_two_phase(const GpProblem& problem, const SolverOptions& options,
   return sol;
 }
 
-GpSolution solve_compiled(const GpProblem& problem,
+/// Barrier solve over a prepared artifact: no per-call IR mutation at
+/// all. The box rows are already part of the model, and the phase-I
+/// slack problem is derived through the structure-level cache only when
+/// phase I actually runs (a warm, strictly feasible seed never pays for
+/// the lowering — and a cold one pays it once per *structure*, not per
+/// solve).
+GpSolution solve_prepared(const GpProblem& problem, const CompiledModel& model,
                           const SolverOptions& options,
                           const std::vector<double>* x0) {
   const std::size_t n = problem.num_variables();
-  CompiledGp gp = problem.compile();
-  // Box constraints |y_j| ≤ Y keep both phases bounded: without them the
-  // phase-I merit is unbounded below (riding a free direction to ∞
-  // collects −log barrier rewards from ever-slacker constraints faster
-  // than t·s charges for the violated ones), and phase II can drift
-  // along flat objective directions. Y = 46 allows x ∈ [1e-20, 1e20],
-  // far beyond any meaningful allocation quantity.
-  for (std::size_t j = 0; j < n; ++j) {
-    for (double sign : {1.0, -1.0}) {
-      gp.add_affine({{static_cast<VarId>(j), sign}}, -options.variable_box);
-    }
-  }
+  MFA_ASSERT_MSG(model.num_vars() == n &&
+                     model.variable_box() == options.variable_box,
+                 "prepared model does not match the problem/options");
+  const CompiledGp& gp = model.gp();
   CompiledBarrier main_barrier(gp, options);
-  CompiledGp slack_gp(0);  // assigned lazily; must outlive the barrier
+  CompiledGp slack_gp;  // assigned lazily; must outlive the barrier
   std::unique_ptr<CompiledBarrier> phase1;
   auto make_phase1 = [&]() -> CompiledBarrier* {
-    slack_gp = gp.with_slack();
+    slack_gp = model.phase1();
     phase1 = std::make_unique<CompiledBarrier>(slack_gp, options);
     return phase1.get();
   };
   return run_two_phase(problem, options, main_barrier, make_phase1,
                        gp.num_functions() - 1,
                        initial_y(n, x0, options.variable_box));
+}
+
+GpSolution solve_compiled(const GpProblem& problem,
+                          const SolverOptions& options,
+                          const std::vector<double>* x0) {
+  // Y = 46 (the default variable_box) allows x ∈ [1e-20, 1e20], far
+  // beyond any meaningful allocation quantity; the box rows themselves
+  // now live in the compiled artifact (CompiledModel::build).
+  const CompiledModel model =
+      CompiledModel::build(problem, options.variable_box);
+  return solve_prepared(problem, model, options, x0);
 }
 
 GpSolution solve_legacy(const GpProblem& problem, const SolverOptions& options,
@@ -507,6 +516,22 @@ GpSolution GpSolver::solve(const GpProblem& problem,
   GpSolution sol = options_.use_compiled_kernel
                        ? solve_compiled(problem, options_, &x0)
                        : solve_legacy(problem, options_, &x0);
+  g_newton_iterations.fetch_add(sol.newton_iterations,
+                                std::memory_order_relaxed);
+  return sol;
+}
+
+GpSolution GpSolver::solve(const GpProblem& problem,
+                           const CompiledModel& model) const {
+  GpSolution sol = solve_prepared(problem, model, options_, nullptr);
+  g_newton_iterations.fetch_add(sol.newton_iterations,
+                                std::memory_order_relaxed);
+  return sol;
+}
+
+GpSolution GpSolver::solve(const GpProblem& problem, const CompiledModel& model,
+                           const std::vector<double>& x0) const {
+  GpSolution sol = solve_prepared(problem, model, options_, &x0);
   g_newton_iterations.fetch_add(sol.newton_iterations,
                                 std::memory_order_relaxed);
   return sol;

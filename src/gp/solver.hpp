@@ -97,6 +97,21 @@ class GpSolver {
   [[nodiscard]] GpSolution solve(const GpProblem& problem,
                                  const std::vector<double>& x0) const;
 
+  /// Solves through a prepared CompiledModel (always the compiled
+  /// kernel): zero per-call IR mutation — the box rows are already part
+  /// of the artifact and the phase-I lowering is cached in it. `model`
+  /// must have been built (or patched) from `problem` under this
+  /// solver's variable_box; the result is bit-identical to the plain
+  /// compiled-path solve, whether the model came from a fresh build or
+  /// a cache clone + patch_coefficients().
+  [[nodiscard]] GpSolution solve(const GpProblem& problem,
+                                 const CompiledModel& model) const;
+
+  /// Prepared-model solve, warm-started from x0 (see above).
+  [[nodiscard]] GpSolution solve(const GpProblem& problem,
+                                 const CompiledModel& model,
+                                 const std::vector<double>& x0) const;
+
   [[nodiscard]] const SolverOptions& options() const { return options_; }
 
  private:

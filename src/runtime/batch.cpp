@@ -10,28 +10,39 @@ std::vector<SolveResult> BatchRunner::solve_all(
   std::vector<SolveResult> results(requests.size());
   if (requests.empty()) return results;
 
-  // One cache for the whole batch (see header); hits are bit-identical
-  // to solving, so injecting it does not disturb determinism.
+  // One relaxation cache and one compiled-model cache for the whole
+  // batch (see header); hits are bit-identical to solving (model-cache
+  // hits are re-patched), so injecting them does not disturb
+  // determinism.
   RelaxationCache batch_cache;
   RelaxationCache* cache = options_.relax_cache != nullptr
                                ? options_.relax_cache
                            : options_.share_relaxations ? &batch_cache
                                                         : nullptr;
+  CompiledModelCache batch_models;
+  CompiledModelCache* models = options_.model_cache != nullptr
+                                   ? options_.model_cache
+                               : options_.share_relaxations ? &batch_models
+                                                            : nullptr;
   PortfolioOptions base = options_.portfolio;
   if (base.relax_cache == nullptr) base.relax_cache = cache;
-  // Per-request options are value copies, so injecting the cache never
+  if (base.model_cache == nullptr) base.model_cache = models;
+  // Per-request options are value copies, so injecting the caches never
   // mutates caller state; skip the copy entirely when caching is off.
   std::vector<SolveRequest> effective;
-  if (cache != nullptr) {
+  if (cache != nullptr || models != nullptr) {
     effective = requests;
     for (SolveRequest& request : effective) {
       if (request.options && request.options->relax_cache == nullptr) {
         request.options->relax_cache = cache;
       }
+      if (request.options && request.options->model_cache == nullptr) {
+        request.options->model_cache = models;
+      }
     }
   }
   const std::vector<SolveRequest>& work =
-      cache != nullptr ? effective : requests;
+      cache != nullptr || models != nullptr ? effective : requests;
 
   // Lanes sequential inside each instance (see header).
   Portfolio portfolio(base, /*num_threads=*/1);

@@ -37,6 +37,12 @@ struct BatchOptions {
   /// survive across solve_all() calls (e.g. successive sweeps over one
   /// design space). Not owned; implies sharing when set.
   RelaxationCache* relax_cache = nullptr;
+  /// Same, for the compiled-GP model cache: grid sweeps repeat one model
+  /// structure across every instance, so interior-point roots compile
+  /// once per structure for the whole batch. Per-batch by default (under
+  /// share_relaxations); pass a longer-lived cache to keep the compiled
+  /// structures across batches. Not owned.
+  CompiledModelCache* model_cache = nullptr;
 };
 
 class BatchRunner {

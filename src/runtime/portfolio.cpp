@@ -39,6 +39,7 @@ LaneRun run_lane(const StrategySpec& spec, const core::Problem& problem,
       alloc::GpaOptions o = options.gpa;
       o.greedy.t_max = spec.t_max;
       if (options.relax_cache != nullptr) o.relax_cache = options.relax_cache;
+      if (options.model_cache != nullptr) o.model_cache = options.model_cache;
       if (warm) o.warm = warm;  // root-relaxation seed (request-level)
       StatusOr<alloc::GpaResult> r = alloc::GpaSolver(o).solve(problem);
       if (r.is_ok()) {

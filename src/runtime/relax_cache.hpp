@@ -9,10 +9,12 @@
 // BatchOptions::relax_cache to keep hits across batches.
 #pragma once
 
+#include "core/compiled_cache.hpp"
 #include "core/relax_cache.hpp"
 
 namespace mfa::runtime {
 
 using RelaxationCache = core::RelaxationCache;
+using CompiledModelCache = core::CompiledModelCache;
 
 }  // namespace mfa::runtime

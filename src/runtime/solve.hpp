@@ -74,6 +74,15 @@ struct PortfolioOptions {
   /// set in `gpa`.
   core::RelaxationCache* relax_cache = nullptr;
 
+  /// Shared compiled-GP model cache for the interior-point root solves
+  /// (core/compiled_cache.hpp): lanes and successive requests with
+  /// structurally identical roots reuse one compiled artifact, paying a
+  /// coefficient patch per solve instead of a full lowering. Hits are
+  /// re-patched before solving, so results stay bit-identical with or
+  /// without the cache. Not owned; overrides any cache already set in
+  /// `gpa`.
+  core::CompiledModelCache* model_cache = nullptr;
+
   alloc::GpaOptions gpa;       ///< base GP+A knobs (t_max set per lane)
   solver::ExactOptions exact;  ///< per-pack caps etc. (budget overridden)
 

@@ -19,8 +19,14 @@ AllocServer::AllocServer(core::Platform platform, ServerOptions options)
     : options_(std::move(options)),
       cache_(core::RelaxCacheConfig{options_.cache_shards,
                                     options_.cache_entries}),
-      platform_(std::move(platform)) {
+      models_(core::CacheConfig{options_.model_cache_shards,
+                                options_.model_cache_entries}),
+      composite_(std::move(platform),
+                 CompositeConfig{options_.resource_fraction,
+                                 options_.bw_fraction, options_.alpha,
+                                 options_.beta}) {
   options_.portfolio.relax_cache = &cache_;
+  options_.portfolio.model_cache = &models_;
   if (options_.solver_threads != 1) {
     pool_ = std::make_unique<runtime::ThreadPool>(options_.solver_threads);
   }
@@ -55,27 +61,6 @@ void AllocServer::dispatcher_loop() {
     }
     item->reply.set_value(std::move(outcome));
   }
-}
-
-core::Problem AllocServer::compose() const {
-  core::Problem p;
-  p.app.name = "composite";
-  p.platform = platform_;
-  p.resource_fraction = options_.resource_fraction;
-  p.bw_fraction = options_.bw_fraction;
-  p.alpha = options_.alpha;
-  p.beta = options_.beta;
-  for (const PipelineSpec& pipe : pipelines_) {
-    for (const core::Kernel& k : pipe.app.kernels) {
-      core::Kernel scaled = k;
-      scaled.name = pipe.id + "/" + k.name;
-      // Priority enters through the effective WCET: minimizing
-      // max_k weight·WCET_k/N_k pulls CUs toward heavy pipelines.
-      scaled.wcet_ms = k.wcet_ms * pipe.weight;
-      p.app.kernels.push_back(std::move(scaled));
-    }
-  }
-  return p;
 }
 
 std::optional<core::RelaxedSolution> AllocServer::make_warm(
@@ -144,19 +129,22 @@ EventOutcome AllocServer::process(Event event) {
   outcome.sequence = sequence_++;
   outcome.type = event.type;
 
-  // ---- Apply the workload mutation.
+  // ---- Apply the workload mutation as a composite *delta*.
   auto find_pipeline = [this](const std::string& id) {
     return std::find_if(pipelines_.begin(), pipelines_.end(),
                         [&id](const PipelineSpec& p) { return p.id == id; });
   };
-  // Rollback snapshots: a mutation whose composite fails *structural*
-  // validation is reverted wholesale, so one malformed event (a resize
-  // to a platform with a broken class assignment, an add with a
-  // negative-resource kernel) can never poison the server — without
-  // them the bad state would out-live the event and fail every later
-  // solve. Cheap against the solve each event already pays for.
-  const core::Platform saved_platform = platform_;
-  const std::vector<PipelineSpec> saved_pipelines = pipelines_;
+  // Inverse-delta state for rollback: a mutation whose composite fails
+  // *structural* validation is reverted by applying the exact inverse
+  // delta (remove the added range, reinsert the removed one, restore
+  // the old weight or platform), so one malformed event (a resize to a
+  // platform with a broken class assignment, an add with a
+  // negative-resource kernel) can never poison the server — and the
+  // happy path never pays for a wholesale state snapshot.
+  std::size_t touched = 0;             // pipeline index the delta hit
+  std::optional<PipelineSpec> removed; // kRemovePipeline inverse payload
+  double old_weight = 0.0;             // kReprioritize inverse payload
+  core::Platform old_platform;         // kResizePlatform inverse payload
 
   bool workload_changed = false;
   switch (event.type) {
@@ -175,7 +163,10 @@ EventOutcome AllocServer::process(Event event) {
             Status{Code::kInvalid,
                    "duplicate pipeline id: '" + event.pipeline.id + "'"};
       } else {
+        touched = pipelines_.size();
         pipelines_.push_back(std::move(event.pipeline));
+        composite_.add_pipeline(pipelines_.back());
+        outcome.delta = CompositeDelta::kStructural;
         workload_changed = true;
       }
       break;
@@ -187,8 +178,12 @@ EventOutcome AllocServer::process(Event event) {
         outcome.status = Status{Code::kInvalid,
                                 "unknown pipeline id: '" + event.id + "'"};
       } else {
+        touched = static_cast<std::size_t>(it - pipelines_.begin());
         last_totals_.erase(it->id);
+        removed = std::move(*it);
         pipelines_.erase(it);
+        composite_.remove_pipeline(touched);
+        outcome.delta = CompositeDelta::kStructural;
         workload_changed = true;
       }
       break;
@@ -202,7 +197,11 @@ EventOutcome AllocServer::process(Event event) {
       } else if (event.weight <= 0.0) {
         outcome.status = Status{Code::kInvalid, "non-positive weight"};
       } else {
+        touched = static_cast<std::size_t>(it - pipelines_.begin());
+        old_weight = it->weight;
         it->weight = event.weight;
+        composite_.reprioritize(touched, *it);
+        outcome.delta = CompositeDelta::kCoefficients;
         workload_changed = true;
       }
       break;
@@ -214,7 +213,9 @@ EventOutcome AllocServer::process(Event event) {
       if (Status valid = event.platform.validate(); !valid.is_ok()) {
         outcome.status = std::move(valid);
       } else {
-        platform_ = std::move(event.platform);
+        old_platform = composite_.platform();
+        composite_.resize(std::move(event.platform));
+        outcome.delta = CompositeDelta::kRhs;
         workload_changed = true;
       }
       break;
@@ -228,27 +229,60 @@ EventOutcome AllocServer::process(Event event) {
       last_totals_.clear();
       last_ii_ = 0.0;
     } else {
-      core::Problem composite = compose();
-      if (Status valid = composite.validate();
+      std::shared_ptr<const core::Problem> composite =
+          composite_.snapshot();
+      if (Status valid = composite->validate();
           valid.code() == Code::kInvalid) {
-        // Structurally malformed composite: revert the mutation and
+        // Structurally malformed composite: apply the inverse delta and
         // fail the *event*, keeping the previous (valid) workload and
         // incumbent. kInfeasible is deliberately not rolled back — a
         // pool that genuinely shrank below its tenants' demand is a
         // real workload state; solves report it until churn resolves
         // it.
-        platform_ = saved_platform;
-        pipelines_ = saved_pipelines;
+        switch (event.type) {
+          case Event::Type::kAddPipeline:
+            composite_.remove_pipeline(touched);
+            pipelines_.pop_back();
+            break;
+          case Event::Type::kRemovePipeline:
+            composite_.insert_pipeline(touched, *removed);
+            pipelines_.insert(
+                pipelines_.begin() + static_cast<std::ptrdiff_t>(touched),
+                std::move(*removed));
+            break;
+          case Event::Type::kReprioritize:
+            pipelines_[touched].weight = old_weight;
+            composite_.reprioritize(touched, pipelines_[touched]);
+            break;
+          case Event::Type::kResizePlatform:
+            composite_.resize(std::move(old_platform));
+            break;
+        }
+        outcome.delta = CompositeDelta::kNone;
         outcome.status = std::move(valid);
       } else {
+        // Sample the compilation/cache counters around the solve so the
+        // outcome records what this event actually paid for (with
+        // sequential lanes — the default — these deltas are
+        // deterministic; see EventOutcome).
+        const std::int64_t compiles0 = gp::total_structure_compiles();
+        const std::int64_t patches0 = gp::total_coefficient_patches();
+        const auto models0 = models_.stats();
+        const auto relax0 = cache_.stats();
         runtime::SolveRequest request;
-        request.problem =
-            std::make_shared<const core::Problem>(std::move(composite));
+        request.problem = std::move(composite);
         request.warm = make_warm(*request.problem);
         outcome.warm_started = request.warm.has_value();
         runtime::SolveResult result = portfolio_->solve(request);
         outcome.solve_status = result.status;
         outcome.solve_nodes = result.nodes;
+        outcome.gp_compiles = gp::total_structure_compiles() - compiles0;
+        outcome.gp_patches = gp::total_coefficient_patches() - patches0;
+        const auto models1 = models_.stats();
+        const auto relax1 = cache_.stats();
+        outcome.model_hits = models1.hits - models0.hits;
+        outcome.model_misses = models1.misses - models0.misses;
+        outcome.relax_hits = relax1.hits - relax0.hits;
         if (result.is_ok() && result.allocation) {
           // Refresh the warm seed: the winning lane's root relaxation
           // (ÎI, N̂), sliced per pipeline so surviving tenants carry

@@ -9,15 +9,27 @@
 // Each event mutates the workload and triggers an *incremental*
 // re-solve of the composite problem (all live pipelines concatenated
 // into one super-pipeline on the shared platform, each pipeline's WCETs
-// scaled by its priority weight): the solve is warm-started from the
-// incumbent allocation's ÎI/N̂ via SolveRequest::warm, so the root
-// relaxation re-converges in a handful of probes instead of a cold
-// bisection or barrier path, and branch-and-bound node relaxations hit
-// the shared cache. Warm starts are pure accelerations — the solved
+// scaled by its priority weight). Incrementality is layered:
+//
+//  * the composite itself is maintained by a CompositeBuilder
+//    (service/composite.hpp) that applies event deltas — Reprioritize
+//    rewrites a few WCET coefficients in place, ResizePlatform swaps the
+//    platform, only Add/Remove splice the kernel set — instead of
+//    rebuilding the super-pipeline from scratch per event;
+//  * the solve is warm-started from the incumbent allocation's ÎI/N̂ via
+//    SolveRequest::warm, so the root relaxation re-converges in a
+//    handful of probes instead of a cold bisection or barrier path, and
+//    branch-and-bound node relaxations hit the shared RelaxationCache;
+//  * interior-point roots go through a CompiledModelCache keyed by the
+//    GP model's *structural* fingerprint: numeric-only events reuse the
+//    compiled IR and pay an O(terms) coefficient patch instead of a full
+//    lowering (EventOutcome::gp_compiles/gp_patches count both).
+//
+// Warm starts and both caches are pure accelerations — the solved
 // optimum matches a cold solve — and the per-event portfolio budget
 // (ServerOptions::portfolio.max_nodes/max_seconds, enforced through the
-// portfolio's shared solver::Budget when exact lanes are enabled) bounds
-// each event's latency.
+// portfolio's shared Budget when exact lanes are enabled) bounds each
+// event's latency.
 //
 // Determinism: events are applied in submission order by one dispatcher
 // thread, and with the default heuristic-only portfolio every
@@ -38,11 +50,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/compiled_cache.hpp"
 #include "core/problem.hpp"
 #include "core/relax_cache.hpp"
 #include "runtime/portfolio.hpp"
 #include "runtime/solve.hpp"
 #include "runtime/thread_pool.hpp"
+#include "service/composite.hpp"
 #include "service/event.hpp"
 #include "service/event_queue.hpp"
 
@@ -63,6 +77,13 @@ struct ServerOptions {
   /// a daemon must not grow without bound. 0 entries = unbounded.
   std::size_t cache_shards = 16;
   std::size_t cache_entries = 1 << 16;
+
+  /// Sharded, capacity-bounded compiled-GP model cache (also owned by
+  /// the server): one entry per distinct composite *structure*, so the
+  /// working set is the number of distinct live-pipeline shapes, not
+  /// the event count. 0 entries = unbounded.
+  std::size_t model_cache_shards = 4;
+  std::size_t model_cache_entries = 256;
 
   /// Outcomes retained for log(): the newest `log_capacity` events
   /// (0 = unbounded — replay/test harnesses that diff the full log).
@@ -130,12 +151,13 @@ class AllocServer {
     return cache_.stats();
   }
 
+  [[nodiscard]] core::CompiledModelCache::Stats model_cache_stats() const {
+    return models_.stats();
+  }
+
  private:
   void dispatcher_loop();
   EventOutcome process(Event event);
-
-  /// Builds the composite super-pipeline problem from the live set.
-  [[nodiscard]] core::Problem compose() const;
 
   /// Warm seed for the next solve, aligned to `problem`'s kernels from
   /// the per-pipeline totals of the previous one (nullopt on cold
@@ -145,11 +167,14 @@ class AllocServer {
 
   ServerOptions options_;
   core::RelaxationCache cache_;
+  core::CompiledModelCache models_;
   std::unique_ptr<runtime::ThreadPool> pool_;  ///< null → sequential lanes
   std::unique_ptr<runtime::Portfolio> portfolio_;
 
   // ---- Dispatcher-owned workload state (read under state_mutex_). ------
-  core::Platform platform_;
+  /// The live composite problem, maintained by event deltas (owns the
+  /// platform; see service/composite.hpp).
+  CompositeBuilder composite_;
   std::vector<PipelineSpec> pipelines_;  ///< live set, arrival order
   std::optional<runtime::SolveResult> incumbent_;
   /// Previous solve's per-pipeline CU totals and ÎI, the warm seed.

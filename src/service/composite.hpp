@@ -1,0 +1,106 @@
+// Incremental composite super-pipeline builder.
+//
+// The allocation service solves one composite problem per event: all
+// live pipelines concatenated into a single super-pipeline on the shared
+// platform, each pipeline's WCETs scaled by its priority weight. PR 4
+// rebuilt that composite from scratch on every event — re-deriving every
+// kernel name and scaled WCET even when the event changed a single
+// number. This builder keeps the composite *live* and applies event
+// deltas instead:
+//
+//   Reprioritize   → coefficient patch: rewrite the affected pipeline's
+//                    scaled WCETs in place (structure untouched)
+//   ResizePlatform → constraint-RHS patch: swap the platform object
+//                    (kernel set untouched)
+//   Add/Remove     → structural edit: splice the pipeline's kernel range
+//                    in or out (new structural fingerprint downstream)
+//
+// Every delta is reversible (the server rolls a mutation back when the
+// resulting composite fails structural validation), and the maintained
+// problem is bit-identical to what the wholesale rebuild would produce —
+// kernel order is concatenation order of the live pipelines, scaled
+// WCETs are computed from the same base numbers with the same
+// expression. That identity is what keeps relaxation-cache keys and the
+// compiled-GP structural fingerprint stable across numeric-only events,
+// which is where the serving-path speedup comes from (see
+// core/compiled_cache.hpp).
+//
+// Snapshots are copy-on-write: snapshot() hands out a shared_ptr to the
+// current problem; the next mutation clones only if someone (the solve
+// result, the incumbent) still holds that snapshot.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "service/event.hpp"
+
+namespace mfa::service {
+
+/// Composite-problem knobs fixed for the builder's lifetime (the
+/// pool-wide objective and the swept resource fractions; individual
+/// pipelines only carry weights).
+struct CompositeConfig {
+  double resource_fraction = 1.0;
+  double bw_fraction = 1.0;
+  double alpha = 1.0;
+  double beta = 0.0;
+};
+
+class CompositeBuilder {
+ public:
+  CompositeBuilder(core::Platform platform, const CompositeConfig& config);
+
+  // ---- Delta operations. Pipeline indices address the server's live
+  // list; kernel order in the composite is always the concatenation
+  // order of that list. ------------------------------------------------
+
+  /// Appends `pipe`'s kernels (scaled by its weight) at the end.
+  void add_pipeline(const PipelineSpec& pipe);
+
+  /// Reinserts `pipe` at position `index` — the inverse of
+  /// remove_pipeline for rollback.
+  void insert_pipeline(std::size_t index, const PipelineSpec& pipe);
+
+  /// Splices pipeline `index`'s kernel range out.
+  void remove_pipeline(std::size_t index);
+
+  /// Rewrites pipeline `index`'s scaled WCETs from `pipe` (which carries
+  /// the new weight). Coefficient-only: names, order and every other
+  /// kernel field stay untouched.
+  void reprioritize(std::size_t index, const PipelineSpec& pipe);
+
+  /// Swaps the platform. RHS-only: the kernel set stays untouched.
+  void resize(core::Platform platform);
+
+  // ---- Observers. ----------------------------------------------------
+
+  [[nodiscard]] std::size_t num_pipelines() const { return ranges_.size(); }
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+  [[nodiscard]] const core::Platform& platform() const {
+    return problem_->platform;
+  }
+
+  /// Shared snapshot of the current composite. The returned problem is
+  /// immutable; later mutations clone first (copy-on-write) when the
+  /// snapshot is still referenced, so a solve result keeps its problem
+  /// alive unchanged for as long as it needs it.
+  [[nodiscard]] std::shared_ptr<const core::Problem> snapshot();
+
+ private:
+  /// Clones the problem if a snapshot still shares it.
+  void ensure_unique();
+
+  /// Kernel range [begin, begin + count) of one live pipeline.
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+
+  std::shared_ptr<core::Problem> problem_;
+  std::vector<Range> ranges_;  ///< parallel to the server's live list
+};
+
+}  // namespace mfa::service

@@ -80,6 +80,32 @@ struct Event {
   }
 };
 
+/// Delta class an event applied to the composite problem (see
+/// service/composite.hpp): numeric-only deltas keep the composite's
+/// structure — and therefore the compiled-GP model — intact, which is
+/// what the serving-path recompilation counters verify.
+enum class CompositeDelta {
+  kNone,          ///< no mutation reached the composite
+  kCoefficients,  ///< numeric coefficients only (reprioritize)
+  kRhs,           ///< platform capacities only (resize)
+  kStructural,    ///< kernel set changed (add/remove)
+};
+
+/// Stable text name ("none", "coefficients", "rhs", "structural").
+inline const char* to_string(CompositeDelta delta) {
+  switch (delta) {
+    case CompositeDelta::kNone:
+      return "none";
+    case CompositeDelta::kCoefficients:
+      return "coefficients";
+    case CompositeDelta::kRhs:
+      return "rhs";
+    case CompositeDelta::kStructural:
+      return "structural";
+  }
+  return "unknown";
+}
+
 /// Stable text name of an event type ("add", "remove", "reprioritize",
 /// "resize") — used by logs and the JSON trace format. Defined here so
 /// the io layer can serialize events without linking the server TU.
@@ -118,6 +144,27 @@ struct EventOutcome {
   std::vector<int> totals;
   std::int64_t solve_nodes = 0;  ///< Σ nodes across portfolio lanes
   double seconds = 0.0;          ///< wall-clock event latency (not logged)
+
+  // ---- Compilation-cache observability. The counters below are
+  // deterministic with sequential portfolio lanes (solver_threads = 1,
+  // the default): racing lanes may duplicate a miss before the first
+  // writer publishes, which makes them timing-dependent at higher
+  // thread counts (like `seconds`, unlike the solve outputs). ----------
+
+  /// Delta class the event applied to the composite problem.
+  CompositeDelta delta = CompositeDelta::kNone;
+  /// Full GP IR lowerings performed by this event's solve. Zero for
+  /// every structurally stable event once the model cache is warm —
+  /// the property bench/service_churn --check gates on.
+  std::int64_t gp_compiles = 0;
+  /// In-place coefficient patches (model-cache hits that re-solved).
+  std::int64_t gp_patches = 0;
+  /// Compiled-model cache hits/misses during the event's solve.
+  std::uint64_t model_hits = 0;
+  std::uint64_t model_misses = 0;
+  /// Relaxation-cache hits during the event's solve (lanes 2..n of the
+  /// portfolio replaying lane 1's root).
+  std::uint64_t relax_hits = 0;
 };
 
 }  // namespace mfa::service

@@ -11,9 +11,17 @@
 //     feasible at the constraint it reports (used_fraction) and never
 //     beats the proved exact optimum II (β = 0 lanes);
 //  3. relaxation bound — the continuous relaxation never exceeds the
-//     exact optimum II.
+//     exact optimum II;
+//  4. patched-vs-fresh parity — solving the interior-point relaxation
+//     through a CompiledModelCache hit (a structure compiled from a
+//     *re-weighted* twin, cloned and coefficient-patched) returns
+//     byte-identical results to a fresh compile, cold and warm-started.
 //
 // Usage: differential_fuzz [num_seeds] [--start S] [--out failure.json]
+//                          [--parity]
+//
+// --parity runs only check 4 (no exact/naive oracles), which is cheap
+// enough for a wide ctest slice across heterogeneous platforms.
 //
 // On mismatch it prints the seed and the scenario JSON to stderr, writes
 // the scenario to --out (CI uploads it as an artifact) and exits 1.
@@ -38,6 +46,7 @@ struct Options {
   std::uint64_t start = 0;
   std::uint64_t count = 200;
   const char* out_path = nullptr;
+  bool parity_only = false;
 };
 
 /// Scenario shape small enough for the naive oracle to *prove* optima
@@ -71,6 +80,46 @@ void report_failure(std::uint64_t seed, const mfa::core::Problem& problem,
       std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
     }
   }
+}
+
+mfa::gp::SolverOptions gp_options() { return {}; }
+
+/// Structure/coefficient-split differential: a compiled-model cache hit
+/// (structure donated by a re-weighted twin, clone + patch) must solve
+/// to byte-identical results as a fresh compile — cold and warm-started.
+const char* check_patch_parity(const mfa::core::Problem& problem) {
+  mfa::core::CompiledModelCache models;
+  // Donate the structure entry under *different* coefficients, so the
+  // cached solve below exercises the clone-then-patch path for real.
+  mfa::core::Problem donor = problem;
+  for (mfa::core::Kernel& k : donor.app.kernels) k.wcet_ms *= 1.5;
+  (void)mfa::core::solve_relaxation_gp(donor, gp_options(), &models);
+
+  const auto cached =
+      mfa::core::solve_relaxation_gp(problem, gp_options(), &models);
+  const auto fresh = mfa::core::solve_relaxation_gp(problem, gp_options());
+  if (cached.is_ok() != fresh.is_ok()) {
+    return "patched and fresh GP relaxations disagree on status";
+  }
+  if (!fresh.is_ok()) return nullptr;
+  if (cached.value().ii != fresh.value().ii ||
+      cached.value().n_hat != fresh.value().n_hat) {
+    return "patched GP relaxation differs from a fresh compile";
+  }
+  // Warm-started flavor, seeded from the cold optimum.
+  const auto cached_warm = mfa::core::solve_relaxation_gp(
+      problem, gp_options(), fresh.value(), &models);
+  const auto fresh_warm =
+      mfa::core::solve_relaxation_gp(problem, gp_options(), fresh.value());
+  if (cached_warm.is_ok() != fresh_warm.is_ok()) {
+    return "patched and fresh warm GP relaxations disagree on status";
+  }
+  if (fresh_warm.is_ok() &&
+      (cached_warm.value().ii != fresh_warm.value().ii ||
+       cached_warm.value().n_hat != fresh_warm.value().n_hat)) {
+    return "patched warm GP relaxation differs from a fresh compile";
+  }
+  return nullptr;
 }
 
 /// Runs all solvers on one scenario; returns nullptr on agreement, else
@@ -152,7 +201,9 @@ const char* check_seed(const mfa::core::Problem& problem, bool* feasible) {
       return "relaxation exceeds the exact optimum II";
     }
   }
-  return nullptr;
+
+  // Compiled-model cache transparency (see check_patch_parity).
+  return check_patch_parity(problem);
 }
 
 }  // namespace
@@ -164,6 +215,8 @@ int main(int argc, char** argv) {
       opt.start = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       opt.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--parity") == 0) {
+      opt.parity_only = true;
     } else if (argv[i][0] != '-') {
       opt.count = std::strtoull(argv[i], nullptr, 10);
       if (opt.count == 0) {
@@ -184,7 +237,9 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed = opt.start; seed < opt.start + opt.count; ++seed) {
     const mfa::core::Problem problem = mfa::scenario::generate(spec, seed);
     bool feasible = true;
-    const char* mismatch = check_seed(problem, &feasible);
+    const char* mismatch = opt.parity_only
+                               ? check_patch_parity(problem)
+                               : check_seed(problem, &feasible);
     if (mismatch != nullptr) {
       report_failure(seed, problem, opt, mismatch);
       return 1;
@@ -196,7 +251,10 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
   }
-  std::printf("differential fuzz: %" PRIu64 " seeds ok\n", checked);
-  std::printf("(%" PRIu64 " infeasible instances exercised)\n", infeasible);
+  std::printf("differential fuzz%s: %" PRIu64 " seeds ok\n",
+              opt.parity_only ? " (patch parity)" : "", checked);
+  if (!opt.parity_only) {
+    std::printf("(%" PRIu64 " infeasible instances exercised)\n", infeasible);
+  }
   return 0;
 }

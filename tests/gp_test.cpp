@@ -240,6 +240,151 @@ TEST(CompiledGp, SlackAugmentationMatchesDefinition) {
               1e-12);
 }
 
+/// A problem with the given structure; coefficients vary with `salt`.
+GpProblem salted_problem(double salt) {
+  GpProblem prob;
+  const VarId x = prob.add_variable("x");
+  const VarId y = prob.add_variable("y");
+  // Duplicate monomials (merged at compile time) and a shared row across
+  // functions, so the patch path must replay a non-trivial merge plan.
+  prob.set_objective(salt * Monomial::var(x) * Monomial::var(y) +
+                     (2.0 * salt) * Monomial::var(x) * Monomial::var(y) +
+                     0.5 * Monomial::var(x).inverse());
+  prob.add_le1((salt / 3.0) * Monomial::var(x) * Monomial::var(y) +
+                   (1.0 / salt) * Monomial::var(y).inverse(),
+               "c0");
+  prob.add_le1(0.25 * salt * Monomial::var(y), "c1");
+  return prob;
+}
+
+TEST(CompiledGp, StructuralFingerprintIgnoresCoefficientsOnly) {
+  const GpProblem a = salted_problem(1.0);
+  const GpProblem b = salted_problem(7.25);
+  // Coefficient changes: same structure, problem- and IR-level.
+  EXPECT_EQ(a.structural_fingerprint(), b.structural_fingerprint());
+  EXPECT_EQ(a.compile().structure_fingerprint(),
+            b.compile().structure_fingerprint());
+
+  // A structural change — one more constraint — moves both.
+  GpProblem c = salted_problem(1.0);
+  c.add_le1(0.5 * Monomial::var(0), "extra");
+  EXPECT_NE(a.structural_fingerprint(), c.structural_fingerprint());
+  EXPECT_NE(a.compile().structure_fingerprint(),
+            c.compile().structure_fingerprint());
+
+  // So does an exponent change with identical shapes (x² instead of x).
+  GpProblem d;
+  const VarId x = d.add_variable("x");
+  const VarId y = d.add_variable("y");
+  d.set_objective(Monomial::var(x).pow(2.0) * Monomial::var(y) +
+                  2.0 * Monomial::var(x) * Monomial::var(y) +
+                  0.5 * Monomial::var(x).inverse());
+  d.add_le1((1.0 / 3.0) * Monomial::var(x) * Monomial::var(y) +
+                Monomial::var(y).inverse(),
+            "c0");
+  d.add_le1(0.25 * Monomial::var(y), "c1");
+  EXPECT_NE(a.structural_fingerprint(), d.structural_fingerprint());
+}
+
+TEST(CompiledModel, PatchedCoefficientsMatchFreshBuildBitwise) {
+  const GpProblem donor = salted_problem(3.5);
+  const GpProblem target = salted_problem(0.8);
+  constexpr double kBox = 46.0;
+
+  // Clone the donor's compiled artifact and patch it to the target.
+  const CompiledModel donor_model = CompiledModel::build(donor, kBox);
+  CompiledModel patched = donor_model;  // shares structure
+  patched.patch_coefficients(target, kBox);
+  EXPECT_TRUE(patched.gp().same_structure(donor_model.gp()));
+
+  const CompiledModel fresh = CompiledModel::build(target, kBox);
+  ASSERT_EQ(patched.gp().num_functions(), fresh.gp().num_functions());
+
+  // Every function evaluates bit-identically (not merely close) at
+  // random points — the determinism contract the model cache rides on.
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> point(-2.0, 2.0);
+  GpWorkspace ws_a;
+  GpWorkspace ws_b;
+  for (int trial = 0; trial < 32; ++trial) {
+    linalg::Vector y{point(rng), point(rng)};
+    for (std::size_t f = 0; f < fresh.gp().num_functions(); ++f) {
+      EXPECT_EQ(patched.gp().value(f, y, ws_a), fresh.gp().value(f, y, ws_b))
+          << "f=" << f << " trial=" << trial;
+    }
+  }
+
+  // The donor's own coefficients are untouched by patching the clone.
+  CompiledModel donor_again = CompiledModel::build(donor, kBox);
+  GpWorkspace ws_c;
+  linalg::Vector y{0.3, -0.4};
+  EXPECT_EQ(donor_model.gp().value(0, y, ws_a),
+            donor_again.gp().value(0, y, ws_c));
+}
+
+TEST(GpSolver, PreparedModelSolveMatchesPlainSolveBitwise) {
+  const GpProblem target = salted_problem(1.6);
+  SolverOptions opts;
+  const GpSolution plain = GpSolver(opts).solve(target);
+
+  // Prepared path, via a structure compiled from *different*
+  // coefficients and patched — exactly what a model-cache hit does.
+  CompiledModel model = CompiledModel::build(salted_problem(9.0),
+                                             opts.variable_box);
+  model.patch_coefficients(target, opts.variable_box);
+  const GpSolution prepared = GpSolver(opts).solve(target, model);
+
+  ASSERT_EQ(prepared.status, plain.status);
+  EXPECT_EQ(prepared.x, plain.x);  // bit-identical primal point
+  EXPECT_EQ(prepared.objective, plain.objective);
+  EXPECT_EQ(prepared.newton_iterations, plain.newton_iterations);
+  EXPECT_EQ(prepared.outer_iterations, plain.outer_iterations);
+
+  // Warm-started flavor too.
+  const GpSolution plain_warm = GpSolver(opts).solve(target, plain.x);
+  const GpSolution prepared_warm =
+      GpSolver(opts).solve(target, model, plain.x);
+  ASSERT_EQ(prepared_warm.status, plain_warm.status);
+  EXPECT_EQ(prepared_warm.x, plain_warm.x);
+  EXPECT_EQ(prepared_warm.newton_iterations, plain_warm.newton_iterations);
+}
+
+TEST(CompiledModel, SlackLoweringIsLazyAndCachedPerStructure) {
+  // An infeasible start forces phase I; the slack problem must be
+  // lowered exactly once per structure, not per solve.
+  GpProblem p;
+  const VarId x = p.add_variable("x");
+  p.set_objective(Monomial::var(x));
+  p.add_le1(2.0 * Monomial::var(x).inverse(), "x >= 2");
+  SolverOptions opts;
+  const CompiledModel model = CompiledModel::build(p, opts.variable_box);
+
+  const std::int64_t before = total_slack_lowerings();
+  const GpSolution first = GpSolver(opts).solve(p, model);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(total_slack_lowerings() - before, 1);  // phase I ran once
+
+  // Re-solving through the same model (or a clone) reuses the cached
+  // slack structure.
+  CompiledModel clone = model;
+  const GpSolution second = GpSolver(opts).solve(p, clone);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(total_slack_lowerings() - before, 1);
+  EXPECT_EQ(second.x, first.x);
+
+  // A strictly feasible warm seed skips phase I — and therefore never
+  // pays a slack lowering even on a fresh structure.
+  GpProblem q;
+  const VarId z = q.add_variable("z");
+  q.set_objective(Monomial::var(z));
+  q.add_le1(3.0 * Monomial::var(z).inverse(), "z >= 3");
+  const CompiledModel qm = CompiledModel::build(q, opts.variable_box);
+  const std::int64_t before_q = total_slack_lowerings();
+  const GpSolution warm = GpSolver(opts).solve(q, qm, {10.0});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(total_slack_lowerings() - before_q, 0);
+}
+
 /// Compiled and legacy kernels must land on the same optimum.
 TEST(GpSolver, CompiledMatchesLegacyOnRandomProblems) {
   std::mt19937 rng(7);

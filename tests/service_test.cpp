@@ -67,6 +67,10 @@ void expect_deterministic_eq(const std::vector<EventOutcome>& a,
     EXPECT_EQ(a[i].goal, b[i].goal);
     EXPECT_EQ(a[i].totals, b[i].totals);
     EXPECT_EQ(a[i].solve_nodes, b[i].solve_nodes);
+    // The delta class depends only on the event stream, never on lane
+    // scheduling (the compile/patch counters, by contrast, are only
+    // deterministic for sequential lanes — see EventOutcome).
+    EXPECT_EQ(a[i].delta, b[i].delta);
   }
 }
 
@@ -210,6 +214,152 @@ TEST(AllocServer, CacheEvictionIsTransparent) {
   EXPECT_LE(small.cache_stats().entries, 32u);
   EXPECT_EQ(big.cache_stats().evictions, 0u);
   expect_deterministic_eq(a, b);
+}
+
+/// The PR-4 wholesale composite rebuild, replicated as a test oracle:
+/// the incremental CompositeBuilder must stay bit-identical to it.
+core::Problem wholesale_compose(const core::Platform& platform,
+                                const std::vector<PipelineSpec>& pipes,
+                                const ServerOptions& options) {
+  core::Problem p;
+  p.app.name = "composite";
+  p.platform = platform;
+  p.resource_fraction = options.resource_fraction;
+  p.bw_fraction = options.bw_fraction;
+  p.alpha = options.alpha;
+  p.beta = options.beta;
+  for (const PipelineSpec& pipe : pipes) {
+    for (const core::Kernel& k : pipe.app.kernels) {
+      core::Kernel scaled = k;
+      scaled.name = pipe.id + "/" + k.name;
+      scaled.wcet_ms = k.wcet_ms * pipe.weight;
+      p.app.kernels.push_back(std::move(scaled));
+    }
+  }
+  return p;
+}
+
+TEST(AllocServer, IncrementalCompositeMatchesWholesaleRebuild) {
+  // Drive one server through every delta class — including repeated
+  // reprioritizations of the same pipeline, which must rescale from the
+  // base WCETs, never compound — and after each event compare the
+  // composite the solve actually ran on (incumbent()->problem) against
+  // a from-scratch rebuild, byte-for-byte via the JSON dump.
+  core::Platform platform{"pool", 2};
+  const ServerOptions options;
+  AllocServer server(platform, options);
+
+  PipelineSpec p0;
+  p0.id = "p0";
+  p0.app.kernels = {test::make_kernel("a", 8.0, 10.0, 20.0, 5.0),
+                    test::make_kernel("b", 12.0, 8.0, 15.0, 4.0)};
+  PipelineSpec p1;
+  p1.id = "p1";
+  p1.weight = 1.5;
+  p1.app.kernels = {test::make_kernel("c", 6.0, 5.0, 10.0, 3.0)};
+
+  std::vector<PipelineSpec> live;
+  auto expect_composite_matches = [&] {
+    ASSERT_TRUE(server.incumbent().has_value());
+    const auto expected =
+        io::to_json(wholesale_compose(platform, live, options)).dump(2);
+    const auto actual = io::to_json(*server.incumbent()->problem).dump(2);
+    EXPECT_EQ(actual, expected);
+  };
+
+  ASSERT_TRUE(server.apply(Event::add(p0)).status.is_ok());
+  live.push_back(p0);
+  expect_composite_matches();
+
+  ASSERT_TRUE(server.apply(Event::add(p1)).status.is_ok());
+  live.push_back(p1);
+  expect_composite_matches();
+
+  EventOutcome re = server.apply(Event::reprioritize("p0", 2.0));
+  ASSERT_TRUE(re.status.is_ok());
+  EXPECT_EQ(re.delta, CompositeDelta::kCoefficients);
+  live[0].weight = 2.0;
+  expect_composite_matches();
+
+  // Second reprioritization: 0.5 must replace 2.0, not stack on it.
+  ASSERT_TRUE(server.apply(Event::reprioritize("p0", 0.5)).status.is_ok());
+  live[0].weight = 0.5;
+  expect_composite_matches();
+
+  EventOutcome grown = server.apply(Event::resize(core::Platform{"pool3", 3}));
+  ASSERT_TRUE(grown.status.is_ok());
+  EXPECT_EQ(grown.delta, CompositeDelta::kRhs);
+  platform = core::Platform{"pool3", 3};
+  expect_composite_matches();
+
+  EventOutcome removed = server.apply(Event::remove("p0"));
+  ASSERT_TRUE(removed.status.is_ok());
+  EXPECT_EQ(removed.delta, CompositeDelta::kStructural);
+  live.erase(live.begin());
+  expect_composite_matches();
+}
+
+TEST(AllocServer, NumericDeltasPatchInsteadOfRecompiling) {
+  // With the interior-point root, events that only move numbers
+  // (reprioritize, resize) must never pay a full GP lowering: the
+  // composite keeps its structure, so the model cache turns every such
+  // solve into a clone + coefficient patch. This is the bench/
+  // service_churn --check property, asserted here per event.
+  const Trace trace = scenario::generate_trace(small_spec(100), 67);
+  ServerOptions options;
+  options.portfolio.gpa.use_interior_point = true;
+  const auto outcomes = replay(trace, options);
+
+  bool any_reprioritize = false;
+  bool any_patch = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    const EventOutcome& o = outcomes[i];
+    any_patch = any_patch || o.gp_patches > 0;
+    if (!o.status.is_ok()) {
+      EXPECT_EQ(o.delta, CompositeDelta::kNone);
+      continue;
+    }
+    switch (o.type) {
+      case Event::Type::kAddPipeline:
+      case Event::Type::kRemovePipeline:
+        EXPECT_EQ(o.delta, CompositeDelta::kStructural);
+        break;
+      case Event::Type::kReprioritize:
+        any_reprioritize = true;
+        EXPECT_EQ(o.delta, CompositeDelta::kCoefficients);
+        EXPECT_EQ(o.gp_compiles, 0);
+        break;
+      case Event::Type::kResizePlatform:
+        EXPECT_EQ(o.delta, CompositeDelta::kRhs);
+        EXPECT_EQ(o.gp_compiles, 0);
+        break;
+    }
+  }
+  EXPECT_TRUE(any_reprioritize);
+  EXPECT_TRUE(any_patch);
+  // The very first solve has a cold model cache: it must have compiled.
+  const auto first_solved = std::find_if(
+      outcomes.begin(), outcomes.end(), [](const EventOutcome& o) {
+        return o.status.is_ok() && o.solve_status.is_ok() &&
+               o.active_pipelines > 0;
+      });
+  ASSERT_NE(first_solved, outcomes.end());
+  EXPECT_GE(first_solved->gp_compiles, 1);
+
+  // With sequential lanes (the default) the compile/patch/cache
+  // counters are part of the deterministic replay contract.
+  const auto again = replay(trace, options);
+  ASSERT_EQ(again.size(), outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(outcomes[i].delta, again[i].delta);
+    EXPECT_EQ(outcomes[i].gp_compiles, again[i].gp_compiles);
+    EXPECT_EQ(outcomes[i].gp_patches, again[i].gp_patches);
+    EXPECT_EQ(outcomes[i].model_hits, again[i].model_hits);
+    EXPECT_EQ(outcomes[i].model_misses, again[i].model_misses);
+    EXPECT_EQ(outcomes[i].relax_hits, again[i].relax_hits);
+  }
 }
 
 TEST(AllocServer, RemoveUnknownIdFailsCleanly) {
