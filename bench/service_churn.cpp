@@ -16,11 +16,19 @@
 // (compiles) vs in-place coefficient patches, plus hit/miss/eviction
 // stats of both the relaxation cache and the compiled-model cache.
 //
-// `--check` exits non-zero when either PR gate fails:
-//   * warm must beat cold on total Newton iterations (PR-4), and
+// A third replay runs the warm configuration with a write-ahead log
+// (fsync on) to price durability: the WAL column reports the same
+// latency metrics, so the append-before-apply overhead is visible per
+// event rather than hidden in the daemon.
+//
+// `--check` exits non-zero when any PR gate fails:
+//   * warm must beat cold on total Newton iterations (PR-4),
 //   * Reprioritize/ResizePlatform events must perform *zero* full GP
 //     recompiles — numeric-only deltas keep the composite's structure,
-//     so every such solve must be a model-cache hit + patch (PR-5).
+//     so every such solve must be a model-cache hit + patch (PR-5), and
+//   * the WAL replay's deterministic event log must be byte-identical
+//     to the non-WAL warm replay — durability is observability-free
+//     (PR-6, the property crash recovery rides on).
 // `--smoke` shrinks the trace for CI wiring checks.
 //
 // With MFA_BENCH_OUT set to a directory, the measurements are written
@@ -31,6 +39,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +67,9 @@ struct ReplayStats {
   std::int64_t numeric_event_compiles = 0;
   mfa::core::RelaxationCache::Stats relax;
   mfa::core::CompiledModelCache::Stats model;
+  /// Concatenated deterministic outcome JSON, one line per event — the
+  /// WAL determinism gate byte-compares these across replays.
+  std::string log_digest;
 };
 
 double percentile(std::vector<double> v, double p) {
@@ -67,9 +80,14 @@ double percentile(std::vector<double> v, double p) {
   return v[std::min(idx, v.size() - 1)];
 }
 
-ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start) {
+/// One full trace replay. A non-empty `wal_dir` runs the durable path
+/// (AllocServer::open, fsync'd append-before-apply) so the WAL column
+/// prices exactly what the daemon pays.
+ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start,
+                   const std::string& wal_dir = "") {
   mfa::service::ServerOptions options;
   options.warm_start = warm_start;
+  options.wal_dir = wal_dir;
   // Interior-point root: the effort metric is GP Newton iterations and
   // the model cache is on the hot path.
   options.portfolio.gpa.use_interior_point = true;
@@ -77,7 +95,13 @@ ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start) {
   ReplayStats stats;
   const std::int64_t newton0 = mfa::gp::total_newton_iterations();
   const auto t0 = Clock::now();
-  mfa::service::AllocServer server(trace.platform, options);
+  auto opened = mfa::service::AllocServer::open(trace.platform, options);
+  if (!opened.is_ok()) {
+    std::fprintf(stderr, "fatal: %s\n",
+                 opened.status().to_string().c_str());
+    std::exit(1);
+  }
+  mfa::service::AllocServer& server = *opened.value();
   std::vector<double> event_ms;
   event_ms.reserve(trace.events.size());
   for (const mfa::service::Event& event : trace.events) {
@@ -90,6 +114,8 @@ ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start) {
       stats.numeric_event_compiles += outcome.gp_compiles;
     }
     event_ms.push_back(outcome.seconds * 1e3);
+    stats.log_digest += mfa::io::to_json(outcome).dump();
+    stats.log_digest += '\n';
   }
   server.stop();
   stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -114,7 +140,8 @@ void write_json(const std::string& path, const mfa::io::Json& doc) {
   }
 }
 
-void emit_json(int events, const ReplayStats& cold, const ReplayStats& warm) {
+void emit_json(int events, const ReplayStats& cold, const ReplayStats& warm,
+               const ReplayStats& wal) {
   const char* dir = std::getenv("MFA_BENCH_OUT");
   if (dir == nullptr || *dir == '\0') return;
   {
@@ -136,6 +163,16 @@ void emit_json(int events, const ReplayStats& cold, const ReplayStats& warm) {
             mfa::io::Json::number(static_cast<double>(cold.nodes)));
     doc.set("warm_nodes",
             mfa::io::Json::number(static_cast<double>(warm.nodes)));
+    // Durability pricing: same warm configuration, WAL on (fsync).
+    doc.set("wal_seconds", mfa::io::Json::number(wal.seconds));
+    doc.set("wal_mean_event_ms", mfa::io::Json::number(wal.mean_event_ms));
+    doc.set("wal_p95_event_ms", mfa::io::Json::number(wal.p95_event_ms));
+    doc.set("wal_overhead_ratio",
+            mfa::io::Json::number(warm.mean_event_ms > 0.0
+                                      ? wal.mean_event_ms / warm.mean_event_ms
+                                      : 0.0));
+    doc.set("wal_log_identical",
+            mfa::io::Json::boolean(wal.log_digest == warm.log_digest));
     write_json(std::string(dir) + "/BENCH_service_churn.json", doc);
   }
   {
@@ -173,31 +210,43 @@ void emit_json(int events, const ReplayStats& cold, const ReplayStats& warm) {
   }
 }
 
-void print_mode_table(const ReplayStats& cold, const ReplayStats& warm) {
-  const auto row_i = [](const char* name, std::int64_t c, std::int64_t w) {
-    std::printf("%-28s %14lld %14lld\n", name, static_cast<long long>(c),
-                static_cast<long long>(w));
+void print_mode_table(const ReplayStats& cold, const ReplayStats& warm,
+                      const ReplayStats& wal) {
+  const auto row_i = [](const char* name, std::int64_t c, std::int64_t w,
+                        std::int64_t d) {
+    std::printf("%-28s %14lld %14lld %14lld\n", name,
+                static_cast<long long>(c), static_cast<long long>(w),
+                static_cast<long long>(d));
   };
-  const auto row_f = [](const char* name, double c, double w) {
-    std::printf("%-28s %14.3f %14.3f\n", name, c, w);
+  const auto row_f = [](const char* name, double c, double w, double d) {
+    std::printf("%-28s %14.3f %14.3f %14.3f\n", name, c, w, d);
   };
-  std::printf("%-28s %14s %14s\n", "metric", "cold", "warm");
-  row_i("GP Newton iterations", cold.newton, warm.newton);
-  row_i("B&B nodes", cold.nodes, warm.nodes);
-  row_f("replay seconds", cold.seconds, warm.seconds);
-  row_f("mean event latency (ms)", cold.mean_event_ms, warm.mean_event_ms);
-  row_f("p50 event latency (ms)", cold.p50_event_ms, warm.p50_event_ms);
-  row_f("p95 event latency (ms)", cold.p95_event_ms, warm.p95_event_ms);
-  row_i("GP full compiles", cold.gp_compiles, warm.gp_compiles);
-  row_i("GP coefficient patches", cold.gp_patches, warm.gp_patches);
+  std::printf("%-28s %14s %14s %14s\n", "metric", "cold", "warm",
+              "warm+wal");
+  row_i("GP Newton iterations", cold.newton, warm.newton, wal.newton);
+  row_i("B&B nodes", cold.nodes, warm.nodes, wal.nodes);
+  row_f("replay seconds", cold.seconds, warm.seconds, wal.seconds);
+  row_f("mean event latency (ms)", cold.mean_event_ms, warm.mean_event_ms,
+        wal.mean_event_ms);
+  row_f("p50 event latency (ms)", cold.p50_event_ms, warm.p50_event_ms,
+        wal.p50_event_ms);
+  row_f("p95 event latency (ms)", cold.p95_event_ms, warm.p95_event_ms,
+        wal.p95_event_ms);
+  row_i("GP full compiles", cold.gp_compiles, warm.gp_compiles,
+        wal.gp_compiles);
+  row_i("GP coefficient patches", cold.gp_patches, warm.gp_patches,
+        wal.gp_patches);
   row_i("  of compiles: numeric evts", cold.numeric_event_compiles,
-        warm.numeric_event_compiles);
+        warm.numeric_event_compiles, wal.numeric_event_compiles);
   row_i("model cache hits", static_cast<std::int64_t>(cold.model.hits),
-        static_cast<std::int64_t>(warm.model.hits));
+        static_cast<std::int64_t>(warm.model.hits),
+        static_cast<std::int64_t>(wal.model.hits));
   row_i("model cache misses", static_cast<std::int64_t>(cold.model.misses),
-        static_cast<std::int64_t>(warm.model.misses));
+        static_cast<std::int64_t>(warm.model.misses),
+        static_cast<std::int64_t>(wal.model.misses));
   row_i("relaxation cache hits", static_cast<std::int64_t>(cold.relax.hits),
-        static_cast<std::int64_t>(warm.relax.hits));
+        static_cast<std::int64_t>(warm.relax.hits),
+        static_cast<std::int64_t>(wal.relax.hits));
 }
 
 }  // namespace
@@ -226,9 +275,24 @@ int main(int argc, char** argv) {
   const ReplayStats cold = replay(trace, /*warm_start=*/false);
   const ReplayStats warm = replay(trace, /*warm_start=*/true);
 
-  print_mode_table(cold, warm);
+  // Durable replay: same warm configuration plus a fsync'd WAL in a
+  // scratch directory, removed afterwards.
+  char wal_template[] = "/tmp/mfa_churn_wal_XXXXXX";
+  const char* wal_dir = ::mkdtemp(wal_template);
+  if (wal_dir == nullptr) {
+    std::fprintf(stderr, "fatal: mkdtemp failed\n");
+    return 1;
+  }
+  const ReplayStats wal = replay(trace, /*warm_start=*/true, wal_dir);
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(wal_dir, ec);
+  }
+
+  print_mode_table(cold, warm, wal);
   const double ratio = static_cast<double>(cold.newton) /
                        static_cast<double>(warm.newton);
+  const bool wal_identical = wal.log_digest == warm.log_digest;
   std::printf("\nheadline: warm re-solves use %.2fx fewer GP Newton "
               "iterations than cold; %lld/%lld warm solves were "
               "patch-only (zero recompiles on numeric events: %s)\n",
@@ -238,7 +302,13 @@ int main(int argc, char** argv) {
                       cold.numeric_event_compiles == 0
                   ? "yes"
                   : "NO");
-  emit_json(events, cold, warm);
+  std::printf("durability: WAL replay %.2fx warm mean event latency, "
+              "event log byte-identical: %s\n",
+              warm.mean_event_ms > 0.0
+                  ? wal.mean_event_ms / warm.mean_event_ms
+                  : 0.0,
+              wal_identical ? "yes" : "NO");
+  emit_json(events, cold, warm, wal);
   if (check) {
     int rc = 0;
     if (warm.newton >= cold.newton) {
@@ -251,6 +321,11 @@ int main(int argc, char** argv) {
                   "recompiles (expected 0)\n",
                   static_cast<long long>(cold.numeric_event_compiles +
                                          warm.numeric_event_compiles));
+      rc = 1;
+    }
+    if (!wal_identical) {
+      std::printf("FAIL: WAL-enabled replay produced a different event log "
+                  "(durability must be byte-transparent)\n");
       rc = 1;
     }
     return rc;

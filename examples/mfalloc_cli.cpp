@@ -1,32 +1,25 @@
 // mfalloc_cli — command-line front end over the library, for scripting
 // design-space exploration without writing C++.
 //
-//   mfalloc_cli solve     <problem.json> [--exact] [--json]
-//   mfalloc_cli portfolio <problem.json> [--seconds S] [--naive] [--jobs N]
-//   mfalloc_cli sweep     <problem.json> <lo%> <hi%> <step%>
-//                         [--method gpa|minlp|minlpg] [--jobs N]
-//   mfalloc_cli simulate  <problem.json> [--images N]
-//   mfalloc_cli gen       <out.json|-> [--seed S] [--kernels N]
-//                         [--fpgas F] [--classes C] [--tightness X]
-//                         [--skew X]
-//   mfalloc_cli gentrace  <out.json|-> [--seed S] [--events N]
-//                         [--fpgas F] [--rate R] [--lifetime S]
-//   mfalloc_cli serve     --trace <trace.json> [--jobs N] [--cold]
-//                         [--log <out.json>] [--interior-point] [--exact]
+// Subcommands (flags live in src/cli/commands.cpp; run
+// `mfalloc_cli <command> --help` for each one's block):
 //
-// `portfolio` races every solving strategy (GP+A at several greedy
-// deviations, the exact search, optionally the naive B&B) concurrently
-// under one deadline and reports the winner with full provenance;
-// `sweep --jobs N` fans the grid across N worker threads; `gen` writes
-// a seeded random scenario (pipeline × possibly mixed-class platform)
-// as a problem JSON ready for any other subcommand — same seed, same
-// file, byte for byte. `gentrace` writes a seeded arrival trace
-// (Poisson arrivals, exponential lifetimes, churn) and `serve` replays
-// one through a long-lived AllocServer, printing per-event latency/goal
-// JSON to stdout; `--log` additionally writes the *deterministic* event
-// log (no wall-clock fields), which is byte-identical across runs for a
-// fixed trace and thread count. `--cold` disables the incumbent warm
-// start (for comparisons), `--exact` adds the budgeted exact lane.
+//   solve      one problem with GP+A, or the exact search
+//   portfolio  every solving strategy raced under one deadline
+//   sweep      the resource-fraction grid
+//   simulate   solve + cycle-level pipeline simulation
+//   gen        seeded random scenario → problem JSON (byte-reproducible)
+//   gentrace   seeded arrival trace (Poisson arrivals, churn)
+//   serve      replay a trace through a long-lived in-process AllocServer
+//   post       ship a trace's events to a running mfallocd over HTTP
+//
+// `serve` prints per-event latency/goal JSON to stdout; `--log`
+// additionally writes the *deterministic* event log (no wall-clock
+// fields), byte-identical across runs for a fixed trace and thread
+// count. `post` speaks the versioned wire API (net/api.hpp): events go
+// up in batches as {"schema_version":1,"events":[...]}, outcomes come
+// back per event; `--resume` asks GET /v1/stats how far the daemon got
+// (e.g. after a crash + `mfallocd --recover`) and continues from there.
 //
 // The problem file format is documented in src/io/serialize.hpp and
 // examples/data/custom_pipeline.json; the trace format in
@@ -38,12 +31,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "alloc/gpa.hpp"
 #include "alloc/sweep.hpp"
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
 #include "io/serialize.hpp"
 #include "io/table.hpp"
+#include "net/client.hpp"
 #include "runtime/portfolio.hpp"
 #include "runtime/sweep.hpp"
 #include "scenario/generate.hpp"
@@ -54,52 +51,18 @@
 
 namespace {
 
+using mfa::cli::ArgParser;
 using mfa::io::TextTable;
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  %s solve     <problem.json> [--exact] [--json]\n"
-               "  %s portfolio <problem.json> [--seconds S] [--naive] "
-               "[--jobs N]\n"
-               "  %s sweep     <problem.json> <lo%%> <hi%%> <step%%> "
-               "[--method gpa|minlp|minlpg] [--jobs N]\n"
-               "  %s simulate  <problem.json> [--images N]\n"
-               "  %s gen       <out.json|-> [--seed S] [--kernels N] "
-               "[--fpgas F] [--classes C] [--tightness X] [--skew X]\n"
-               "  %s gentrace  <out.json|-> [--seed S] [--events N] "
-               "[--fpgas F] [--rate R] [--lifetime S]\n"
-               "  %s serve     --trace <trace.json> [--jobs N] [--cold] "
-               "[--log <out.json>] [--interior-point] [--exact]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+/// Prints a typed flag error plus the usage line; the `return 2`
+/// convention marks usage errors (vs 1 for runtime failures).
+int flag_error(const ArgParser& args, const mfa::Status& status) {
+  std::fprintf(stderr, "error: %s\n%s\n", status.message().c_str(),
+               args.usage_line().c_str());
   return 2;
 }
 
-bool has_flag(int argc, char** argv, const char* flag) {
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  }
-  return false;
-}
-
-const char* flag_value(int argc, char** argv, const char* flag) {
-  for (int i = 0; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-  }
-  return nullptr;
-}
-
-/// Strict non-negative integer parse for thread counts; -1 on garbage
-/// or out-of-range (callers turn that into a usage error rather than
-/// letting a typo silently mean "all hardware threads").
-int parse_jobs(const char* text) {
-  char* end = nullptr;
-  const long v = std::strtol(text, &end, 10);
-  if (*text == '\0' || *end != '\0' || v < 0 || v > 4096) return -1;
-  return static_cast<int>(v);
-}
-
-mfa::StatusOr<mfa::core::Problem> load(const char* path) {
+mfa::StatusOr<mfa::core::Problem> load(const std::string& path) {
   auto text = mfa::io::read_file(path);
   if (!text.is_ok()) return text.status();
   auto problem = mfa::io::problem_from_text(text.value());
@@ -110,9 +73,9 @@ mfa::StatusOr<mfa::core::Problem> load(const char* path) {
   return problem;
 }
 
-int cmd_solve(const mfa::core::Problem& p, int argc, char** argv) {
-  const bool as_json = has_flag(argc, argv, "--json");
-  if (has_flag(argc, argv, "--exact")) {
+int cmd_solve(const mfa::core::Problem& p, const ArgParser& args) {
+  const bool as_json = args.flag_set("json");
+  if (args.flag_set("exact")) {
     auto r = mfa::solver::ExactSolver().solve(p);
     if (!r.is_ok()) {
       std::fprintf(stderr, "exact: %s\n", r.status().to_string().c_str());
@@ -146,20 +109,18 @@ int cmd_solve(const mfa::core::Problem& p, int argc, char** argv) {
   return 0;
 }
 
-int cmd_portfolio(const mfa::core::Problem& p, int argc, char** argv) {
+int cmd_portfolio(const mfa::core::Problem& p, const ArgParser& args) {
   mfa::runtime::PortfolioOptions options;
-  if (const char* s = flag_value(argc, argv, "--seconds"); s != nullptr) {
-    options.max_seconds = std::atof(s);
-    if (options.max_seconds <= 0.0) return 2;
-  }
-  options.run_naive = has_flag(argc, argv, "--naive");
-  int jobs = 0;
-  if (const char* j = flag_value(argc, argv, "--jobs"); j != nullptr) {
-    jobs = parse_jobs(j);
-    if (jobs < 0) return 2;
-  }
+  const auto seconds =
+      args.real_or("seconds", options.max_seconds, 1e-6, 1e9);
+  if (!seconds.is_ok()) return flag_error(args, seconds.status());
+  options.max_seconds = seconds.value();
+  options.run_naive = args.flag_set("naive");
+  const auto jobs = args.int_or("jobs", 0, 0, 4096);
+  if (!jobs.is_ok()) return flag_error(args, jobs.status());
 
-  const mfa::runtime::Portfolio portfolio(options, jobs);
+  const mfa::runtime::Portfolio portfolio(options,
+                                          static_cast<int>(jobs.value()));
   const mfa::runtime::SolveResult r = portfolio.solve(p);
 
   TextTable lanes({"strategy", "status", "II (ms)", "phi", "goal",
@@ -190,33 +151,42 @@ int cmd_portfolio(const mfa::core::Problem& p, int argc, char** argv) {
   return 0;
 }
 
-int cmd_sweep(const mfa::core::Problem& p, int argc, char** argv) {
-  if (argc < 3) return 2;
-  const double lo = std::atof(argv[0]) / 100.0;
-  const double hi = std::atof(argv[1]) / 100.0;
-  const double step = std::atof(argv[2]) / 100.0;
-  if (lo <= 0.0 || hi < lo || step <= 0.0) return 2;
+int cmd_sweep(const mfa::core::Problem& p, const ArgParser& args) {
+  const auto lo = ArgParser::parse_real(args.positionals()[1], "<lo%>",
+                                        1e-6, 1e4);
+  const auto hi = ArgParser::parse_real(args.positionals()[2], "<hi%>",
+                                        1e-6, 1e4);
+  const auto step = ArgParser::parse_real(args.positionals()[3], "<step%>",
+                                          1e-6, 1e4);
+  for (const auto* v : {&lo, &hi, &step}) {
+    if (!v->is_ok()) return flag_error(args, v->status());
+  }
+  if (hi.value() < lo.value()) {
+    return flag_error(args,
+                      mfa::Status{mfa::Code::kInvalid, "<hi%> below <lo%>"});
+  }
 
   mfa::alloc::Method method = mfa::alloc::Method::kGpa;
-  if (const char* m = flag_value(argc, argv, "--method"); m != nullptr) {
-    if (std::strcmp(m, "minlp") == 0) {
-      method = mfa::alloc::Method::kMinlp;
-    } else if (std::strcmp(m, "minlpg") == 0) {
-      method = mfa::alloc::Method::kMinlpG;
-    } else if (std::strcmp(m, "gpa") != 0) {
-      return 2;
-    }
+  const std::string m = args.value_or("method", "gpa");
+  if (m == "minlp") {
+    method = mfa::alloc::Method::kMinlp;
+  } else if (m == "minlpg") {
+    method = mfa::alloc::Method::kMinlpG;
+  } else if (m != "gpa") {
+    return flag_error(
+        args, mfa::Status{mfa::Code::kInvalid,
+                          "--method: expected gpa|minlp|minlpg, got '" + m +
+                              "'"});
   }
 
   mfa::runtime::SweepOptions sweep;
   // Sequential unless asked: exact points carry wall-clock budgets, so
   // parallel contention can change what they prove (see bench/common.hpp).
-  sweep.num_threads = 1;
-  if (const char* j = flag_value(argc, argv, "--jobs"); j != nullptr) {
-    sweep.num_threads = parse_jobs(j);
-    if (sweep.num_threads < 0) return 2;
-  }
-  sweep.config.constraints = mfa::alloc::constraint_range(lo, hi, step);
+  const auto jobs = args.int_or("jobs", 1, 0, 4096);
+  if (!jobs.is_ok()) return flag_error(args, jobs.status());
+  sweep.num_threads = static_cast<int>(jobs.value());
+  sweep.config.constraints = mfa::alloc::constraint_range(
+      lo.value() / 100.0, hi.value() / 100.0, step.value() / 100.0);
   sweep.config.exact.max_nodes = 5'000'000;
   sweep.config.exact.max_seconds = 30.0;
   const mfa::alloc::SweepSeries series =
@@ -242,18 +212,25 @@ int cmd_sweep(const mfa::core::Problem& p, int argc, char** argv) {
   return 0;
 }
 
-int cmd_simulate(const mfa::core::Problem& p, int argc, char** argv) {
+int cmd_simulate(const mfa::core::Problem& p, const ArgParser& args) {
   auto r = mfa::alloc::GpaSolver().solve(p);
   if (!r.is_ok()) {
     std::fprintf(stderr, "GP+A: %s\n", r.status().to_string().c_str());
     return 1;
   }
   mfa::sim::SimConfig cfg;
-  if (const char* n = flag_value(argc, argv, "--images"); n != nullptr) {
-    cfg.num_images = std::atoi(n);
+  const auto images = args.int_or("images", cfg.num_images, 1, 1 << 26);
+  if (!images.is_ok()) return flag_error(args, images.status());
+  cfg.num_images = static_cast<int>(images.value());
+  if (args.has_value("images")) {
     cfg.warmup_images = cfg.num_images / 4;
     // The steady-state window needs >= 2 post-warmup completions.
-    if (cfg.num_images < cfg.warmup_images + 2) return 2;
+    if (cfg.num_images < cfg.warmup_images + 2) {
+      return flag_error(args,
+                        mfa::Status{mfa::Code::kInvalid,
+                                    "--images: too few for a steady-state "
+                                    "window"});
+    }
   }
   const mfa::sim::SimResult sim =
       mfa::sim::PipelineSimulator(cfg).run(r.value().allocation);
@@ -272,40 +249,35 @@ int cmd_simulate(const mfa::core::Problem& p, int argc, char** argv) {
   return 0;
 }
 
-int cmd_gen(const char* out_path, int argc, char** argv) {
+int cmd_gen(const ArgParser& args) {
+  const std::string& out_path = args.positionals()[0];
   mfa::scenario::ScenarioSpec spec;
-  std::uint64_t seed = 0;
-  if (const char* s = flag_value(argc, argv, "--seed"); s != nullptr) {
-    char* end = nullptr;
-    seed = std::strtoull(s, &end, 10);
-    if (*s == '\0' || *end != '\0') return 2;
+  const auto seed = args.uint64_or("seed", 0);
+  if (!seed.is_ok()) return flag_error(args, seed.status());
+  const auto kernels = args.int_or("kernels", 0, 1, 1 << 20);
+  if (!kernels.is_ok()) return flag_error(args, kernels.status());
+  if (args.has_value("kernels")) {
+    spec.min_kernels = spec.max_kernels = static_cast<int>(kernels.value());
   }
-  if (const char* k = flag_value(argc, argv, "--kernels"); k != nullptr) {
-    const int n = std::atoi(k);
-    if (n < 1) return 2;
-    spec.min_kernels = spec.max_kernels = n;
+  const auto fpgas = args.int_or("fpgas", 0, 1, 1 << 20);
+  if (!fpgas.is_ok()) return flag_error(args, fpgas.status());
+  if (args.has_value("fpgas")) {
+    spec.min_fpgas = spec.max_fpgas = static_cast<int>(fpgas.value());
   }
-  if (const char* f = flag_value(argc, argv, "--fpgas"); f != nullptr) {
-    const int n = std::atoi(f);
-    if (n < 1) return 2;
-    spec.min_fpgas = spec.max_fpgas = n;
-  }
-  if (const char* c = flag_value(argc, argv, "--classes"); c != nullptr) {
-    spec.max_classes = std::atoi(c);
-    if (spec.max_classes < 1) return 2;
-  }
-  if (const char* t = flag_value(argc, argv, "--tightness"); t != nullptr) {
-    spec.tightness = std::atof(t);
-    if (spec.tightness <= 0.0 || spec.tightness > 1.0) return 2;
-  }
-  if (const char* s = flag_value(argc, argv, "--skew"); s != nullptr) {
-    spec.class_skew = std::atof(s);
-    if (spec.class_skew <= 0.0 || spec.class_skew > 1.0) return 2;
-  }
+  const auto classes = args.int_or("classes", spec.max_classes, 1, 1 << 10);
+  if (!classes.is_ok()) return flag_error(args, classes.status());
+  spec.max_classes = static_cast<int>(classes.value());
+  const auto tightness = args.real_or("tightness", spec.tightness, 1e-9, 1.0);
+  if (!tightness.is_ok()) return flag_error(args, tightness.status());
+  spec.tightness = tightness.value();
+  const auto skew = args.real_or("skew", spec.class_skew, 1e-9, 1.0);
+  if (!skew.is_ok()) return flag_error(args, skew.status());
+  spec.class_skew = skew.value();
 
-  const mfa::core::Problem problem = mfa::scenario::generate(spec, seed);
+  const mfa::core::Problem problem =
+      mfa::scenario::generate(spec, seed.value());
   const std::string text = mfa::io::to_json(problem).dump(2) + "\n";
-  if (std::strcmp(out_path, "-") == 0) {
+  if (out_path == "-") {
     std::fputs(text.c_str(), stdout);
     return 0;
   }
@@ -314,40 +286,36 @@ int cmd_gen(const char* out_path, int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "wrote %s (seed %llu, %zu kernels, %d FPGAs)\n",
-               out_path, static_cast<unsigned long long>(seed),
+               out_path.c_str(),
+               static_cast<unsigned long long>(seed.value()),
                problem.num_kernels(), problem.num_fpgas());
   return 0;
 }
 
-int cmd_gentrace(const char* out_path, int argc, char** argv) {
+int cmd_gentrace(const ArgParser& args) {
+  const std::string& out_path = args.positionals()[0];
   mfa::scenario::TraceSpec spec;
-  std::uint64_t seed = 0;
-  if (const char* s = flag_value(argc, argv, "--seed"); s != nullptr) {
-    char* end = nullptr;
-    seed = std::strtoull(s, &end, 10);
-    if (*s == '\0' || *end != '\0') return 2;
-  }
-  if (const char* n = flag_value(argc, argv, "--events"); n != nullptr) {
-    spec.num_events = std::atoi(n);
-    if (spec.num_events < 1) return 2;
-  }
-  if (const char* f = flag_value(argc, argv, "--fpgas"); f != nullptr) {
-    spec.num_fpgas = std::atoi(f);
-    if (spec.num_fpgas < 1) return 2;
-  }
-  if (const char* r = flag_value(argc, argv, "--rate"); r != nullptr) {
-    spec.arrival_rate_per_s = std::atof(r);
-    if (spec.arrival_rate_per_s <= 0.0) return 2;
-  }
-  if (const char* l = flag_value(argc, argv, "--lifetime"); l != nullptr) {
-    spec.mean_lifetime_s = std::atof(l);
-    if (spec.mean_lifetime_s <= 0.0) return 2;
-  }
+  const auto seed = args.uint64_or("seed", 0);
+  if (!seed.is_ok()) return flag_error(args, seed.status());
+  const auto events = args.int_or("events", spec.num_events, 1, 1 << 26);
+  if (!events.is_ok()) return flag_error(args, events.status());
+  spec.num_events = static_cast<int>(events.value());
+  const auto fpgas = args.int_or("fpgas", spec.num_fpgas, 1, 1 << 20);
+  if (!fpgas.is_ok()) return flag_error(args, fpgas.status());
+  spec.num_fpgas = static_cast<int>(fpgas.value());
+  const auto rate =
+      args.real_or("rate", spec.arrival_rate_per_s, 1e-9, 1e9);
+  if (!rate.is_ok()) return flag_error(args, rate.status());
+  spec.arrival_rate_per_s = rate.value();
+  const auto lifetime =
+      args.real_or("lifetime", spec.mean_lifetime_s, 1e-9, 1e9);
+  if (!lifetime.is_ok()) return flag_error(args, lifetime.status());
+  spec.mean_lifetime_s = lifetime.value();
 
   const mfa::scenario::Trace trace =
-      mfa::scenario::generate_trace(spec, seed);
+      mfa::scenario::generate_trace(spec, seed.value());
   const std::string text = mfa::io::to_json(trace).dump(2) + "\n";
-  if (std::strcmp(out_path, "-") == 0) {
+  if (out_path == "-") {
     std::fputs(text.c_str(), stdout);
     return 0;
   }
@@ -356,50 +324,14 @@ int cmd_gentrace(const char* out_path, int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "wrote %s (seed %llu, %zu events, %d FPGAs)\n",
-               out_path, static_cast<unsigned long long>(seed),
+               out_path.c_str(),
+               static_cast<unsigned long long>(seed.value()),
                trace.events.size(), trace.platform.num_fpgas);
   return 0;
 }
 
-/// The deterministic slice of an outcome: every field except wall-clock
-/// latency. This is what `--log` writes and what CI diffs across runs.
-mfa::io::Json outcome_to_json(const mfa::service::EventOutcome& o) {
-  mfa::io::Json j = mfa::io::Json::object();
-  j.set("seq", mfa::io::Json::number(static_cast<double>(o.sequence)));
-  j.set("type", mfa::io::Json::string(mfa::service::to_string(o.type)));
-  if (!o.id.empty()) j.set("id", mfa::io::Json::string(o.id));
-  j.set("status", mfa::io::Json::string(o.status.to_string()));
-  j.set("solve_status", mfa::io::Json::string(o.solve_status.to_string()));
-  j.set("active", mfa::io::Json::number(
-                      static_cast<double>(o.active_pipelines)));
-  j.set("warm", mfa::io::Json::boolean(o.warm_started));
-  j.set("ii_ms", mfa::io::Json::number(o.ii));
-  j.set("phi", mfa::io::Json::number(o.phi));
-  j.set("goal", mfa::io::Json::number(o.goal));
-  mfa::io::Json totals = mfa::io::Json::array();
-  for (int t : o.totals) totals.push_back(mfa::io::Json::number(t));
-  j.set("totals", std::move(totals));
-  j.set("nodes", mfa::io::Json::number(static_cast<double>(o.solve_nodes)));
-  // Compilation-cache observability (deterministic with the default
-  // sequential lanes; see EventOutcome).
-  j.set("delta", mfa::io::Json::string(mfa::service::to_string(o.delta)));
-  j.set("gp_compiles",
-        mfa::io::Json::number(static_cast<double>(o.gp_compiles)));
-  j.set("gp_patches",
-        mfa::io::Json::number(static_cast<double>(o.gp_patches)));
-  j.set("model_hits",
-        mfa::io::Json::number(static_cast<double>(o.model_hits)));
-  j.set("model_misses",
-        mfa::io::Json::number(static_cast<double>(o.model_misses)));
-  j.set("relax_hits",
-        mfa::io::Json::number(static_cast<double>(o.relax_hits)));
-  return j;
-}
-
-int cmd_serve(int argc, char** argv) {
-  const char* trace_path = flag_value(argc, argv, "--trace");
-  if (trace_path == nullptr) return 2;
-  auto text = mfa::io::read_file(trace_path);
+int cmd_serve(const ArgParser& args) {
+  auto text = mfa::io::read_file(args.value_or("trace", ""));
   if (!text.is_ok()) {
     std::fprintf(stderr, "error: %s\n", text.status().to_string().c_str());
     return 1;
@@ -412,14 +344,12 @@ int cmd_serve(int argc, char** argv) {
   }
 
   mfa::service::ServerOptions options;
-  options.warm_start = !has_flag(argc, argv, "--cold");
-  options.portfolio.gpa.use_interior_point =
-      has_flag(argc, argv, "--interior-point");
-  options.portfolio.run_exact = has_flag(argc, argv, "--exact");
-  if (const char* j = flag_value(argc, argv, "--jobs"); j != nullptr) {
-    options.solver_threads = parse_jobs(j);
-    if (options.solver_threads < 0) return 2;
-  }
+  options.warm_start = !args.flag_set("cold");
+  options.portfolio.gpa.use_interior_point = args.flag_set("interior-point");
+  options.portfolio.run_exact = args.flag_set("exact");
+  const auto jobs = args.int_or("jobs", options.solver_threads, 0, 4096);
+  if (!jobs.is_ok()) return flag_error(args, jobs.status());
+  options.solver_threads = static_cast<int>(jobs.value());
 
   mfa::service::AllocServer server(trace.value().platform, options);
   // Replay as fast as the solver allows: submit in trace order, wait
@@ -442,7 +372,7 @@ int cmd_serve(int argc, char** argv) {
   for (const mfa::service::EventOutcome& o : outcomes) {
     total_s += o.seconds;
     max_s = std::max(max_s, o.seconds);
-    mfa::io::Json row = outcome_to_json(o);
+    mfa::io::Json row = mfa::io::to_json(o);
     row.set("latency_ms", mfa::io::Json::number(o.seconds * 1e3));
     per_event.push_back(std::move(row));
   }
@@ -468,11 +398,13 @@ int cmd_serve(int argc, char** argv) {
   doc.set("per_event", std::move(per_event));
   std::printf("%s\n", doc.dump(2).c_str());
 
-  if (const char* log_path = flag_value(argc, argv, "--log");
-      log_path != nullptr) {
+  if (const std::string log_path = args.value_or("log", "");
+      !log_path.empty()) {
     mfa::io::Json log = mfa::io::Json::array();
     for (const mfa::service::EventOutcome& o : outcomes) {
-      log.push_back(outcome_to_json(o));
+      // The deterministic outcome slice (io::to_json drops wall-clock
+      // seconds) — byte-identical across runs, what CI diffs.
+      log.push_back(mfa::io::to_json(o));
     }
     if (mfa::Status st = mfa::io::write_file(log_path, log.dump(2) + "\n");
         !st.is_ok()) {
@@ -483,42 +415,161 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+/// Client events the daemon already processed, per GET /v1/stats
+/// "events_processed" — the resume point after a crash + recovery. The
+/// daemon de-duplicates broadcast resizes (counted by every shard), so
+/// for an in-order single client this equals the count it posted.
+mfa::StatusOr<std::size_t> daemon_progress(const std::string& host,
+                                           std::uint16_t port) {
+  auto reply = mfa::net::http_get(host, port, "/v1/stats");
+  if (!reply.is_ok()) return reply.status();
+  if (reply.value().status != 200) {
+    return mfa::Status{mfa::Code::kInvalid,
+                       "GET /v1/stats: HTTP " +
+                           std::to_string(reply.value().status)};
+  }
+  auto doc = mfa::io::Json::parse(reply.value().body);
+  if (!doc.is_ok()) return doc.status();
+  const mfa::io::Json* done = doc.value().find("events_processed");
+  if (done == nullptr || !done->is_number()) {
+    return mfa::Status{mfa::Code::kInvalid,
+                       "GET /v1/stats: no 'events_processed'"};
+  }
+  return static_cast<std::size_t>(done->as_number());
+}
+
+int cmd_post(const ArgParser& args) {
+  auto text = mfa::io::read_file(args.value_or("trace", ""));
+  if (!text.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", text.status().to_string().c_str());
+    return 1;
+  }
+  auto trace = mfa::io::trace_from_text(text.value());
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  const std::vector<mfa::service::Event>& events = trace.value().events;
+
+  const std::string host = args.value_or("host", "127.0.0.1");
+  const auto port = args.int_or("port", 0, 1, 65535);
+  if (!port.is_ok()) return flag_error(args, port.status());
+  const auto from_flag =
+      args.int_or("from", 0, 0, static_cast<long long>(events.size()));
+  if (!from_flag.is_ok()) return flag_error(args, from_flag.status());
+  const auto count = args.int_or("count", -1, 0, 1LL << 32);
+  if (!count.is_ok()) return flag_error(args, count.status());
+  const auto batch = args.int_or("batch", 16, 1, 4096);
+  if (!batch.is_ok()) return flag_error(args, batch.status());
+
+  std::size_t from = static_cast<std::size_t>(from_flag.value());
+  if (args.flag_set("resume")) {
+    auto done = daemon_progress(host,
+                                static_cast<std::uint16_t>(port.value()));
+    if (!done.is_ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   done.status().to_string().c_str());
+      return 1;
+    }
+    from = std::min(done.value(), events.size());
+    std::fprintf(stderr, "resume: daemon has processed %zu events\n",
+                 done.value());
+  }
+  std::size_t end = events.size();
+  if (count.value() >= 0) {
+    end = std::min(end, from + static_cast<std::size_t>(count.value()));
+  }
+
+  // Ship [from, end) in batches; print one outcome JSON line per event.
+  std::size_t posted = 0;
+  for (std::size_t i = from; i < end;) {
+    const std::size_t n =
+        std::min(static_cast<std::size_t>(batch.value()), end - i);
+    mfa::io::Json body = mfa::io::Json::object();
+    body.set("schema_version",
+             mfa::io::Json::number(mfa::io::kSchemaVersion));
+    mfa::io::Json list = mfa::io::Json::array();
+    for (std::size_t k = 0; k < n; ++k) {
+      list.push_back(mfa::io::to_json(events[i + k]));
+    }
+    body.set("events", std::move(list));
+    auto reply = mfa::net::http_post(
+        host, static_cast<std::uint16_t>(port.value()), "/v1/events",
+        body.dump() + "\n");
+    if (!reply.is_ok()) {
+      std::fprintf(stderr, "error: %s (posted %zu of %zu)\n",
+                   reply.status().to_string().c_str(), posted, end - from);
+      return 1;
+    }
+    if (reply.value().status != 200) {
+      std::fprintf(stderr, "error: HTTP %d: %s", reply.value().status,
+                   reply.value().body.c_str());
+      return 1;
+    }
+    auto doc = mfa::io::Json::parse(reply.value().body);
+    if (!doc.is_ok()) {
+      std::fprintf(stderr, "error: bad reply: %s\n",
+                   doc.status().to_string().c_str());
+      return 1;
+    }
+    const mfa::io::Json* outcomes = doc.value().find("outcomes");
+    if (outcomes == nullptr || !outcomes->is_array() ||
+        outcomes->size() != n) {
+      std::fprintf(stderr, "error: reply lacks %zu outcomes\n", n);
+      return 1;
+    }
+    for (std::size_t k = 0; k < outcomes->size(); ++k) {
+      std::printf("%s\n", outcomes->at(k).dump().c_str());
+    }
+    posted += n;
+    i += n;
+  }
+  std::fprintf(stderr, "posted %zu events [%zu, %zu) to %s:%lld\n", posted,
+               from, end, host.c_str(),
+               static_cast<long long>(port.value()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage(argv[0]);
+  const std::string program = "mfalloc_cli";
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    std::fputs(mfa::cli::global_usage(program).c_str(),
+               argc < 2 ? stderr : stdout);
+    return argc < 2 ? 2 : 0;
+  }
+  auto parser = mfa::cli::command_parser(program, argv[1]);
+  if (!parser.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", parser.status().message().c_str());
+    return 2;
+  }
+  ArgParser& args = parser.value();
+  if (mfa::Status st = args.parse(argc - 2, argv + 2); !st.is_ok()) {
+    return flag_error(args, st);
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help_text().c_str(), stdout);
+    return 0;
+  }
+
   const std::string command = argv[1];
-  if (command == "gen") {
-    const int rc = cmd_gen(argv[2], argc - 3, argv + 3);
-    return rc == 2 ? usage(argv[0]) : rc;
-  }
-  if (command == "gentrace") {
-    const int rc = cmd_gentrace(argv[2], argc - 3, argv + 3);
-    return rc == 2 ? usage(argv[0]) : rc;
-  }
-  if (command == "serve") {
-    const int rc = cmd_serve(argc - 2, argv + 2);
-    return rc == 2 ? usage(argv[0]) : rc;
-  }
-  auto problem = load(argv[2]);
+  if (command == "gen") return cmd_gen(args);
+  if (command == "gentrace") return cmd_gentrace(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "post") return cmd_post(args);
+
+  auto problem = load(args.positionals()[0]);
   if (!problem.is_ok()) {
     std::fprintf(stderr, "error: %s\n",
                  problem.status().to_string().c_str());
     return 2;
   }
-  if (command == "solve") {
-    return cmd_solve(problem.value(), argc - 3, argv + 3);
-  }
-  if (command == "portfolio") {
-    const int rc = cmd_portfolio(problem.value(), argc - 3, argv + 3);
-    return rc == 2 ? usage(argv[0]) : rc;
-  }
-  if (command == "sweep") {
-    const int rc = cmd_sweep(problem.value(), argc - 3, argv + 3);
-    return rc == 2 ? usage(argv[0]) : rc;
-  }
-  if (command == "simulate") {
-    return cmd_simulate(problem.value(), argc - 3, argv + 3);
-  }
-  return usage(argv[0]);
+  if (command == "solve") return cmd_solve(problem.value(), args);
+  if (command == "portfolio") return cmd_portfolio(problem.value(), args);
+  if (command == "sweep") return cmd_sweep(problem.value(), args);
+  if (command == "simulate") return cmd_simulate(problem.value(), args);
+  std::fputs(mfa::cli::global_usage(program).c_str(), stderr);
+  return 2;
 }

@@ -30,21 +30,23 @@ StatusOr<GpaResult> GpaSolver::solve(const core::Problem& problem) const {
                options_.warm->n_hat.size() == problem.num_kernels())
           ? &*options_.warm
           : nullptr;
-  auto solve_root = [this, &problem,
-                     warm]() -> StatusOr<core::RelaxedSolution> {
+  core::CompiledModelCache* model_cache = options_.resolved_model_cache();
+  core::RelaxationCache* relax_cache = options_.resolved_relax_cache();
+  auto solve_root = [this, &problem, warm,
+                     model_cache]() -> StatusOr<core::RelaxedSolution> {
     if (options_.use_interior_point) {
       return warm != nullptr
                  ? core::solve_relaxation_gp(problem, options_.gp, *warm,
-                                             options_.model_cache)
+                                             model_cache)
                  : core::solve_relaxation_gp(problem, options_.gp,
-                                             options_.model_cache);
+                                             model_cache);
     }
     return core::solve_relaxation(problem,
                                   core::CuBounds::defaults(problem),
                                   warm != nullptr ? warm->ii : 0.0);
   };
   StatusOr<core::RelaxedSolution> relaxed = [&]() {
-    if (options_.relax_cache == nullptr) return solve_root();
+    if (relax_cache == nullptr) return solve_root();
     const core::Fingerprint key =
         options_.use_interior_point
             ? (warm != nullptr
@@ -55,7 +57,7 @@ StatusOr<GpaResult> GpaSolver::solve(const core::Problem& problem) const {
                                          core::CuBounds::defaults(problem),
                                          warm != nullptr ? warm->ii : 0.0);
     return StatusOr<core::RelaxedSolution>(
-        *options_.relax_cache->get_or_solve(key, solve_root));
+        *relax_cache->get_or_solve(key, solve_root));
   }();
   const double seconds_relax = seconds_since(t0);
   if (!relaxed.is_ok()) return relaxed.status();
@@ -64,7 +66,7 @@ StatusOr<GpaResult> GpaSolver::solve(const core::Problem& problem) const {
   t0 = std::chrono::steady_clock::now();
   solver::DiscretizeOptions discretize_options = options_.discretize;
   if (discretize_options.cache == nullptr) {
-    discretize_options.cache = options_.relax_cache;
+    discretize_options.cache = relax_cache;
   }
   solver::Discretizer discretizer(discretize_options);
   StatusOr<solver::DiscretizeResult> discrete =

@@ -14,6 +14,7 @@
 #include "core/problem.hpp"
 #include "core/relax_cache.hpp"
 #include "core/relaxation.hpp"
+#include "core/solver_context.hpp"
 #include "solver/discretize.hpp"
 #include "support/status.hpp"
 
@@ -33,19 +34,32 @@ struct GpaOptions {
   /// the seed in, so warm entries never alias cold ones.
   std::optional<core::RelaxedSolution> warm;
 
-  /// Shared relaxation memoization (core/relax_cache.hpp): the root
-  /// solve and every branch-and-bound node go through it, so portfolio
-  /// lanes and repeated batch instances reuse each other's work. Also
-  /// forwarded to the discretizer unless it carries its own. Not owned.
-  core::RelaxationCache* relax_cache = nullptr;
+  /// Shared solver resources (caches, budget, pool) — the single wiring
+  /// point; see core/solver_context.hpp. Not owned. The root solve and
+  /// every branch-and-bound node go through the context's relaxation
+  /// cache, and the interior-point root through its compiled-model
+  /// cache; both are byte-transparent accelerations.
+  const core::SolverContext* context = nullptr;
 
-  /// Shared compiled-GP model cache (core/compiled_cache.hpp) for the
-  /// interior-point root: structurally identical roots — every event of
-  /// a serving loop whose workload only changed numerically — reuse one
-  /// compiled artifact and pay a coefficient patch instead of a full
-  /// lowering. Byte-transparent (hits are re-patched before solving).
-  /// Not owned.
+  /// DEPRECATED aliases (one more PR): per-field cache pointers from
+  /// before SolverContext existed. Still honored when `context` is null
+  /// or its corresponding field is null; prefer `context`.
+  core::RelaxationCache* relax_cache = nullptr;
   core::CompiledModelCache* model_cache = nullptr;
+
+  /// Context-first resolution of the shared caches.
+  [[nodiscard]] core::RelaxationCache* resolved_relax_cache() const {
+    if (context != nullptr && context->relax_cache != nullptr) {
+      return context->relax_cache;
+    }
+    return relax_cache;
+  }
+  [[nodiscard]] core::CompiledModelCache* resolved_model_cache() const {
+    if (context != nullptr && context->model_cache != nullptr) {
+      return context->model_cache;
+    }
+    return model_cache;
+  }
 
   gp::SolverOptions gp;
   solver::DiscretizeOptions discretize;

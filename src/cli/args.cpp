@@ -1,0 +1,235 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace mfa::cli {
+namespace {
+
+Status invalid(std::string message) {
+  return Status{Code::kInvalid, std::move(message)};
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string command,
+                     std::string summary)
+    : program_(std::move(program)),
+      command_(std::move(command)),
+      summary_(std::move(summary)) {}
+
+ArgParser& ArgParser::positional(std::string name, std::string help) {
+  positionals_.push_back({std::move(name), std::move(help)});
+  return *this;
+}
+
+ArgParser& ArgParser::flag(std::string name, std::string help) {
+  flags_.push_back({std::move(name), "", std::move(help), false});
+  return *this;
+}
+
+ArgParser& ArgParser::option(std::string name, std::string placeholder,
+                             std::string help, bool required) {
+  flags_.push_back(
+      {std::move(name), std::move(placeholder), std::move(help), required});
+  return *this;
+}
+
+const ArgParser::Flag* ArgParser::find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status ArgParser::parse(int argc, char** argv) {
+  const std::string where =
+      command_.empty() ? program_ : program_ + " " + command_;
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_requested_ = true;
+      return Status::ok();
+    }
+    const bool is_flag =
+        token.size() > 1 && token[0] == '-' && !(token == "-");
+    if (!is_flag) {
+      if (positional_values_.size() >= positionals_.size()) {
+        return invalid("unexpected argument '" + token + "' for '" + where +
+                       "' (see --help)");
+      }
+      positional_values_.push_back(token);
+      continue;
+    }
+    if (token.size() < 3 || token[1] != '-') {
+      return invalid("unknown flag '" + token + "' for '" + where +
+                     "' (see --help)");
+    }
+    std::string name = token.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+      has_inline = true;
+    }
+    const Flag* spec = find(name);
+    if (spec == nullptr) {
+      return invalid("unknown flag '--" + name + "' for '" + where +
+                     "' (see --help)");
+    }
+    if (!spec->takes_value()) {
+      if (has_inline) {
+        return invalid("flag '--" + name + "' takes no value");
+      }
+      set_flags_.push_back(name);
+      continue;
+    }
+    if (has_inline) {
+      values_.emplace_back(name, std::move(inline_value));
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return invalid("flag '--" + name + "' needs a value <" +
+                     spec->placeholder + ">");
+    }
+    values_.emplace_back(name, argv[++i]);
+  }
+  if (positional_values_.size() < positionals_.size()) {
+    return invalid("missing argument <" +
+                   positionals_[positional_values_.size()].name + "> for '" +
+                   where + "' (see --help)");
+  }
+  for (const Flag& f : flags_) {
+    if (f.required && !has_value(f.name)) {
+      return invalid("missing required flag '--" + f.name + " <" +
+                     f.placeholder + ">' for '" + where + "'");
+    }
+  }
+  return Status::ok();
+}
+
+bool ArgParser::flag_set(const std::string& name) const {
+  return std::find(set_flags_.begin(), set_flags_.end(), name) !=
+         set_flags_.end();
+}
+
+bool ArgParser::has_value(const std::string& name) const {
+  for (const auto& [key, value] : values_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::string ArgParser::value_or(const std::string& name,
+                                std::string fallback) const {
+  // Last occurrence wins, matching the common "override earlier flags"
+  // shell idiom.
+  for (auto it = values_.rbegin(); it != values_.rend(); ++it) {
+    if (it->first == name) return it->second;
+  }
+  return fallback;
+}
+
+StatusOr<long long> ArgParser::parse_int(const std::string& text,
+                                         const std::string& what,
+                                         long long min, long long max) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || *end != '\0' || errno == ERANGE || v < min || v > max) {
+    return invalid(what + ": expected an integer in [" + std::to_string(min) +
+                   ", " + std::to_string(max) + "], got '" + text + "'");
+  }
+  return v;
+}
+
+StatusOr<double> ArgParser::parse_real(const std::string& text,
+                                       const std::string& what, double min,
+                                       double max) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || *end != '\0' || errno == ERANGE || !(v >= min) ||
+      !(v <= max)) {
+    return invalid(what + ": expected a number in [" + std::to_string(min) +
+                   ", " + std::to_string(max) + "], got '" + text + "'");
+  }
+  return v;
+}
+
+StatusOr<long long> ArgParser::int_or(const std::string& name,
+                                      long long fallback, long long min,
+                                      long long max) const {
+  if (!has_value(name)) return fallback;
+  return parse_int(value_or(name, ""), "--" + name, min, max);
+}
+
+StatusOr<double> ArgParser::real_or(const std::string& name, double fallback,
+                                    double min, double max) const {
+  if (!has_value(name)) return fallback;
+  return parse_real(value_or(name, ""), "--" + name, min, max);
+}
+
+StatusOr<std::uint64_t> ArgParser::uint64_or(const std::string& name,
+                                             std::uint64_t fallback) const {
+  if (!has_value(name)) return fallback;
+  const std::string text = value_or(name, "");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    return invalid("--" + name + ": expected an unsigned integer, got '" +
+                   text + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string ArgParser::usage_line() const {
+  std::string line = "usage: " + program_;
+  if (!command_.empty()) line += " " + command_;
+  for (const Positional& p : positionals_) line += " <" + p.name + ">";
+  bool any_optional = false;
+  for (const Flag& f : flags_) {
+    if (f.required) {
+      line += " --" + f.name + " <" + f.placeholder + ">";
+    } else {
+      any_optional = true;
+    }
+  }
+  if (any_optional) line += " [options]";
+  return line;
+}
+
+std::string ArgParser::help_text() const {
+  std::string out = usage_line() + "\n";
+  if (!summary_.empty()) out += "\n" + summary_ + "\n";
+
+  // One aligned row per argument: "  --name <P>  help".
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (const Positional& p : positionals_) {
+    rows.emplace_back("<" + p.name + ">", p.help);
+  }
+  for (const Flag& f : flags_) {
+    std::string label = "--" + f.name;
+    if (f.takes_value()) label += " <" + f.placeholder + ">";
+    rows.emplace_back(std::move(label),
+                      f.required ? "(required) " + f.help : f.help);
+  }
+  rows.emplace_back("--help", "show this help and exit");
+  std::size_t width = 0;
+  for (const auto& [label, help] : rows) {
+    width = std::max(width, label.size());
+  }
+  out += "\noptions:\n";
+  for (const auto& [label, help] : rows) {
+    out += "  " + label + std::string(width - label.size() + 2, ' ') + help +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace mfa::cli

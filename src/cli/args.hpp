@@ -1,0 +1,121 @@
+// Declarative command-line parsing for the CLI binaries.
+//
+// Before this existed every mfalloc_cli subcommand hand-rolled its own
+// strcmp loops (has_flag/flag_value), which meant typos were silently
+// ignored, `--help` did not exist, and mfallocd would have grown a
+// third copy. ArgParser centralizes the idiom: a subcommand declares
+// its positionals, boolean flags and value options once; parse()
+// rejects unknown flags and missing values with a typed Status; and
+// help_text() renders a deterministic usage/help block (golden-tested
+// in tests/cli_test.cpp so the user-facing text is part of the
+// contract).
+//
+// Scope is deliberately the repo's needs, nothing more: long `--flag`
+// spellings (plus `--flag=value`), a bare `-` positional for stdout,
+// and typed accessors with range checks. No short-option bundling, no
+// subcommand dispatch (the binaries own that), no auto-exit — callers
+// decide what to do with help_requested().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace mfa::cli {
+
+class ArgParser {
+ public:
+  /// `program`/`command` only feed the usage text ("mfalloc_cli solve");
+  /// pass an empty command for single-purpose binaries like mfallocd.
+  ArgParser(std::string program, std::string command, std::string summary);
+
+  // ---- Declaration (fluent; order = display order). --------------------
+
+  /// Required positional argument, e.g. "problem.json".
+  ArgParser& positional(std::string name, std::string help);
+  /// Boolean flag: present or absent, never takes a value.
+  ArgParser& flag(std::string name, std::string help);
+  /// Value option, e.g. option("seconds", "S", "deadline"). `required`
+  /// options appear in the usage line instead of under [options].
+  ArgParser& option(std::string name, std::string placeholder,
+                    std::string help, bool required = false);
+
+  // ---- Parsing. --------------------------------------------------------
+
+  /// Parses the argv slice *after* program/subcommand. kInvalid on
+  /// unknown flags, missing values, or missing required arguments.
+  /// `--help` short-circuits: parse() returns ok with help_requested()
+  /// set and skips required-argument checks.
+  Status parse(int argc, char** argv);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
+  // ---- Results. --------------------------------------------------------
+
+  [[nodiscard]] bool flag_set(const std::string& name) const;
+  /// The option's value, or `fallback` when absent.
+  [[nodiscard]] std::string value_or(const std::string& name,
+                                     std::string fallback) const;
+  [[nodiscard]] bool has_value(const std::string& name) const;
+  /// Typed accessors: fallback when absent, kInvalid (naming the flag)
+  /// on garbage or out-of-range text. Bounds are inclusive.
+  [[nodiscard]] StatusOr<long long> int_or(const std::string& name,
+                                           long long fallback, long long min,
+                                           long long max) const;
+  [[nodiscard]] StatusOr<double> real_or(const std::string& name,
+                                         double fallback, double min,
+                                         double max) const;
+  [[nodiscard]] StatusOr<std::uint64_t> uint64_or(
+      const std::string& name, std::uint64_t fallback) const;
+  /// Positional values, in declaration order.
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positional_values_;
+  }
+
+  // ---- Rendering (deterministic; see tests/cli_test.cpp). --------------
+
+  /// "usage: mfalloc_cli solve <problem.json> [options]"
+  [[nodiscard]] std::string usage_line() const;
+  /// Full block: usage line, summary, aligned flag table.
+  [[nodiscard]] std::string help_text() const;
+
+  // ---- Bare parsing helpers (shared by positional handling). -----------
+
+  static StatusOr<long long> parse_int(const std::string& text,
+                                       const std::string& what, long long min,
+                                       long long max);
+  static StatusOr<double> parse_real(const std::string& text,
+                                     const std::string& what, double min,
+                                     double max);
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string placeholder;  ///< empty = boolean flag
+    std::string help;
+    bool required = false;
+    bool takes_value() const { return !placeholder.empty(); }
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+  };
+
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+
+  std::string program_;
+  std::string command_;
+  std::string summary_;
+  std::vector<Positional> positionals_;
+  std::vector<Flag> flags_;
+
+  bool help_requested_ = false;
+  std::vector<std::string> positional_values_;
+  /// Parsed `--option value` pairs, in occurrence order.
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> set_flags_;
+};
+
+}  // namespace mfa::cli

@@ -1,0 +1,34 @@
+// The mfalloc_cli / mfallocd flag specifications, in one place.
+//
+// Declaring the subcommands here (instead of inline in examples/)
+// keeps the user-facing surface testable: tests/cli_test.cpp golden-
+// compares every generated --help block, so renaming a flag or
+// dropping a subcommand is a visible diff, not a silent behavior
+// change. The binaries build their parsers through these functions and
+// dispatch on the returned values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "support/status.hpp"
+
+namespace mfa::cli {
+
+/// mfalloc_cli subcommand names, in display order.
+const std::vector<std::string>& command_names();
+
+/// Fully-declared parser for one mfalloc_cli subcommand; kInvalid for
+/// an unknown name. `program` only feeds the usage text.
+StatusOr<ArgParser> command_parser(const std::string& program,
+                                   const std::string& command);
+
+/// The daemon's flags (single-purpose binary, no subcommands).
+ArgParser mfallocd_parser(const std::string& program);
+
+/// The whole-program usage block bare `mfalloc_cli` prints: one row
+/// per subcommand plus the --help hint.
+std::string global_usage(const std::string& program);
+
+}  // namespace mfa::cli

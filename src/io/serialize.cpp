@@ -36,7 +36,57 @@ std::string optional_string(const Json& j, const char* key,
   return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
 }
 
+/// Checked double → integer conversion. A bare static_cast<int> of an
+/// attacker-controlled JSON number is UB once the value leaves int's
+/// range, so every integer field goes through here: must be integral
+/// and within [min, max].
+StatusOr<long long> json_to_int(const Json& v, const char* what,
+                                long long min, long long max) {
+  if (!v.is_number()) {
+    return Status{Code::kInvalid, std::string(what) + " must be a number"};
+  }
+  const double d = v.as_number();
+  if (d != static_cast<double>(static_cast<long long>(d)) ||
+      d < static_cast<double>(min) || d > static_cast<double>(max)) {
+    return Status{Code::kInvalid, std::string(what) + " must be an integer in [" +
+                                      std::to_string(min) + ", " +
+                                      std::to_string(max) + "]"};
+  }
+  return static_cast<long long>(d);
+}
+
+/// Fetches a required integer field with range validation.
+StatusOr<long long> need_int(const Json& j, const char* key, const char* ctx,
+                             long long min, long long max) {
+  const Json* v = j.find(key);
+  if (v == nullptr) {
+    return Status{Code::kInvalid,
+                  std::string(ctx) + ": missing field '" + key + "'"};
+  }
+  return json_to_int(*v, (std::string(ctx) + ": '" + key + "'").c_str(), min,
+                     max);
+}
+
 }  // namespace
+
+Status check_schema_version(const Json& j, const char* ctx, bool required) {
+  const Json* v = j.is_object() ? j.find("schema_version") : nullptr;
+  if (v == nullptr) {
+    if (!required) return Status::ok();  // legacy v0 payload
+    return Status{Code::kInvalid,
+                  std::string(ctx) + ": missing 'schema_version'"};
+  }
+  StatusOr<long long> version = json_to_int(
+      *v, (std::string(ctx) + ": 'schema_version'").c_str(), 0, 1L << 30);
+  if (!version.is_ok()) return version.status();
+  if (version.value() < 1 || version.value() > kSchemaVersion) {
+    return Status{Code::kInvalid,
+                  std::string(ctx) + ": unsupported schema_version " +
+                      std::to_string(version.value()) + " (supported: 1.." +
+                      std::to_string(kSchemaVersion) + ")"};
+  }
+  return Status::ok();
+}
 
 Json to_json(const Kernel& kernel) {
   Json j = Json::object();
@@ -111,6 +161,7 @@ Json to_json(const Platform& platform) {
 
 Json to_json(const Problem& problem) {
   Json j = Json::object();
+  j.set("schema_version", Json::number(kSchemaVersion));
   j.set("application", to_json(problem.app));
   j.set("platform", to_json(problem.platform));
   j.set("resource_fraction", Json::number(problem.resource_fraction));
@@ -122,6 +173,7 @@ Json to_json(const Problem& problem) {
 
 Json to_json(const core::Allocation& alloc) {
   Json j = Json::object();
+  j.set("schema_version", Json::number(kSchemaVersion));
   Json matrix = Json::array();
   for (std::size_t k = 0; k < alloc.num_kernels(); ++k) {
     Json fpga_row = Json::array();
@@ -196,12 +248,9 @@ StatusOr<Platform> platform_from_json(const Json& j) {
   }
   Platform p;
   p.name = optional_string(j, "name", "platform");
-  StatusOr<double> fpgas = need_number(j, "fpgas", "platform");
+  StatusOr<long long> fpgas = need_int(j, "fpgas", "platform", 1, 1 << 20);
   if (!fpgas.is_ok()) return fpgas.status();
   p.num_fpgas = static_cast<int>(fpgas.value());
-  if (p.num_fpgas < 1) {
-    return Status{Code::kInvalid, "platform: 'fpgas' must be >= 1"};
-  }
   if (const Json* cap = j.find("capacity"); cap != nullptr) {
     if (!cap->is_object()) {
       return Status{Code::kInvalid, "platform: 'capacity' must be an object"};
@@ -234,26 +283,21 @@ StatusOr<Platform> platform_from_json(const Json& j) {
     p.classes.push_back(std::move(dc.value()));
   }
   for (std::size_t i = 0; i < class_of->size(); ++i) {
-    const Json& c = class_of->at(i);
-    if (!c.is_number()) {
-      return Status{Code::kInvalid,
-                    "platform: 'class_of' entries must be numbers"};
-    }
-    const int idx = static_cast<int>(c.as_number());
-    if (static_cast<double>(idx) != c.as_number()) {
-      return Status{Code::kInvalid,
-                    "platform: 'class_of' entries must be integers"};
-    }
-    if (idx < 0 || idx >= static_cast<int>(p.classes.size())) {
-      return Status{Code::kInvalid, "platform: 'class_of' index out of range"};
-    }
-    p.class_of.push_back(idx);
+    StatusOr<long long> idx =
+        json_to_int(class_of->at(i), "platform: 'class_of' entry", 0,
+                    static_cast<long long>(p.classes.size()) - 1);
+    if (!idx.is_ok()) return idx.status();
+    p.class_of.push_back(static_cast<int>(idx.value()));
   }
   return p;
 }
 
 StatusOr<Problem> problem_from_json(const Json& j) {
   if (!j.is_object()) return Status{Code::kInvalid, "problem: not an object"};
+  if (Status v = check_schema_version(j, "problem", /*required=*/false);
+      !v.is_ok()) {
+    return v;
+  }
   const Json* app = j.find("application");
   if (app == nullptr) {
     return Status{Code::kInvalid, "problem: missing 'application'"};
@@ -311,6 +355,7 @@ Json to_json(const service::Event& event) {
 
 Json to_json(const scenario::Trace& trace) {
   Json j = Json::object();
+  j.set("schema_version", Json::number(kSchemaVersion));
   j.set("platform", to_json(trace.platform));
   Json events = Json::array();
   for (const service::Event& e : trace.events) events.push_back(to_json(e));
@@ -369,6 +414,10 @@ StatusOr<service::Event> event_from_json(const Json& j) {
 
 StatusOr<scenario::Trace> trace_from_json(const Json& j) {
   if (!j.is_object()) return Status{Code::kInvalid, "trace: not an object"};
+  if (Status v = check_schema_version(j, "trace", /*required=*/false);
+      !v.is_ok()) {
+    return v;
+  }
   scenario::Trace trace;
   const Json* plat = j.find("platform");
   if (plat == nullptr) {
@@ -397,6 +446,169 @@ StatusOr<scenario::Trace> trace_from_text(std::string_view text) {
   StatusOr<Json> doc = Json::parse(text);
   if (!doc.is_ok()) return doc.status();
   return trace_from_json(doc.value());
+}
+
+Json to_json(const service::PipelineSpec& pipe) {
+  Json j = Json::object();
+  j.set("id", Json::string(pipe.id));
+  j.set("weight", Json::number(pipe.weight));
+  j.set("application", to_json(pipe.app));
+  return j;
+}
+
+StatusOr<service::PipelineSpec> pipeline_spec_from_json(const Json& j) {
+  if (!j.is_object()) {
+    return Status{Code::kInvalid, "pipeline: not an object"};
+  }
+  service::PipelineSpec pipe;
+  pipe.id = optional_string(j, "id", "");
+  if (pipe.id.empty()) {
+    return Status{Code::kInvalid, "pipeline: missing 'id'"};
+  }
+  pipe.weight = optional_number(j, "weight", 1.0);
+  const Json* app = j.find("application");
+  if (app == nullptr) {
+    return Status{Code::kInvalid, "pipeline: missing 'application'"};
+  }
+  StatusOr<Application> parsed = application_from_json(*app);
+  if (!parsed.is_ok()) return parsed.status();
+  pipe.app = std::move(parsed.value());
+  return pipe;
+}
+
+Json to_json(const service::EventOutcome& o) {
+  Json j = Json::object();
+  j.set("seq", Json::number(static_cast<double>(o.sequence)));
+  j.set("type", Json::string(service::to_string(o.type)));
+  if (!o.id.empty()) j.set("id", Json::string(o.id));
+  j.set("status", Json::string(o.status.to_string()));
+  j.set("solve_status", Json::string(o.solve_status.to_string()));
+  j.set("active", Json::number(static_cast<double>(o.active_pipelines)));
+  j.set("warm", Json::boolean(o.warm_started));
+  j.set("ii_ms", Json::number(o.ii));
+  j.set("phi", Json::number(o.phi));
+  j.set("goal", Json::number(o.goal));
+  Json totals = Json::array();
+  for (int t : o.totals) totals.push_back(Json::number(t));
+  j.set("totals", std::move(totals));
+  j.set("nodes", Json::number(static_cast<double>(o.solve_nodes)));
+  // Compilation-cache observability (deterministic with the default
+  // sequential lanes; see EventOutcome).
+  j.set("delta", Json::string(service::to_string(o.delta)));
+  j.set("gp_compiles", Json::number(static_cast<double>(o.gp_compiles)));
+  j.set("gp_patches", Json::number(static_cast<double>(o.gp_patches)));
+  j.set("model_hits", Json::number(static_cast<double>(o.model_hits)));
+  j.set("model_misses", Json::number(static_cast<double>(o.model_misses)));
+  j.set("relax_hits", Json::number(static_cast<double>(o.relax_hits)));
+  return j;
+}
+
+Json wal_header_to_json(const core::Platform& initial_platform) {
+  Json j = Json::object();
+  j.set("schema_version", Json::number(kSchemaVersion));
+  j.set("format", Json::string("mfa-wal"));
+  j.set("platform", to_json(initial_platform));
+  return j;
+}
+
+StatusOr<core::Platform> wal_header_from_json(const Json& j) {
+  if (!j.is_object()) {
+    return Status{Code::kInvalid, "wal header: not an object"};
+  }
+  if (Status v = check_schema_version(j, "wal header", /*required=*/true);
+      !v.is_ok()) {
+    return v;
+  }
+  if (optional_string(j, "format", "") != "mfa-wal") {
+    return Status{Code::kInvalid, "wal header: not an mfa-wal log"};
+  }
+  const Json* plat = j.find("platform");
+  if (plat == nullptr) {
+    return Status{Code::kInvalid, "wal header: missing 'platform'"};
+  }
+  return platform_from_json(*plat);
+}
+
+Json to_json(const service::WalRecord& record) {
+  Json j = Json::object();
+  j.set("schema_version", Json::number(kSchemaVersion));
+  j.set("seq", Json::number(static_cast<double>(record.sequence)));
+  j.set("event", to_json(record.event));
+  return j;
+}
+
+StatusOr<service::WalRecord> wal_record_from_json(const Json& j) {
+  if (!j.is_object()) {
+    return Status{Code::kInvalid, "wal record: not an object"};
+  }
+  if (Status v = check_schema_version(j, "wal record", /*required=*/true);
+      !v.is_ok()) {
+    return v;
+  }
+  service::WalRecord record;
+  // 2^53: past that, double-backed sequence numbers stop being exact.
+  StatusOr<long long> seq =
+      need_int(j, "seq", "wal record", 0, 1LL << 53);
+  if (!seq.is_ok()) return seq.status();
+  record.sequence = static_cast<std::uint64_t>(seq.value());
+  const Json* event = j.find("event");
+  if (event == nullptr) {
+    return Status{Code::kInvalid, "wal record: missing 'event'"};
+  }
+  StatusOr<service::Event> parsed = event_from_json(*event);
+  if (!parsed.is_ok()) return parsed.status();
+  record.event = std::move(parsed.value());
+  return record;
+}
+
+Json to_json(const service::WalSnapshot& snapshot) {
+  Json j = Json::object();
+  j.set("schema_version", Json::number(kSchemaVersion));
+  j.set("seq", Json::number(static_cast<double>(snapshot.sequence)));
+  j.set("platform", to_json(snapshot.platform));
+  Json pipelines = Json::array();
+  for (const service::PipelineSpec& p : snapshot.pipelines) {
+    pipelines.push_back(to_json(p));
+  }
+  j.set("pipelines", std::move(pipelines));
+  return j;
+}
+
+StatusOr<service::WalSnapshot> wal_snapshot_from_json(const Json& j) {
+  if (!j.is_object()) {
+    return Status{Code::kInvalid, "wal snapshot: not an object"};
+  }
+  if (Status v = check_schema_version(j, "wal snapshot", /*required=*/true);
+      !v.is_ok()) {
+    return v;
+  }
+  service::WalSnapshot snapshot;
+  StatusOr<long long> seq =
+      need_int(j, "seq", "wal snapshot", 0, 1LL << 53);
+  if (!seq.is_ok()) return seq.status();
+  snapshot.sequence = static_cast<std::uint64_t>(seq.value());
+  const Json* plat = j.find("platform");
+  if (plat == nullptr) {
+    return Status{Code::kInvalid, "wal snapshot: missing 'platform'"};
+  }
+  StatusOr<Platform> platform = platform_from_json(*plat);
+  if (!platform.is_ok()) return platform.status();
+  snapshot.platform = std::move(platform.value());
+  const Json* pipelines = j.find("pipelines");
+  if (pipelines == nullptr || !pipelines->is_array()) {
+    return Status{Code::kInvalid, "wal snapshot: missing 'pipelines' array"};
+  }
+  snapshot.pipelines.reserve(pipelines->size());
+  for (std::size_t i = 0; i < pipelines->size(); ++i) {
+    StatusOr<service::PipelineSpec> p =
+        pipeline_spec_from_json(pipelines->at(i));
+    if (!p.is_ok()) {
+      return Status{Code::kInvalid, "pipelines[" + std::to_string(i) +
+                                        "]: " + p.status().message()};
+    }
+    snapshot.pipelines.push_back(std::move(p.value()));
+  }
+  return snapshot;
 }
 
 StatusOr<std::string> read_file(const std::string& path) {

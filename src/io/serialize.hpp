@@ -27,7 +27,17 @@
 //                "class_of": [0, 1, 1]}
 //
 // Missing optional fields take the struct defaults; malformed input is
-// reported as Code::kInvalid with a field path.
+// reported as Code::kInvalid with a field path — parsing never aborts,
+// whatever the bytes (tests/serialize_test.cpp carries a malformed-
+// payload corpus enforcing exactly that).
+//
+// Versioning: every payload this header *writes* carries a top-level
+// "schema_version" (currently 1). Readers accept the current version
+// and, for the formats that predate versioning (problem, trace,
+// allocation), a missing field — those parse as legacy v0 with
+// unchanged semantics. Formats born versioned (WAL records, wire-API
+// bodies) require the field. An unknown or malformed version is a
+// typed Code::kInvalid, never a guess.
 // Service traces (the `gentrace` / `serve --trace` formats) are a
 // platform plus an event list; each event carries exactly its payload:
 //
@@ -45,8 +55,17 @@
 #include "io/json.hpp"
 #include "scenario/trace.hpp"
 #include "service/event.hpp"
+#include "service/wal.hpp"
 
 namespace mfa::io {
+
+/// Version stamped into every payload written by this layer.
+inline constexpr int kSchemaVersion = 1;
+
+/// Validates `j`'s "schema_version" against kSchemaVersion. A missing
+/// field is accepted as legacy v0 unless `required` (new formats);
+/// anything else unsupported is kInvalid naming `ctx`.
+Status check_schema_version(const Json& j, const char* ctx, bool required);
 
 Json to_json(const core::Kernel& kernel);
 Json to_json(const core::Application& app);
@@ -76,6 +95,25 @@ StatusOr<scenario::Trace> trace_from_json(const Json& j);
 
 /// Convenience: parse text and build the trace in one step.
 StatusOr<scenario::Trace> trace_from_text(std::string_view text);
+
+// ---- Service pipelines, outcomes, and the WAL record formats. ----------
+
+Json to_json(const service::PipelineSpec& pipe);
+StatusOr<service::PipelineSpec> pipeline_spec_from_json(const Json& j);
+
+/// The *deterministic* slice of an outcome — every field except wall
+/// clock, so two replays of one trace dump byte-identical logs (the
+/// property CI diffs). Callers wanting latency add it themselves.
+Json to_json(const service::EventOutcome& outcome);
+
+/// WAL line formats (see service/wal.hpp for the file layout). All
+/// require schema_version — the WAL was born versioned.
+Json wal_header_to_json(const core::Platform& initial_platform);
+StatusOr<core::Platform> wal_header_from_json(const Json& j);
+Json to_json(const service::WalRecord& record);
+StatusOr<service::WalRecord> wal_record_from_json(const Json& j);
+Json to_json(const service::WalSnapshot& snapshot);
+StatusOr<service::WalSnapshot> wal_snapshot_from_json(const Json& j);
 
 /// Reads a whole file into a string (kInvalid on I/O failure).
 StatusOr<std::string> read_file(const std::string& path);

@@ -1,0 +1,96 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mfa::net {
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status{Code::kInvalid, what + ": " + std::strerror(errno)};
+}
+
+void set_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                       tv.tv_sec)) *
+                                        1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+StatusOr<HttpResponse> http_request(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    ClientOptions options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status{Code::kInvalid,
+                  "bad host (dotted-quad IPv4 only): " + host};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_status("socket");
+  set_timeout(fd, options.timeout_seconds);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status s =
+        errno_status("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+
+  const std::string request = format_request(
+      method, target, host + ":" + std::to_string(port), body);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = errno_status("send");
+      ::close(fd);
+      return s;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  ResponseParser parser(options.limits);
+  char buf[16 * 1024];
+  while (parser.state() == ResponseParser::State::kIncomplete) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const Status s = errno_status("recv");
+      ::close(fd);
+      return s;
+    }
+    if (got == 0) {
+      ::close(fd);
+      return Status{Code::kInvalid,
+                    "connection closed before a complete response"};
+    }
+    parser.feed(std::string_view(buf, static_cast<std::size_t>(got)));
+  }
+  ::close(fd);
+  if (parser.state() == ResponseParser::State::kError) {
+    return Status{Code::kInvalid, "bad response: " + parser.error()};
+  }
+  return parser.response();
+}
+
+}  // namespace mfa::net

@@ -1,0 +1,50 @@
+// Blocking HTTP client for tests, the CLI `post` subcommand, and the
+// crash-recovery CI job. Dotted-quad IPv4 hosts only (no DNS — the
+// daemon serves loopback/lab traffic; resolving names is out of scope).
+// One request per call: connect, send, read until the response is
+// complete, close. Deliberately simple — correctness and typed errors
+// over throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/http.hpp"
+#include "support/status.hpp"
+
+namespace mfa::net {
+
+struct ClientOptions {
+  double timeout_seconds;  ///< per-request wall-clock cap
+  ParserLimits limits;
+  explicit ClientOptions(double timeout = 30.0) : timeout_seconds(timeout) {}
+};
+
+/// One round trip. kInvalid on connect/send/parse/timeout failures;
+/// HTTP-level errors (4xx/5xx) are *successful* calls — inspect
+/// response.status.
+StatusOr<HttpResponse> http_request(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body = "",
+                                    ClientOptions options = ClientOptions());
+
+inline StatusOr<HttpResponse> http_get(const std::string& host,
+                                       std::uint16_t port,
+                                       const std::string& target,
+                                       ClientOptions options =
+                                           ClientOptions()) {
+  return http_request(host, port, "GET", target, "", options);
+}
+
+inline StatusOr<HttpResponse> http_post(const std::string& host,
+                                        std::uint16_t port,
+                                        const std::string& target,
+                                        const std::string& body,
+                                        ClientOptions options =
+                                            ClientOptions()) {
+  return http_request(host, port, "POST", target, body, options);
+}
+
+}  // namespace mfa::net

@@ -1,0 +1,252 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+namespace mfa::net {
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status{Code::kInvalid, what + ": " + std::strerror(errno)};
+}
+
+/// Per-connection state, owned by the loop thread.
+struct Connection {
+  RequestParser parser;
+  std::string out;         ///< bytes not yet written
+  bool close_after = false;  ///< close once `out` drains
+
+  explicit Connection(const ParserLimits& limits) : parser(limits) {}
+};
+
+using ConnectionMap = std::unordered_map<int, Connection>;
+
+}  // namespace
+
+HttpServer::HttpServer(ServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+Status HttpServer::start() {
+  if (running_) return Status{Code::kInvalid, "server already running"};
+  // Non-blocking listener: the loop drains accept4 until EAGAIN, and a
+  // blocking fd would wedge the whole loop inside that drain.
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status{Code::kInvalid,
+                  "bad bind address: " + config_.bind_address};
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status s = errno_status("bind " + config_.bind_address + ":" +
+                                  std::to_string(config_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    const Status s = errno_status("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status s = errno_status("epoll/eventfd");
+    stop();
+    return s;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+  return Status::ok();
+}
+
+void HttpServer::stop() {
+  if (running_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fd_, &one, sizeof(one));
+    if (thread_.joinable()) thread_.join();
+    running_ = false;
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void HttpServer::loop() {
+  // All connection state is loop-local: one thread owns it, no locks.
+  ConnectionMap connections;
+  epoll_event events[64];
+
+  auto update_epollout = [this, &connections](int fd) {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    ev.events = EPOLLIN;
+    if (!connections.at(fd).out.empty()) ev.events |= EPOLLOUT;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  };
+  auto drop = [this, &connections](int fd) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    connections.erase(fd);
+  };
+  // Writes as much of conn.out as the socket accepts; false = fatal.
+  auto try_flush = [&connections](int fd) {
+    Connection& conn = connections.at(fd);
+    while (!conn.out.empty()) {
+      const ssize_t n = ::send(fd, conn.out.data(), conn.out.size(),
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno == EAGAIN || errno == EWOULDBLOCK;
+      }
+      conn.out.erase(0, static_cast<std::size_t>(n));
+    }
+    return true;
+  };
+  // Runs the handler for every complete request currently buffered;
+  // false = close after flush.
+  auto serve_buffered = [this, &connections](int fd) {
+    Connection& conn = connections.at(fd);
+    while (true) {
+      const RequestParser::State state = conn.parser.state();
+      if (state == RequestParser::State::kError) {
+        HttpResponse error;
+        error.status = conn.parser.error_status();
+        error.body = "{\"error\":\"" + conn.parser.error() + "\"}\n";
+        conn.out += format_response(error, /*keep_alive=*/false);
+        return false;
+      }
+      if (state != RequestParser::State::kComplete) return true;
+      const HttpRequest& request = conn.parser.request();
+      const bool keep = request.keep_alive();
+      conn.out += format_response(handler_(request), keep);
+      if (!keep) return false;
+      conn.parser.reset();  // replays pipelined bytes, may complete again
+    }
+  };
+
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        for (auto& [cfd, conn] : connections) ::close(cfd);
+        return;  // epoll_fd_ closed by stop(); kernel drops interests
+      }
+      if (fd == listen_fd_) {
+        while (true) {
+          const int client = ::accept4(listen_fd_, nullptr, nullptr,
+                                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (client < 0) break;
+          const int one = 1;
+          ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          connections.emplace(client, Connection(config_.limits));
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = client;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, client, &ev);
+        }
+        continue;
+      }
+      if (connections.find(fd) == connections.end()) continue;
+
+      bool keep_open = true;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        keep_open = false;
+      }
+      if (keep_open && (events[i].events & EPOLLIN) != 0) {
+        char buf[16 * 1024];
+        while (true) {
+          const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+          if (got > 0) {
+            connections.at(fd).parser.feed(
+                std::string_view(buf, static_cast<std::size_t>(got)));
+            continue;
+          }
+          if (got == 0) {
+            keep_open = false;  // peer closed
+          } else if (errno == EINTR) {
+            continue;
+          } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            keep_open = false;
+          }
+          break;
+        }
+        const bool keep_serving = serve_buffered(fd);
+        keep_open = keep_open && keep_serving;
+        if (!try_flush(fd)) {
+          drop(fd);
+          continue;
+        }
+        if (!keep_open && connections.at(fd).out.empty()) {
+          drop(fd);
+          continue;
+        }
+        connections.at(fd).close_after = !keep_open;
+        update_epollout(fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!try_flush(fd)) {
+          drop(fd);
+          continue;
+        }
+        Connection& conn = connections.at(fd);
+        if (conn.out.empty() && conn.close_after) {
+          drop(fd);
+          continue;
+        }
+        update_epollout(fd);
+        continue;
+      }
+      if (!keep_open) drop(fd);
+    }
+  }
+}
+
+}  // namespace mfa::net

@@ -1,0 +1,68 @@
+// Single-threaded epoll HTTP/1.1 server over the message layer.
+//
+// One event-loop thread owns the listening socket and every
+// connection; the request handler runs *on that thread*. That is a
+// deliberate fit for this daemon, not a general-purpose server:
+// allocation events are coarse (each triggers a solve), the interesting
+// parallelism lives behind the handler (ShardRouter fans a batch across
+// shard dispatchers and blocks on the futures), and one loop thread
+// means no connection state ever needs a lock.
+//
+// Lifecycle: start() binds/listens (port 0 picks an ephemeral port —
+// read it back with port(), which tests and the CLI print), stop()
+// wakes the loop via an eventfd, drains, closes every connection and
+// joins. Malformed requests get their parser-classified 4xx/5xx and the
+// connection closes; handler responses honor HTTP/1.1 keep-alive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/http.hpp"
+#include "support/status.hpp"
+
+namespace mfa::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see HttpServer::port()
+  int backlog = 64;
+  ParserLimits limits;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(ServerConfig config, Handler handler);
+  ~HttpServer();  ///< stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the loop thread. kInvalid on socket
+  /// errors (port in use, bad address, ...).
+  Status start();
+
+  /// Idempotent: wakes and joins the loop, closes all sockets.
+  void stop();
+
+  /// The bound port (resolved after start(), also for port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void loop();
+
+  ServerConfig config_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd; stop() signals it
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace mfa::net

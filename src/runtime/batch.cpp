@@ -14,14 +14,20 @@ std::vector<SolveResult> BatchRunner::solve_all(
   // batch (see header); hits are bit-identical to solving (model-cache
   // hits are re-patched), so injecting them does not disturb
   // determinism.
+  RelaxationCache* external_cache =
+      options_.context != nullptr && options_.context->relax_cache != nullptr
+          ? options_.context->relax_cache
+          : options_.relax_cache;
+  CompiledModelCache* external_models =
+      options_.context != nullptr && options_.context->model_cache != nullptr
+          ? options_.context->model_cache
+          : options_.model_cache;
   RelaxationCache batch_cache;
-  RelaxationCache* cache = options_.relax_cache != nullptr
-                               ? options_.relax_cache
+  RelaxationCache* cache = external_cache != nullptr ? external_cache
                            : options_.share_relaxations ? &batch_cache
                                                         : nullptr;
   CompiledModelCache batch_models;
-  CompiledModelCache* models = options_.model_cache != nullptr
-                                   ? options_.model_cache
+  CompiledModelCache* models = external_models != nullptr ? external_models
                                : options_.share_relaxations ? &batch_models
                                                             : nullptr;
   PortfolioOptions base = options_.portfolio;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "runtime/context.hpp"
 #include "runtime/relax_cache.hpp"
 #include "runtime/solve.hpp"
 
@@ -33,15 +34,17 @@ struct BatchOptions {
   /// Share one relaxation cache across the whole batch (see file
   /// comment). Disable to reproduce PR-1 cold-solve behavior.
   bool share_relaxations = true;
-  /// Longer-lived cache to use instead of the per-batch one, so hits
-  /// survive across solve_all() calls (e.g. successive sweeps over one
-  /// design space). Not owned; implies sharing when set.
-  RelaxationCache* relax_cache = nullptr;
-  /// Same, for the compiled-GP model cache: grid sweeps repeat one model
+  /// Longer-lived shared resources to use instead of the per-batch
+  /// caches, so hits survive across solve_all() calls (e.g. successive
+  /// sweeps over one design space — grid sweeps repeat one model
   /// structure across every instance, so interior-point roots compile
-  /// once per structure for the whole batch. Per-batch by default (under
-  /// share_relaxations); pass a longer-lived cache to keep the compiled
-  /// structures across batches. Not owned.
+  /// once per structure). The single wiring point; see
+  /// core/solver_context.hpp. Not owned; implies sharing when its cache
+  /// fields are set.
+  const SolverContext* context = nullptr;
+  /// DEPRECATED aliases (one more PR) for the context's cache fields;
+  /// still honored when `context` leaves them null. Not owned.
+  RelaxationCache* relax_cache = nullptr;
   CompiledModelCache* model_cache = nullptr;
 };
 

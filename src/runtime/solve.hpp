@@ -21,6 +21,7 @@
 #include "core/allocation.hpp"
 #include "core/problem.hpp"
 #include "core/relaxation.hpp"
+#include "core/solver_context.hpp"
 #include "solver/exact.hpp"
 #include "support/status.hpp"
 
@@ -65,23 +66,37 @@ struct PortfolioOptions {
   /// shared budget so still-running lanes stop at their incumbents.
   bool stop_on_proved_optimal = true;
 
-  /// Shared relaxation memoization for the GP+A lanes (see
-  /// runtime/relax_cache.hpp): every lane solves the identical root
-  /// relaxation and walks the identical discretization tree, so with a
-  /// cache the work is done once and reused. Keys capture every solve
-  /// input, so hits are bit-identical to solving — determinism across
-  /// thread counts is preserved. Not owned; overrides any cache already
-  /// set in `gpa`.
-  core::RelaxationCache* relax_cache = nullptr;
+  /// Shared solver resources — caches, an optional caller-managed
+  /// budget, and the worker pool lanes race on — in one wiring point
+  /// (see core/solver_context.hpp). Every lane solves the identical
+  /// root relaxation and walks the identical discretization tree, so
+  /// with the context's caches the work is done once and reused; keys
+  /// capture every solve input, so hits are bit-identical to solving
+  /// and determinism across thread counts is preserved. When
+  /// context->budget is set, solve() charges lanes against it instead
+  /// of constructing a per-solve budget. Not owned; overrides the
+  /// per-field pointers below and anything already set in `gpa`.
+  const core::SolverContext* context = nullptr;
 
-  /// Shared compiled-GP model cache for the interior-point root solves
-  /// (core/compiled_cache.hpp): lanes and successive requests with
-  /// structurally identical roots reuse one compiled artifact, paying a
-  /// coefficient patch per solve instead of a full lowering. Hits are
-  /// re-patched before solving, so results stay bit-identical with or
-  /// without the cache. Not owned; overrides any cache already set in
-  /// `gpa`.
+  /// DEPRECATED aliases (one more PR): the pre-SolverContext per-field
+  /// cache pointers. Still honored when `context` leaves them null;
+  /// prefer `context`.
+  core::RelaxationCache* relax_cache = nullptr;
   core::CompiledModelCache* model_cache = nullptr;
+
+  /// Context-first resolution of the shared caches.
+  [[nodiscard]] core::RelaxationCache* resolved_relax_cache() const {
+    if (context != nullptr && context->relax_cache != nullptr) {
+      return context->relax_cache;
+    }
+    return relax_cache;
+  }
+  [[nodiscard]] core::CompiledModelCache* resolved_model_cache() const {
+    if (context != nullptr && context->model_cache != nullptr) {
+      return context->model_cache;
+    }
+    return model_cache;
+  }
 
   alloc::GpaOptions gpa;       ///< base GP+A knobs (t_max set per lane)
   solver::ExactOptions exact;  ///< per-pack caps etc. (budget overridden)

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "support/assert.hpp"
+
 namespace mfa::service {
 namespace {
 
@@ -15,7 +17,8 @@ double seconds_since(Clock::time_point t0) {
 
 }  // namespace
 
-AllocServer::AllocServer(core::Platform platform, ServerOptions options)
+AllocServer::AllocServer(core::Platform platform, ServerOptions options,
+                         DeferStart)
     : options_(std::move(options)),
       cache_(core::RelaxCacheConfig{options_.cache_shards,
                                     options_.cache_entries}),
@@ -25,14 +28,123 @@ AllocServer::AllocServer(core::Platform platform, ServerOptions options)
                  CompositeConfig{options_.resource_fraction,
                                  options_.bw_fraction, options_.alpha,
                                  options_.beta}) {
-  options_.portfolio.relax_cache = &cache_;
-  options_.portfolio.model_cache = &models_;
+  // Context-provided caches (e.g. the ShardRouter's process-wide model
+  // cache) replace the owned ones; everything downstream goes through
+  // the pointers.
+  relax_cache_ = options_.context != nullptr &&
+                         options_.context->relax_cache != nullptr
+                     ? options_.context->relax_cache
+                     : &cache_;
+  model_cache_ = options_.context != nullptr &&
+                         options_.context->model_cache != nullptr
+                     ? options_.context->model_cache
+                     : &models_;
   if (options_.solver_threads != 1) {
     pool_ = std::make_unique<runtime::ThreadPool>(options_.solver_threads);
   }
+  // One wiring point for the portfolio: ctx_ is a stable member, so the
+  // portfolio's copied options can point at it for the server's
+  // lifetime. The pool is passed to the Portfolio directly (it owns the
+  // lane fan-out), not through the context.
+  ctx_.relax_cache = relax_cache_;
+  ctx_.model_cache = model_cache_;
+  options_.portfolio.context = &ctx_;
+  options_.portfolio.relax_cache = nullptr;
+  options_.portfolio.model_cache = nullptr;
   portfolio_ = std::make_unique<runtime::Portfolio>(options_.portfolio,
                                                     pool_.get());
+}
+
+AllocServer::AllocServer(core::Platform platform, ServerOptions options)
+    : AllocServer(std::move(platform), std::move(options), DeferStart{}) {
+  MFA_ASSERT_MSG(options_.wal_dir.empty(),
+                 "WAL-enabled servers must be built via AllocServer::open() "
+                 "or recover(), which can report I/O errors");
+  start();
+}
+
+void AllocServer::start() {
+  MFA_ASSERT(!started_);
+  started_ = true;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+StatusOr<std::unique_ptr<AllocServer>> AllocServer::open(
+    core::Platform platform, ServerOptions options) {
+  std::unique_ptr<AllocServer> server(
+      new AllocServer(platform, std::move(options), DeferStart{}));
+  if (!server->options_.wal_dir.empty()) {
+    StatusOr<Wal> wal =
+        Wal::create(server->options_.wal_dir, platform,
+                    Wal::Options{server->options_.wal_fsync});
+    if (!wal.is_ok()) return wal.status();
+    server->wal_.emplace(std::move(wal.value()));
+  }
+  server->start();
+  return StatusOr<std::unique_ptr<AllocServer>>(std::move(server));
+}
+
+StatusOr<std::unique_ptr<AllocServer>> AllocServer::recover(
+    ServerOptions options) {
+  if (options.wal_dir.empty()) {
+    return Status{Code::kInvalid, "recover: ServerOptions::wal_dir not set"};
+  }
+  StatusOr<WalRecovery> loaded = Wal::load(options.wal_dir);
+  if (!loaded.is_ok()) return loaded.status();
+  WalRecovery& recovery = loaded.value();
+  std::unique_ptr<AllocServer> server(new AllocServer(
+      recovery.initial_platform, std::move(options), DeferStart{}));
+  if (Status s = server->restore(recovery); !s.is_ok()) return s;
+  StatusOr<Wal> wal = Wal::open(server->options_.wal_dir,
+                                Wal::Options{server->options_.wal_fsync});
+  if (!wal.is_ok()) return wal.status();
+  server->wal_.emplace(std::move(wal.value()));
+  server->start();
+  return StatusOr<std::unique_ptr<AllocServer>>(std::move(server));
+}
+
+Status AllocServer::restore(const WalRecovery& recovery) {
+  replaying_ = true;
+  if (recovery.snapshot) {
+    // Splice the snapshotted workload in wholesale, then re-derive the
+    // incumbent with one solve: the incumbent is a pure function of
+    // (platform, live pipelines, options) and warm starts are
+    // byte-transparent, so this lands on exactly the allocation the
+    // uninterrupted run held at the snapshot point.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    composite_.resize(recovery.snapshot->platform);
+    for (const PipelineSpec& pipe : recovery.snapshot->pipelines) {
+      pipelines_.push_back(pipe);
+      composite_.add_pipeline(pipelines_.back());
+    }
+    sequence_ = recovery.snapshot->sequence;
+    if (!pipelines_.empty()) {
+      EventOutcome scratch;  // re-derivation; not an event, not logged
+      resolve_workload(scratch);
+    }
+  }
+  for (const WalRecord& record : recovery.tail) {
+    if (record.sequence < sequence_) {
+      replaying_ = false;
+      return Status{Code::kInvalid,
+                    "wal replay: record sequence " +
+                        std::to_string(record.sequence) +
+                        " behind server sequence " +
+                        std::to_string(sequence_)};
+    }
+    // Gaps are events that failed durability and were never applied.
+    sequence_ = record.sequence;
+    EventOutcome outcome = process(Event(record.event));
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    retain_outcome(outcome);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    sequence_ = std::max(sequence_, recovery.next_sequence);
+    stats_.sequence = sequence_;
+  }
+  replaying_ = false;
+  return Status::ok();
 }
 
 AllocServer::~AllocServer() { stop(); }
@@ -54,12 +166,16 @@ void AllocServer::dispatcher_loop() {
     EventOutcome outcome = process(std::move(item->event));
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
-      log_.push_back(outcome);
-      if (options_.log_capacity > 0) {
-        while (log_.size() > options_.log_capacity) log_.pop_front();
-      }
+      retain_outcome(outcome);
     }
     item->reply.set_value(std::move(outcome));
+  }
+}
+
+void AllocServer::retain_outcome(const EventOutcome& outcome) {
+  log_.push_back(outcome);
+  if (options_.log_capacity > 0) {
+    while (log_.size() > options_.log_capacity) log_.pop_front();
   }
 }
 
@@ -117,6 +233,59 @@ std::optional<core::RelaxedSolution> AllocServer::make_warm(
   return warm;
 }
 
+void AllocServer::resolve_workload(EventOutcome& outcome) {
+  // Sample the compilation/cache counters around the solve so the
+  // outcome records what this event actually paid for (with sequential
+  // lanes — the default — these deltas are deterministic; see
+  // EventOutcome).
+  const std::int64_t compiles0 = gp::total_structure_compiles();
+  const std::int64_t patches0 = gp::total_coefficient_patches();
+  const auto models0 = model_cache_->stats();
+  const auto relax0 = relax_cache_->stats();
+  runtime::SolveRequest request;
+  request.problem = composite_.snapshot();
+  request.warm = make_warm(*request.problem);
+  outcome.warm_started = request.warm.has_value();
+  runtime::SolveResult result = portfolio_->solve(request);
+  outcome.solve_status = result.status;
+  outcome.solve_nodes = result.nodes;
+  outcome.gp_compiles = gp::total_structure_compiles() - compiles0;
+  outcome.gp_patches = gp::total_coefficient_patches() - patches0;
+  const auto models1 = model_cache_->stats();
+  const auto relax1 = relax_cache_->stats();
+  outcome.model_hits = models1.hits - models0.hits;
+  outcome.model_misses = models1.misses - models0.misses;
+  outcome.relax_hits = relax1.hits - relax0.hits;
+  if (result.is_ok() && result.allocation) {
+    // Refresh the warm seed: the winning lane's root relaxation
+    // (ÎI, N̂), sliced per pipeline so surviving tenants carry their N̂
+    // into the next composite. An exact-lane winner has no root; fall
+    // back to its integer totals.
+    last_totals_.clear();
+    const bool have_relaxed =
+        result.relaxed.has_value() &&
+        result.relaxed->n_hat.size() == result.allocation->num_kernels();
+    std::size_t k = 0;
+    for (const PipelineSpec& pipe : pipelines_) {
+      std::vector<double>& totals = last_totals_[pipe.id];
+      totals.reserve(pipe.app.kernels.size());
+      for (std::size_t j = 0; j < pipe.app.kernels.size(); ++j, ++k) {
+        totals.push_back(have_relaxed
+                             ? result.relaxed->n_hat[k]
+                             : static_cast<double>(
+                                   result.allocation->total_cu(k)));
+      }
+    }
+    last_ii_ = have_relaxed ? result.relaxed->ii : result.ii;
+    incumbent_ = std::move(result);
+  } else {
+    // Keep serving the previous allocation; the failed state's seed
+    // data would poison the next warm start, so drop it.
+    last_totals_.clear();
+    last_ii_ = 0.0;
+  }
+}
+
 EventOutcome AllocServer::process(Event event) {
   const auto t0 = Clock::now();
   // The dispatcher is the only mutator, but observers (active_pipelines,
@@ -128,6 +297,19 @@ EventOutcome AllocServer::process(Event event) {
   EventOutcome outcome;
   outcome.sequence = sequence_++;
   outcome.type = event.type;
+
+  // ---- Durability barrier: append-before-apply. A failed append fails
+  // the *event* (nothing mutates, nothing solves) — acknowledging an
+  // un-logged mutation would break the recovery contract. Replayed
+  // events are already in the log.
+  bool apply = true;
+  if (wal_ && !replaying_) {
+    if (Status s = wal_->append(outcome.sequence, event); !s.is_ok()) {
+      outcome.status = std::move(s);
+      ++stats_.wal_errors;
+      apply = false;
+    }
+  }
 
   // ---- Apply the workload mutation as a composite *delta*.
   auto find_pipeline = [this](const std::string& id) {
@@ -147,78 +329,80 @@ EventOutcome AllocServer::process(Event event) {
   core::Platform old_platform;         // kResizePlatform inverse payload
 
   bool workload_changed = false;
-  switch (event.type) {
-    case Event::Type::kAddPipeline: {
-      outcome.id = event.pipeline.id;
-      if (event.pipeline.id.empty()) {
-        outcome.status = Status{Code::kInvalid, "empty pipeline id"};
-      } else if (event.pipeline.app.kernels.empty()) {
-        outcome.status =
-            Status{Code::kInvalid, "pipeline without kernels: '" +
-                                       event.pipeline.id + "'"};
-      } else if (event.pipeline.weight <= 0.0) {
-        outcome.status = Status{Code::kInvalid, "non-positive weight"};
-      } else if (find_pipeline(event.pipeline.id) != pipelines_.end()) {
-        outcome.status =
-            Status{Code::kInvalid,
-                   "duplicate pipeline id: '" + event.pipeline.id + "'"};
-      } else {
-        touched = pipelines_.size();
-        pipelines_.push_back(std::move(event.pipeline));
-        composite_.add_pipeline(pipelines_.back());
-        outcome.delta = CompositeDelta::kStructural;
-        workload_changed = true;
+  if (apply) {
+    switch (event.type) {
+      case Event::Type::kAddPipeline: {
+        outcome.id = event.pipeline.id;
+        if (event.pipeline.id.empty()) {
+          outcome.status = Status{Code::kInvalid, "empty pipeline id"};
+        } else if (event.pipeline.app.kernels.empty()) {
+          outcome.status =
+              Status{Code::kInvalid, "pipeline without kernels: '" +
+                                         event.pipeline.id + "'"};
+        } else if (event.pipeline.weight <= 0.0) {
+          outcome.status = Status{Code::kInvalid, "non-positive weight"};
+        } else if (find_pipeline(event.pipeline.id) != pipelines_.end()) {
+          outcome.status =
+              Status{Code::kInvalid,
+                     "duplicate pipeline id: '" + event.pipeline.id + "'"};
+        } else {
+          touched = pipelines_.size();
+          pipelines_.push_back(std::move(event.pipeline));
+          composite_.add_pipeline(pipelines_.back());
+          outcome.delta = CompositeDelta::kStructural;
+          workload_changed = true;
+        }
+        break;
       }
-      break;
-    }
-    case Event::Type::kRemovePipeline: {
-      outcome.id = event.id;
-      auto it = find_pipeline(event.id);
-      if (it == pipelines_.end()) {
-        outcome.status = Status{Code::kInvalid,
-                                "unknown pipeline id: '" + event.id + "'"};
-      } else {
-        touched = static_cast<std::size_t>(it - pipelines_.begin());
-        last_totals_.erase(it->id);
-        removed = std::move(*it);
-        pipelines_.erase(it);
-        composite_.remove_pipeline(touched);
-        outcome.delta = CompositeDelta::kStructural;
-        workload_changed = true;
+      case Event::Type::kRemovePipeline: {
+        outcome.id = event.id;
+        auto it = find_pipeline(event.id);
+        if (it == pipelines_.end()) {
+          outcome.status = Status{
+              Code::kInvalid, "unknown pipeline id: '" + event.id + "'"};
+        } else {
+          touched = static_cast<std::size_t>(it - pipelines_.begin());
+          last_totals_.erase(it->id);
+          removed = std::move(*it);
+          pipelines_.erase(it);
+          composite_.remove_pipeline(touched);
+          outcome.delta = CompositeDelta::kStructural;
+          workload_changed = true;
+        }
+        break;
       }
-      break;
-    }
-    case Event::Type::kReprioritize: {
-      outcome.id = event.id;
-      auto it = find_pipeline(event.id);
-      if (it == pipelines_.end()) {
-        outcome.status = Status{Code::kInvalid,
-                                "unknown pipeline id: '" + event.id + "'"};
-      } else if (event.weight <= 0.0) {
-        outcome.status = Status{Code::kInvalid, "non-positive weight"};
-      } else {
-        touched = static_cast<std::size_t>(it - pipelines_.begin());
-        old_weight = it->weight;
-        it->weight = event.weight;
-        composite_.reprioritize(touched, *it);
-        outcome.delta = CompositeDelta::kCoefficients;
-        workload_changed = true;
+      case Event::Type::kReprioritize: {
+        outcome.id = event.id;
+        auto it = find_pipeline(event.id);
+        if (it == pipelines_.end()) {
+          outcome.status = Status{
+              Code::kInvalid, "unknown pipeline id: '" + event.id + "'"};
+        } else if (event.weight <= 0.0) {
+          outcome.status = Status{Code::kInvalid, "non-positive weight"};
+        } else {
+          touched = static_cast<std::size_t>(it - pipelines_.begin());
+          old_weight = it->weight;
+          it->weight = event.weight;
+          composite_.reprioritize(touched, *it);
+          outcome.delta = CompositeDelta::kCoefficients;
+          workload_changed = true;
+        }
+        break;
       }
-      break;
-    }
-    case Event::Type::kResizePlatform: {
-      // Full structural validation up front: the composite-level
-      // validate/rollback below never runs for an *empty* pool, so a
-      // malformed platform accepted here would poison every later add.
-      if (Status valid = event.platform.validate(); !valid.is_ok()) {
-        outcome.status = std::move(valid);
-      } else {
-        old_platform = composite_.platform();
-        composite_.resize(std::move(event.platform));
-        outcome.delta = CompositeDelta::kRhs;
-        workload_changed = true;
+      case Event::Type::kResizePlatform: {
+        // Full structural validation up front: the composite-level
+        // validate/rollback below never runs for an *empty* pool, so a
+        // malformed platform accepted here would poison every later add.
+        if (Status valid = event.platform.validate(); !valid.is_ok()) {
+          outcome.status = std::move(valid);
+        } else {
+          old_platform = composite_.platform();
+          composite_.resize(std::move(event.platform));
+          outcome.delta = CompositeDelta::kRhs;
+          workload_changed = true;
+        }
+        break;
       }
-      break;
     }
   }
 
@@ -229,9 +413,7 @@ EventOutcome AllocServer::process(Event event) {
       last_totals_.clear();
       last_ii_ = 0.0;
     } else {
-      std::shared_ptr<const core::Problem> composite =
-          composite_.snapshot();
-      if (Status valid = composite->validate();
+      if (Status valid = composite_.snapshot()->validate();
           valid.code() == Code::kInvalid) {
         // Structurally malformed composite: apply the inverse delta and
         // fail the *event*, keeping the previous (valid) workload and
@@ -261,60 +443,25 @@ EventOutcome AllocServer::process(Event event) {
         outcome.delta = CompositeDelta::kNone;
         outcome.status = std::move(valid);
       } else {
-        // Sample the compilation/cache counters around the solve so the
-        // outcome records what this event actually paid for (with
-        // sequential lanes — the default — these deltas are
-        // deterministic; see EventOutcome).
-        const std::int64_t compiles0 = gp::total_structure_compiles();
-        const std::int64_t patches0 = gp::total_coefficient_patches();
-        const auto models0 = models_.stats();
-        const auto relax0 = cache_.stats();
-        runtime::SolveRequest request;
-        request.problem = std::move(composite);
-        request.warm = make_warm(*request.problem);
-        outcome.warm_started = request.warm.has_value();
-        runtime::SolveResult result = portfolio_->solve(request);
-        outcome.solve_status = result.status;
-        outcome.solve_nodes = result.nodes;
-        outcome.gp_compiles = gp::total_structure_compiles() - compiles0;
-        outcome.gp_patches = gp::total_coefficient_patches() - patches0;
-        const auto models1 = models_.stats();
-        const auto relax1 = cache_.stats();
-        outcome.model_hits = models1.hits - models0.hits;
-        outcome.model_misses = models1.misses - models0.misses;
-        outcome.relax_hits = relax1.hits - relax0.hits;
-        if (result.is_ok() && result.allocation) {
-          // Refresh the warm seed: the winning lane's root relaxation
-          // (ÎI, N̂), sliced per pipeline so surviving tenants carry
-          // their N̂ into the next composite. An exact-lane winner has
-          // no root; fall back to its integer totals.
-          last_totals_.clear();
-          const bool have_relaxed =
-              result.relaxed.has_value() &&
-              result.relaxed->n_hat.size() ==
-                  result.allocation->num_kernels();
-          std::size_t k = 0;
-          for (const PipelineSpec& pipe : pipelines_) {
-            std::vector<double>& totals = last_totals_[pipe.id];
-            totals.reserve(pipe.app.kernels.size());
-            for (std::size_t j = 0; j < pipe.app.kernels.size();
-                 ++j, ++k) {
-              totals.push_back(
-                  have_relaxed
-                      ? result.relaxed->n_hat[k]
-                      : static_cast<double>(
-                            result.allocation->total_cu(k)));
-            }
-          }
-          last_ii_ = have_relaxed ? result.relaxed->ii : result.ii;
-          incumbent_ = std::move(result);
-        } else {
-          // Keep serving the previous allocation; the failed state's
-          // seed data would poison the next warm start, so drop it.
-          last_totals_.clear();
-          last_ii_ = 0.0;
-        }
+        resolve_workload(outcome);
       }
+    }
+  }
+
+  // ---- Periodic durable snapshot (skipped while replaying: the
+  // snapshot that scheduled those events may already be newer).
+  if (wal_ && !replaying_ && options_.snapshot_every > 0 &&
+      sequence_ % options_.snapshot_every == 0) {
+    WalSnapshot snapshot;
+    snapshot.sequence = sequence_;
+    snapshot.platform = composite_.platform();
+    snapshot.pipelines = pipelines_;
+    if (wal_->write_snapshot(snapshot).is_ok()) {
+      ++stats_.snapshots;
+    } else {
+      // Recovery stays correct on the older snapshot (or a full
+      // replay); surface the failure through stats only.
+      ++stats_.wal_errors;
     }
   }
 
@@ -330,6 +477,23 @@ EventOutcome AllocServer::process(Event event) {
     }
   }
   outcome.seconds = seconds_since(t0);
+
+  stats_.sequence = sequence_;
+  stats_.active_pipelines = pipelines_.size();
+  if (outcome.status.is_ok()) {
+    ++stats_.events_ok;
+  } else {
+    ++stats_.events_failed;
+  }
+  // Broadcast events are counted by *every* shard; this counter lets a
+  // router-level reader (the wire API) de-duplicate them.
+  if (outcome.type == Event::Type::kResizePlatform) ++stats_.resizes;
+  stats_.solve_nodes += outcome.solve_nodes;
+  stats_.gp_compiles += outcome.gp_compiles;
+  stats_.gp_patches += outcome.gp_patches;
+  stats_.model_hits += outcome.model_hits;
+  stats_.model_misses += outcome.model_misses;
+  stats_.relax_hits += outcome.relax_hits;
   return outcome;
 }
 
@@ -346,6 +510,25 @@ std::optional<runtime::SolveResult> AllocServer::incumbent() const {
 std::vector<EventOutcome> AllocServer::log() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   return {log_.begin(), log_.end()};
+}
+
+ServiceStats AllocServer::stats() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ServiceStats stats = stats_;
+  if (!log_.empty()) {
+    std::vector<double> seconds;
+    seconds.reserve(log_.size());
+    for (const EventOutcome& o : log_) seconds.push_back(o.seconds);
+    std::sort(seconds.begin(), seconds.end());
+    const auto pct = [&seconds](double p) {
+      const std::size_t i = static_cast<std::size_t>(
+          p * static_cast<double>(seconds.size() - 1));
+      return seconds[i] * 1e3;
+    };
+    stats.p50_ms = pct(0.50);
+    stats.p95_ms = pct(0.95);
+  }
+  return stats;
 }
 
 }  // namespace mfa::service

@@ -36,6 +36,15 @@
 // EventOutcome field except wall-clock `seconds` is a pure function of
 // (initial platform, event sequence, options) — the property the trace
 // replayer's byte-identical log check rides on.
+//
+// Durability (ServerOptions::wal_dir): construct through open() and the
+// server keeps a write-ahead log (service/wal.hpp) — each event is
+// appended and fsync'd *before* it mutates anything, and the live
+// workload is snapshotted every `snapshot_every` events. recover()
+// rebuilds a crashed server from snapshot + log tail; because warm
+// starts and caches are byte-transparent and the dispatcher is
+// deterministic, the recovered incumbent is *byte-identical* to an
+// uninterrupted run's (the crash-recovery CI job asserts exactly that).
 #pragma once
 
 #include <cstddef>
@@ -53,12 +62,14 @@
 #include "core/compiled_cache.hpp"
 #include "core/problem.hpp"
 #include "core/relax_cache.hpp"
+#include "core/solver_context.hpp"
 #include "runtime/portfolio.hpp"
 #include "runtime/solve.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/composite.hpp"
 #include "service/event.hpp"
 #include "service/event_queue.hpp"
+#include "service/wal.hpp"
 
 namespace mfa::service {
 
@@ -85,6 +96,14 @@ struct ServerOptions {
   std::size_t model_cache_shards = 4;
   std::size_t model_cache_entries = 256;
 
+  /// Process-wide shared solver resources that *replace* the server-
+  /// owned caches above when set — the ShardRouter points every shard
+  /// here so all shards share one CompiledModelCache (identical
+  /// pipeline structures compile once per process, not once per
+  /// shard). Not owned; must outlive the server. See
+  /// core/solver_context.hpp.
+  const core::SolverContext* context = nullptr;
+
   /// Outcomes retained for log(): the newest `log_capacity` events
   /// (0 = unbounded — replay/test harnesses that diff the full log).
   /// Same rationale as the cache bound: a daemon processing millions
@@ -102,6 +121,19 @@ struct ServerOptions {
   double alpha = 1.0;
   double beta = 0.0;
 
+  // ---- Durability (see file comment). Servers with a wal_dir must be
+  // constructed through open()/recover(), which can report I/O errors;
+  // the plain constructor asserts the field is empty. -------------------
+
+  /// WAL directory; empty disables durability entirely.
+  std::string wal_dir;
+  /// fsync every append/snapshot. Disable only for benchmarking the
+  /// serialization cost without the disk stall.
+  bool wal_fsync = true;
+  /// Snapshot the live workload every N events (0 = never; recovery
+  /// then replays the whole log).
+  std::size_t snapshot_every = 256;
+
   ServerOptions() {
     portfolio.run_exact = false;
     portfolio.run_naive = false;
@@ -114,9 +146,51 @@ struct ServerOptions {
   }
 };
 
+/// Aggregate serving counters (all deterministic except the latency
+/// percentiles, which are wall clock over the retained log window).
+/// Totals cover events processed by *this* process — after recover()
+/// they restart at the replayed tail, they are observability, not
+/// durable state.
+struct ServiceStats {
+  std::uint64_t sequence = 0;   ///< next event sequence number
+  std::uint64_t events_ok = 0;
+  std::uint64_t events_failed = 0;  ///< event status != ok
+  /// ResizePlatform events processed. Under a ShardRouter a resize is
+  /// broadcast, so every shard counts the same client event once; the
+  /// wire API subtracts the duplicates when reporting how many client
+  /// events the deployment has processed (the `post --resume` point).
+  std::uint64_t resizes = 0;
+  std::size_t active_pipelines = 0;
+  std::int64_t solve_nodes = 0;
+  std::int64_t gp_compiles = 0;
+  std::int64_t gp_patches = 0;
+  std::uint64_t model_hits = 0;
+  std::uint64_t model_misses = 0;
+  std::uint64_t relax_hits = 0;
+  std::uint64_t snapshots = 0;   ///< snapshots successfully written
+  std::uint64_t wal_errors = 0;  ///< failed appends/snapshots
+  double p50_ms = 0.0;  ///< event latency percentiles over log()
+  double p95_ms = 0.0;
+};
+
 class AllocServer {
  public:
   explicit AllocServer(core::Platform platform, ServerOptions options = {});
+
+  /// Constructs a server, creating a *fresh* WAL when
+  /// options.wal_dir is set (any previous log there is truncated —
+  /// use recover() to resume one). With an empty wal_dir this is the
+  /// plain constructor behind a StatusOr.
+  static StatusOr<std::unique_ptr<AllocServer>> open(core::Platform platform,
+                                                     ServerOptions options);
+
+  /// Rebuilds a server from options.wal_dir: loads the snapshot (if
+  /// any), re-solves the spliced workload once, replays the log tail
+  /// through the normal dispatcher path, then resumes appending to the
+  /// same log. The caller must pass the same solver/composite options
+  /// as the original run for the byte-identity guarantee to hold (the
+  /// pool's *shape* comes from the WAL, not from the options).
+  static StatusOr<std::unique_ptr<AllocServer>> recover(ServerOptions options);
 
   /// Stops accepting events, drains the queue, joins the dispatcher.
   ~AllocServer();
@@ -147,17 +221,39 @@ class AllocServer {
   /// newest ServerOptions::log_capacity of them (all, when 0).
   [[nodiscard]] std::vector<EventOutcome> log() const;
 
+  /// Aggregate serving counters (see ServiceStats).
+  [[nodiscard]] ServiceStats stats() const;
+
   [[nodiscard]] core::RelaxationCache::Stats cache_stats() const {
-    return cache_.stats();
+    return relax_cache_->stats();
   }
 
   [[nodiscard]] core::CompiledModelCache::Stats model_cache_stats() const {
-    return models_.stats();
+    return model_cache_->stats();
   }
 
  private:
+  /// Tag for the delegated constructor that wires everything but does
+  /// not start the dispatcher (open()/recover() finish WAL setup first).
+  struct DeferStart {};
+  AllocServer(core::Platform platform, ServerOptions options, DeferStart);
+  void start();
+
   void dispatcher_loop();
   EventOutcome process(Event event);
+
+  /// Re-solves the current composite and refreshes incumbent/seed
+  /// state, recording solve provenance into `outcome`. Requires
+  /// state_mutex_ held and a non-empty pipeline set.
+  void resolve_workload(EventOutcome& outcome);
+
+  /// Rebuilds dispatcher state from a loaded WAL (called before
+  /// start(); see recover()).
+  Status restore(const WalRecovery& recovery);
+
+  /// Appends the retained outcome and trims to log_capacity. Requires
+  /// state_mutex_ held.
+  void retain_outcome(const EventOutcome& outcome);
 
   /// Warm seed for the next solve, aligned to `problem`'s kernels from
   /// the per-pipeline totals of the previous one (nullopt on cold
@@ -168,6 +264,11 @@ class AllocServer {
   ServerOptions options_;
   core::RelaxationCache cache_;
   core::CompiledModelCache models_;
+  /// Effective caches: ServerOptions::context overrides the owned ones.
+  core::RelaxationCache* relax_cache_ = nullptr;
+  core::CompiledModelCache* model_cache_ = nullptr;
+  /// The single wiring point handed to the portfolio (caches + pool).
+  core::SolverContext ctx_;
   std::unique_ptr<runtime::ThreadPool> pool_;  ///< null → sequential lanes
   std::unique_ptr<runtime::Portfolio> portfolio_;
 
@@ -182,10 +283,17 @@ class AllocServer {
   double last_ii_ = 0.0;
   std::deque<EventOutcome> log_;  ///< newest log_capacity outcomes
   std::uint64_t sequence_ = 0;
+  ServiceStats stats_;
+
+  std::optional<Wal> wal_;  ///< durability; engaged by open()/recover()
+  /// True while restore() replays the log: suppresses re-appending the
+  /// replayed events to the WAL and re-counting snapshots.
+  bool replaying_ = false;
 
   mutable std::mutex state_mutex_;
   EventQueue queue_;
   std::thread dispatcher_;
+  bool started_ = false;
   bool stopped_ = false;
   std::mutex stop_mutex_;
 };

@@ -1,0 +1,131 @@
+// Consistent-hash router over N in-process AllocServer shards.
+//
+// One AllocServer serializes every event through a single dispatcher —
+// correct, but the solve is the bottleneck and unrelated pipelines have
+// no reason to queue behind each other. ShardRouter partitions the
+// tenant space instead: each pipeline id is assigned to one of N
+// independent AllocServers by consistent hashing, so all events for one
+// pipeline land on the same shard (per-pipeline ordering is preserved)
+// while different shards solve concurrently.
+//
+// Hashing is a ring with virtual nodes over a *pinned* FNV-1a — never
+// std::hash, whose values are implementation-defined and may differ
+// across libstdc++ versions, which would silently re-partition every
+// tenant (and break WAL recovery) on a toolchain upgrade. The
+// assignment is therefore a documented, stable function of
+// (id, shards, virtual_nodes).
+//
+// Each shard manages its own platform instance (every shard is
+// configured with the same initial pool shape, so the deployment
+// models N pool replicas with tenants spread across them);
+// ResizePlatform events carry no pipeline id and are *broadcast* to
+// every shard. Shards share one process-wide CompiledModelCache
+// through a core::SolverContext, so a pipeline structure compiles once
+// per process no matter which shard serves it; relaxation caches stay
+// per-shard (their entries are keyed by the full composite, which
+// rarely repeats across shards, and sharing would add contention for
+// no hit-rate).
+//
+// Durability: with RouterOptions::wal_root set, shard i logs to
+// <wal_root>/shard-<i> (its own WAL + snapshots), and recover()
+// rebuilds every shard. The shard count is part of the on-disk layout:
+// recovering with a different `shards` would re-partition tenants, so
+// it is rejected.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/compiled_cache.hpp"
+#include "core/solver_context.hpp"
+#include "service/alloc_server.hpp"
+
+namespace mfa::service {
+
+struct RouterOptions {
+  /// Independent AllocServer shards (>= 1). Part of the WAL layout.
+  std::size_t shards = 2;
+  /// Virtual nodes per shard on the hash ring; more smooths the
+  /// assignment at the cost of a larger (still tiny) ring.
+  std::size_t virtual_nodes = 64;
+  /// Template applied to every shard. wal_dir and context are managed
+  /// by the router (set wal_root below instead).
+  ServerOptions server;
+  /// Durability root; empty disables WALs. Shard i uses
+  /// <wal_root>/shard-<i>.
+  std::string wal_root;
+  /// Process-wide compiled-GP model cache shared by all shards.
+  std::size_t model_cache_shards = 4;
+  std::size_t model_cache_entries = 1024;
+};
+
+/// Stable 64-bit FNV-1a (see file comment on why not std::hash).
+std::uint64_t stable_hash(std::string_view bytes);
+
+class ShardRouter {
+ public:
+  /// Starts `options.shards` fresh shards, each owning a copy of
+  /// `platform` (creating per-shard WALs under wal_root when set).
+  static StatusOr<std::unique_ptr<ShardRouter>> open(
+      const core::Platform& platform, RouterOptions options);
+
+  /// Rebuilds every shard from <wal_root>/shard-<i>. `options.shards`
+  /// must match the layout that wrote the WALs.
+  static StatusOr<std::unique_ptr<ShardRouter>> recover(
+      RouterOptions options);
+
+  /// Stops every shard (idempotent; also run by the destructor).
+  void stop();
+
+  /// Routes the event to its pipeline's shard. ResizePlatform is
+  /// broadcast: the returned (deferred) future resolves to a merged
+  /// outcome — first non-ok status, summed pipeline/node/cache
+  /// counters, shard 0's incumbent fields — once every shard has
+  /// applied it.
+  std::future<EventOutcome> submit(Event event);
+
+  /// Convenience: submit and wait.
+  EventOutcome apply(Event event) { return submit(std::move(event)).get(); }
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// The shard an id routes to: ring successor of stable_hash(id).
+  [[nodiscard]] std::size_t shard_of(std::string_view id) const;
+
+  [[nodiscard]] const AllocServer& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+
+  /// Merged counters: sums across shards; sequence is the total event
+  /// count; latency percentiles are the worst shard's (conservative).
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::vector<ServiceStats> shard_stats() const;
+
+  /// Per-shard incumbents (a shard with an empty pool reports nullopt).
+  [[nodiscard]] std::vector<std::optional<runtime::SolveResult>>
+  incumbents() const;
+
+  [[nodiscard]] std::size_t active_pipelines() const;
+
+  ~ShardRouter();
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+ private:
+  explicit ShardRouter(RouterOptions options);
+  void build_ring();
+
+  RouterOptions options_;
+  core::CompiledModelCache models_;  ///< process-wide (see file comment)
+  core::SolverContext ctx_;          ///< hands models_ to every shard
+  std::vector<std::unique_ptr<AllocServer>> shards_;
+  /// (point, shard) pairs sorted by point; successor lookup routes ids.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+}  // namespace mfa::service

@@ -1,0 +1,134 @@
+// Write-ahead log + snapshots: crash durability for the allocation
+// service.
+//
+// PR 4's byte-identical event log was an *observability* artifact; this
+// header promotes the idea to a real WAL. A served event is appended to
+// `<dir>/wal.log` — one compact JSON record per line, fsync'd — *before*
+// it is applied (append-before-apply), so after a crash the log contains
+// every event whose outcome was ever acknowledged, plus at most one
+// trailing event that was logged but not yet applied. Recovery replays
+// the log through the same deterministic dispatcher and lands on the
+// exact state an uninterrupted run would have reached: the solve stack
+// is a pure function of (initial platform, event sequence, options), a
+// property tests/service_test.cpp has enforced since PR 4.
+//
+// Layout of a WAL directory:
+//
+//   wal.log        line 0: header {"schema_version":1,"format":
+//                  "mfa-wal","platform":{...}} — the pool before any
+//                  event, so a log is self-contained;
+//                  lines 1..: records {"schema_version":1,"seq":N,
+//                  "event":{...}} in sequence order, starting at 0.
+//   snapshot.json  optional durable workload state at a sequence point
+//                  (platform + live pipelines), written atomically
+//                  (tmp + rename) every ServerOptions::snapshot_every
+//                  events so recovery replays a tail, not the world.
+//
+// The log is never truncated or compacted: recovery correctness only
+// needs snapshot + tail, but the full log is the service's event
+// history — the crash-recovery CI job byte-compares it against an
+// uninterrupted run's log.
+//
+// Torn writes: a crash can leave a partial final line. load() accepts
+// exactly one unparseable *trailing* record and drops it (the event was
+// never applied nor acknowledged — append-before-apply means losing it
+// is correct); an unparseable record anywhere else is corruption and
+// fails with kInvalid. Every record carries schema_version and load()
+// rejects unknown or missing versions with a typed Status (see
+// io/serialize.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "service/event.hpp"
+#include "support/status.hpp"
+
+namespace mfa::service {
+
+/// One durable log entry: the event and the sequence number the
+/// dispatcher assigned it.
+struct WalRecord {
+  std::uint64_t sequence = 0;
+  Event event;
+};
+
+/// Durable workload state at a sequence point: everything needed to
+/// reconstruct the server's deterministic state without replaying the
+/// events before `sequence` (the incumbent itself is re-derived by one
+/// solve — it is a pure function of this state).
+struct WalSnapshot {
+  std::uint64_t sequence = 0;  ///< events applied when the snapshot ran
+  core::Platform platform;     ///< pool shape at that point
+  std::vector<PipelineSpec> pipelines;  ///< live set, arrival order
+};
+
+/// What load() hands back for recovery.
+struct WalRecovery {
+  core::Platform initial_platform;  ///< from the log header
+  std::optional<WalSnapshot> snapshot;
+  /// Records to replay: sequence >= snapshot->sequence (all records
+  /// when there is no snapshot), contiguous.
+  std::vector<WalRecord> tail;
+  /// One past the last logged sequence (0 for an empty log).
+  std::uint64_t next_sequence = 0;
+};
+
+/// Append handle on a WAL directory. Single writer (the dispatcher);
+/// movable, closes on destruction. All I/O failures surface as Status —
+/// a full disk fails the *event*, never the process.
+class Wal {
+ public:
+  struct Options {
+    /// fsync every append (and snapshot). Disable only for benchmarks
+    /// that want the serialization cost without the disk stall.
+    bool fsync;
+    // Explicit constructor (not a default member initializer): the
+    // in-class `= Options()` default arguments below may not use a DMI
+    // before the enclosing class is complete.
+    explicit Options(bool fsync_in = true) : fsync(fsync_in) {}
+  };
+
+  /// Starts a fresh log in `dir` (creating the directory, truncating
+  /// any previous log and removing a stale snapshot), writing the
+  /// header line for `initial_platform`.
+  static StatusOr<Wal> create(const std::string& dir,
+                              const core::Platform& initial_platform,
+                              Options options = Options());
+
+  /// Opens an existing log for appending (after load()/replay).
+  static StatusOr<Wal> open(const std::string& dir,
+                            Options options = Options());
+
+  /// Reads header, snapshot and records for recovery; tolerates one
+  /// torn trailing record (see file comment).
+  static StatusOr<WalRecovery> load(const std::string& dir);
+
+  Wal(Wal&& other) noexcept;
+  Wal& operator=(Wal&& other) noexcept;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  /// Appends one record and (by default) fsyncs before returning — the
+  /// append-before-apply barrier.
+  Status append(std::uint64_t sequence, const Event& event);
+
+  /// Atomically replaces `snapshot.json` (write tmp, fsync, rename).
+  Status write_snapshot(const WalSnapshot& snapshot);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  Wal(std::string dir, int fd, Options options)
+      : dir_(std::move(dir)), fd_(fd), options_(options) {}
+
+  std::string dir_;
+  int fd_ = -1;  ///< wal.log, O_APPEND
+  Options options_;
+};
+
+}  // namespace mfa::service

@@ -1,4 +1,7 @@
 #include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -113,6 +116,130 @@ TEST(Serialize, FileRoundTrip) {
 TEST(Serialize, ReadMissingFileFails) {
   auto r = read_file("/nonexistent/path/nope.json");
   EXPECT_EQ(r.status().code(), Code::kInvalid);
+}
+
+// ---- schema_version: writers stamp it, readers accept the current
+// version and legacy v0 (no field), and reject anything else. ------------
+
+/// Copy of an object with one member removed (Json has no erase).
+Json without(const Json& j, std::string_view key) {
+  Json out = Json::object();
+  for (const auto& [k, v] : j.members()) {
+    if (k != key) out.set(k, v);
+  }
+  return out;
+}
+
+scenario::Trace tiny_trace() {
+  scenario::Trace trace;
+  const Problem p = tiny_problem();
+  trace.platform = p.platform;
+  trace.events.push_back(
+      service::Event::add(service::PipelineSpec{"p0", p.app, 1.0}, 0.5));
+  trace.events.push_back(service::Event::remove("p0", 2.0));
+  return trace;
+}
+
+TEST(Serialize, SchemaVersionStampedOnWrite) {
+  const Json problem = to_json(tiny_problem());
+  ASSERT_NE(problem.find("schema_version"), nullptr);
+  EXPECT_EQ(problem.find("schema_version")->as_number(), kSchemaVersion);
+  EXPECT_TRUE(problem_from_json(problem).is_ok());
+
+  const Json trace = to_json(tiny_trace());
+  ASSERT_NE(trace.find("schema_version"), nullptr);
+  EXPECT_EQ(trace.find("schema_version")->as_number(), kSchemaVersion);
+  auto round = trace_from_json(trace);
+  ASSERT_TRUE(round.is_ok());
+  // v0 → v1 migration: re-serializing a legacy document stamps the
+  // current version.
+  auto legacy = trace_from_json(without(trace, "schema_version"));
+  ASSERT_TRUE(legacy.is_ok());
+  EXPECT_EQ(to_json(legacy.value()).find("schema_version")->as_number(),
+            kSchemaVersion);
+}
+
+TEST(Serialize, LegacyV0DocumentsAccepted) {
+  // Pre-versioning documents carry no schema_version; both readers
+  // accept them (version is only *required* on the wire and in WALs).
+  EXPECT_TRUE(
+      problem_from_json(without(to_json(tiny_problem()), "schema_version"))
+          .is_ok());
+  EXPECT_TRUE(
+      trace_from_json(without(to_json(tiny_trace()), "schema_version"))
+          .is_ok());
+}
+
+TEST(Serialize, UnknownSchemaVersionRejected) {
+  Json problem = to_json(tiny_problem());
+  problem.set("schema_version", Json::number(99));
+  EXPECT_EQ(problem_from_json(problem).status().code(), Code::kInvalid);
+  problem.set("schema_version", Json::number(1.5));
+  EXPECT_EQ(problem_from_json(problem).status().code(), Code::kInvalid);
+  problem.set("schema_version", Json::string("1"));
+  EXPECT_EQ(problem_from_json(problem).status().code(), Code::kInvalid);
+
+  Json trace = to_json(tiny_trace());
+  trace.set("schema_version", Json::number(99));
+  EXPECT_EQ(trace_from_json(trace).status().code(), Code::kInvalid);
+}
+
+TEST(Serialize, WalRecordRequiresSchemaVersion) {
+  service::WalRecord record;
+  record.sequence = 7;
+  record.event = tiny_trace().events.front();
+  const Json j = to_json(record);
+  auto ok = wal_record_from_json(j);
+  ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+  EXPECT_EQ(ok.value().sequence, 7u);
+  // The WAL was born versioned: a record without the field is corrupt,
+  // not legacy.
+  EXPECT_EQ(wal_record_from_json(without(j, "schema_version")).status().code(),
+            Code::kInvalid);
+  Json bad = j;
+  bad.set("schema_version", Json::number(99));
+  EXPECT_EQ(wal_record_from_json(bad).status().code(), Code::kInvalid);
+}
+
+TEST(Serialize, MalformedInputNeverAborts) {
+  // Hostile-input corpus: every parser entry point must return a typed
+  // error — never crash, abort, or hang — on arbitrary bytes.
+  const std::vector<std::string> corpus = {
+      "",
+      " ",
+      "{",
+      "}",
+      "[",
+      "null",
+      "true",
+      "42",
+      "\"string\"",
+      "nan",
+      "{\"application\":",
+      "{\"application\":{\"kernels\":42}}",
+      "{\"application\":{\"kernels\":[{\"wcet_ms\":\"fast\"}]}}",
+      "{\"platform\":{\"fpgas\":-3}}",
+      "{\"platform\":{\"fpgas\":1e308}}",
+      "{\"events\":\"no\"}",
+      "{\"platform\":{},\"events\":[{\"type\":\"warp\"}]}",
+      "{\"schema_version\":\"one\"}",
+      std::string(256, '['),
+      std::string(256, '{'),
+      "{\"a\":\"\\u12\"}",
+      "{\"a\":\"unterminated",
+      "\xff\xfe\x00garbage",
+  };
+  for (const std::string& text : corpus) {
+    SCOPED_TRACE(text.substr(0, 32));
+    EXPECT_FALSE(problem_from_text(text).is_ok());
+    EXPECT_FALSE(trace_from_text(text).is_ok());
+    auto doc = Json::parse(text);
+    if (doc.is_ok()) {
+      // Parsable but wrong-shaped documents must fail typed too.
+      EXPECT_FALSE(event_from_json(doc.value()).is_ok());
+      EXPECT_FALSE(wal_record_from_json(doc.value()).is_ok());
+    }
+  }
 }
 
 }  // namespace
