@@ -28,7 +28,11 @@
 //     so every such solve must be a model-cache hit + patch (PR-5), and
 //   * the WAL replay's deterministic event log must be byte-identical
 //     to the non-WAL warm replay — durability is observability-free
-//     (PR-6, the property crash recovery rides on).
+//     (PR-6, the property crash recovery rides on),
+//   * every full IR lowering must match a compiled-model cache miss
+//     (no path compiles structures behind the cache's back), and
+//   * zero batched-kernel misgroupings: fingerprint grouping must never
+//     hand the lane-parallel kernel models of different structure.
 // `--smoke` shrinks the trace for CI wiring checks.
 //
 // With MFA_BENCH_OUT set to a directory, the measurements are written
@@ -44,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "gp/batched.hpp"
 #include "gp/solver.hpp"
 #include "io/serialize.hpp"
 #include "scenario/trace.hpp"
@@ -62,6 +67,11 @@ struct ReplayStats {
   double p95_event_ms = 0.0;
   std::int64_t gp_compiles = 0;  ///< full IR lowerings
   std::int64_t gp_patches = 0;   ///< coefficient patches
+  /// Batched-kernel misgroupings (lanes whose compiled models did not
+  /// share a structure at batch-build time) observed during the replay —
+  /// fingerprint grouping must make this impossible, so --check gates
+  /// the delta at zero.
+  std::int64_t batched_misgroupings = 0;
   /// Full recompiles charged to numeric-only (reprioritize/resize)
   /// events — the --check gate requires zero.
   std::int64_t numeric_event_compiles = 0;
@@ -94,6 +104,7 @@ ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start,
 
   ReplayStats stats;
   const std::int64_t newton0 = mfa::gp::total_newton_iterations();
+  const std::int64_t misgroup0 = mfa::gp::total_batched_misgroupings();
   const auto t0 = Clock::now();
   auto opened = mfa::service::AllocServer::open(trace.platform, options);
   if (!opened.is_ok()) {
@@ -120,6 +131,8 @@ ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start,
   server.stop();
   stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   stats.newton = mfa::gp::total_newton_iterations() - newton0;
+  stats.batched_misgroupings =
+      mfa::gp::total_batched_misgroupings() - misgroup0;
   double total_ms = 0.0;
   for (double ms : event_ms) total_ms += ms;
   stats.mean_event_ms =
@@ -238,6 +251,8 @@ void print_mode_table(const ReplayStats& cold, const ReplayStats& warm,
         wal.gp_patches);
   row_i("  of compiles: numeric evts", cold.numeric_event_compiles,
         warm.numeric_event_compiles, wal.numeric_event_compiles);
+  row_i("batched misgroupings", cold.batched_misgroupings,
+        warm.batched_misgroupings, wal.batched_misgroupings);
   row_i("model cache hits", static_cast<std::int64_t>(cold.model.hits),
         static_cast<std::int64_t>(warm.model.hits),
         static_cast<std::int64_t>(wal.model.hits));
@@ -327,6 +342,29 @@ int main(int argc, char** argv) {
       std::printf("FAIL: WAL-enabled replay produced a different event log "
                   "(durability must be byte-transparent)\n");
       rc = 1;
+    }
+    // Every full IR lowering must be accounted for by a compiled-model
+    // cache miss: a compile the cache never saw would mean some path
+    // rebuilds structures behind the cache's back (and would erode the
+    // patch-only economics the PR-5 split promises).
+    for (const auto& [mode, stats] :
+         {std::pair<const char*, const ReplayStats&>{"cold", cold},
+          std::pair<const char*, const ReplayStats&>{"warm", warm},
+          std::pair<const char*, const ReplayStats&>{"warm+wal", wal}}) {
+      if (stats.gp_compiles != static_cast<std::int64_t>(stats.model.misses)) {
+        std::printf("FAIL: %s replay performed %lld structure compiles but "
+                    "the model cache recorded %lld misses (hidden compiles)\n",
+                    mode, static_cast<long long>(stats.gp_compiles),
+                    static_cast<long long>(stats.model.misses));
+        rc = 1;
+      }
+      if (stats.batched_misgroupings != 0) {
+        std::printf("FAIL: %s replay hit %lld batched-group misgroupings "
+                    "(fingerprint grouping must prevent all of them)\n",
+                    mode,
+                    static_cast<long long>(stats.batched_misgroupings));
+        rc = 1;
+      }
     }
     return rc;
   }

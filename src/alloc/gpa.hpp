@@ -34,6 +34,15 @@ struct GpaOptions {
   /// the seed in, so warm entries never alias cold ones.
   std::optional<core::RelaxedSolution> warm;
 
+  /// Externally computed root relaxation: when set, Step 1 is skipped —
+  /// this value feeds the discretizer directly and the relaxation cache
+  /// is bypassed for the root on purpose. The batched dispatcher
+  /// (runtime/batch.cpp) injects its lane results here: a batched-kernel
+  /// root is only tolerance-equal to the scalar solve, so publishing it
+  /// under a scalar cache key would poison byte-determinism for every
+  /// later scalar caller. `warm` is ignored when this is set.
+  std::optional<core::RelaxedSolution> root_override;
+
   /// Shared solver resources (caches, budget, pool) — the single wiring
   /// point; see core/solver_context.hpp. Not owned. The root solve and
   /// every branch-and-bound node go through the context's relaxation

@@ -294,13 +294,76 @@ class Attempt {
   std::vector<FpgaState> fpgas_;
 };
 
+/// Flattens a finished attempt into the POD memo form.
+GreedyMemo to_memo(const Allocation& alloc, double used_fraction,
+                   int iterations, int dropped_cus) {
+  GreedyMemo memo;
+  memo.cu.resize(alloc.num_kernels() *
+                 static_cast<std::size_t>(alloc.num_fpgas()));
+  for (std::size_t k = 0; k < alloc.num_kernels(); ++k) {
+    for (int f = 0; f < alloc.num_fpgas(); ++f) {
+      memo.cu[k * static_cast<std::size_t>(alloc.num_fpgas()) +
+              static_cast<std::size_t>(f)] = alloc.cu(k, f);
+    }
+  }
+  memo.used_fraction = used_fraction;
+  memo.iterations = iterations;
+  memo.dropped_cus = dropped_cus;
+  return memo;
+}
+
+/// Rebuilds a GreedyResult against the caller's Problem from a memo.
+GreedyResult from_memo(const Problem& problem, const GreedyMemo& memo) {
+  GreedyResult result{Allocation(problem), memo.used_fraction,
+                      memo.iterations, memo.dropped_cus};
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    for (int f = 0; f < problem.num_fpgas(); ++f) {
+      result.allocation.set_cu(
+          k, f,
+          memo.cu[k * static_cast<std::size_t>(problem.num_fpgas()) +
+                  static_cast<std::size_t>(f)]);
+    }
+  }
+  return result;
+}
+
 }  // namespace
+
+core::Fingerprint greedy_cache_key(const core::Problem& problem,
+                                   const std::vector<int>& totals,
+                                   const GreedyOptions& options) {
+  core::Fingerprint key = core::relaxation_fingerprint(problem);
+  // The relaxation fingerprint hashes the *effective* caps; the greedy
+  // escalation additionally reads the fractions themselves (R_c starts
+  // at resource_fraction and climbs against the full platform caps).
+  key.mix(problem.resource_fraction);
+  key.mix(problem.bw_fraction);
+  key.mix(static_cast<std::uint64_t>(totals.size()));
+  for (int n : totals) key.mix(static_cast<std::uint64_t>(n));
+  key.mix(options.t_max);
+  key.mix(options.delta);
+  key.mix(std::uint64_t{0x92eed1});  // algorithm tag: greedy placement
+  return key;
+}
 
 StatusOr<GreedyResult> GreedyAllocator::allocate(
     const Problem& problem, const std::vector<int>& totals) const {
   MFA_ASSERT(totals.size() == problem.num_kernels());
   for (int n : totals) {
     MFA_ASSERT_MSG(n >= 1, "allocator needs at least one CU per kernel");
+  }
+
+  // Memoized replay: identical (problem, totals, options) runs repeat
+  // constantly — every portfolio lane places the same discretized
+  // totals, and service churn revisits workloads — so a hit skips the
+  // whole escalation loop. The memo stores no Problem reference; the
+  // allocation is rebuilt against *this* problem.
+  core::Fingerprint memo_key;
+  if (options_.cache != nullptr) {
+    memo_key = greedy_cache_key(problem, totals, options_);
+    if (auto hit = options_.cache->lookup(memo_key)) {
+      return from_memo(problem, *hit);
+    }
   }
 
   const double r0 = problem.resource_fraction;
@@ -352,6 +415,10 @@ StatusOr<GreedyResult> GreedyAllocator::allocate(
 
     if (best != nullptr && best->leftover() == 0) {
       GreedyResult result{best->take_allocation(), rc, iterations, 0};
+      if (options_.cache != nullptr) {
+        options_.cache->insert(memo_key,
+                               to_memo(result.allocation, rc, iterations, 0));
+      }
       return result;
     }
 
@@ -363,6 +430,10 @@ StatusOr<GreedyResult> GreedyAllocator::allocate(
         const int dropped = best->leftover();
         GreedyResult result{best->take_allocation(), rc, iterations,
                             dropped};
+        if (options_.cache != nullptr) {
+          options_.cache->insert(
+              memo_key, to_memo(result.allocation, rc, iterations, dropped));
+        }
         return result;
       }
       return Status{Code::kInfeasible,

@@ -40,10 +40,32 @@
 #include <vector>
 
 #include "core/allocation.hpp"
+#include "core/fingerprint.hpp"
 #include "core/problem.hpp"
+#include "core/sharded_cache.hpp"
 #include "support/status.hpp"
 
 namespace mfa::alloc {
+
+/// Memoized outcome of one successful greedy run: the placement matrix
+/// plus the scalar diagnostics, with no reference back to the Problem —
+/// a hit rebuilds the Allocation against the *caller's* Problem object,
+/// so entries can be shared across equal problem instances (portfolio
+/// lanes, repeated service events) regardless of object identity.
+struct GreedyMemo {
+  std::vector<int> cu;  ///< n_{k,f}, row-major [kernel][fpga]
+  double used_fraction = 0.0;
+  int iterations = 0;
+  int dropped_cus = 0;
+};
+
+/// Thread-safe memoization of greedy placements, keyed by
+/// greedy_cache_key(). Same machinery (and determinism contract) as the
+/// relaxation cache: a hit is exactly what the thread would have
+/// computed itself. Only successes are stored — infeasibility depends on
+/// nothing cacheable beyond the same key, but it is rare and cheap to
+/// re-prove relative to the placement runs.
+using GreedyCache = core::ShardedCache<GreedyMemo>;
 
 struct GreedyOptions {
   /// T — maximum deviation above the initial resource constraint, as a
@@ -51,7 +73,19 @@ struct GreedyOptions {
   double t_max = 0.0;
   /// Δ — constraint increment per retry (the paper uses 1 %).
   double delta = 0.01;
+  /// Optional shared memoization of placements by (problem, totals,
+  /// options) fingerprint. Not owned; may be shared across threads.
+  GreedyCache* cache = nullptr;
 };
+
+/// Cache key for a greedy run: the relaxation fingerprint (kernels,
+/// fleet, effective caps) plus the constraint fractions the allocator
+/// reads directly, the requested totals, and the (T, Δ) escalation
+/// schedule — every input the placement depends on — and an algorithm
+/// tag so entries never alias other caches' keys.
+core::Fingerprint greedy_cache_key(const core::Problem& problem,
+                                   const std::vector<int>& totals,
+                                   const GreedyOptions& options);
 
 struct GreedyResult {
   core::Allocation allocation;

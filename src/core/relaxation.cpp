@@ -11,14 +11,30 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Cheapest N̂ meeting target t under bounds: max(L_k, WCET_k/t).
-std::vector<double> cheapest_n(const Problem& p, const CuBounds& b,
-                               double t) {
-  std::vector<double> n(p.num_kernels());
+/// Cheapest N̂ meeting target t under bounds: max(L_k, WCET_k/t),
+/// written into a caller-owned buffer so the bisection's ~200 probes per
+/// solve share one allocation.
+void cheapest_n_into(const Problem& p, const CuBounds& b, double t,
+                     std::vector<double>& n) {
+  n.resize(p.num_kernels());
   for (std::size_t k = 0; k < p.num_kernels(); ++k) {
     n[k] = std::max(b.lower[k], p.app.kernels[k].wcet_ms / t);
   }
-  return n;
+}
+
+/// Scratch for one bisection solve, reused across calls on the same
+/// thread. Keyed by the problem's structural identity in the only way
+/// the bisection cares about — the kernel count — so a thread hammering
+/// one branch-and-bound tree (every node shares the root's kernel set)
+/// never reallocates after the first solve. resize() is a no-op when the
+/// size already matches, so switching problems just resizes once.
+struct BisectionWorkspace {
+  std::vector<double> n;
+};
+
+BisectionWorkspace& bisection_workspace() {
+  thread_local BisectionWorkspace ws;
+  return ws;
 }
 
 /// Pooled resource feasibility of a candidate N̂ (eqs. 17–18 with bounds).
@@ -83,13 +99,22 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
   if (t_lo == 0.0) t_lo = 1e-12;
   t_hi = std::max(t_hi, t_lo);
 
-  if (!pooled_feasible(problem, bounds, cheapest_n(problem, bounds, t_hi))) {
+  // Every probe shares the thread-local scratch; the feasibility
+  // arithmetic is unchanged, so results stay bit-identical to the
+  // allocating version.
+  std::vector<double>& n = bisection_workspace().n;
+  auto feasible_at = [&](double t) {
+    cheapest_n_into(problem, bounds, t, n);
+    return pooled_feasible(problem, bounds, n);
+  };
+
+  if (!feasible_at(t_hi)) {
     return Status{Code::kInfeasible,
                   "pooled resource constraints violated at minimum CUs"};
   }
 
   RelaxedSolution sol;
-  if (pooled_feasible(problem, bounds, cheapest_n(problem, bounds, t_lo))) {
+  if (feasible_at(t_lo)) {
     sol.ii = t_lo;  // bound-limited: cannot go below t_lo by construction
   } else {
     // Monotone bisection: infeasible at lo, feasible at hi. A warm hint
@@ -99,8 +124,7 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
     double lo = t_lo;
     double hi = t_hi;
     if (ii_hint > lo && ii_hint < hi) {
-      if (pooled_feasible(problem, bounds,
-                          cheapest_n(problem, bounds, ii_hint))) {
+      if (feasible_at(ii_hint)) {
         hi = ii_hint;
       } else {
         lo = ii_hint;
@@ -108,7 +132,7 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
     }
     for (int iter = 0; iter < 200 && (hi - lo) > 1e-14 * hi; ++iter) {
       const double mid = 0.5 * (lo + hi);
-      if (pooled_feasible(problem, bounds, cheapest_n(problem, bounds, mid))) {
+      if (feasible_at(mid)) {
         hi = mid;
       } else {
         lo = mid;
@@ -116,8 +140,29 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
     }
     sol.ii = hi;
   }
-  sol.n_hat = cheapest_n(problem, bounds, sol.ii);
+  cheapest_n_into(problem, bounds, sol.ii, n);
+  sol.n_hat = n;
   return sol;
+}
+
+std::vector<StatusOr<RelaxedSolution>> solve_relaxation_batch(
+    const Problem& problem, const std::vector<CuBounds>& bounds,
+    const std::vector<double>& ii_hints) {
+  MFA_ASSERT(ii_hints.empty() || ii_hints.size() == bounds.size());
+  std::vector<StatusOr<RelaxedSolution>> out;
+  out.reserve(bounds.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    // Each lane runs the exact scalar probe sequence (the bisection has
+    // no cross-lane arithmetic to fuse), so lane results are bit-equal
+    // to individual solve_relaxation calls and remain compatible with
+    // relaxation_cache_key-addressed cache entries. The batch's saving
+    // is the shared thread-local scratch staying hot across lanes —
+    // sibling branch-and-bound children have the same kernel count, so
+    // no probe after the first lane's first ever reallocates.
+    out.push_back(solve_relaxation(problem, bounds[i],
+                                   ii_hints.empty() ? 0.0 : ii_hints[i]));
+  }
+  return out;
 }
 
 StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,

@@ -63,6 +63,18 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
                                            const CuBounds& bounds,
                                            double ii_hint);
 
+/// Solves several bounds variants of one problem back to back — the
+/// discretizer routes sibling branch-and-bound children (which share the
+/// parent's kernel set and differ only in one tightened bound) through
+/// this. Lane i is bit-identical to
+/// solve_relaxation(problem, bounds[i], ii_hints[i]) — the bisection has
+/// no cross-lane arithmetic — so results stay interchangeable with
+/// individually cached entries under relaxation_cache_key. `ii_hints`
+/// may be empty (no hints) or one hint per lane.
+std::vector<StatusOr<RelaxedSolution>> solve_relaxation_batch(
+    const Problem& problem, const std::vector<CuBounds>& bounds,
+    const std::vector<double>& ii_hints);
+
 /// Builds the GP model (14)–(18) for the problem, with bounds folded in
 /// as monomial constraints. Variable 0 is ÎI; variable 1+k is N̂_k.
 gp::GpProblem build_relaxation_gp(const Problem& problem,

@@ -1,0 +1,447 @@
+#include "gp/batched.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "gp/structure.hpp"
+
+// Lane loops of pure arithmetic carry an omp-simd hint (compiled with
+// -fopenmp-simd: vectorization without an OpenMP runtime, and — load
+// bearing for determinism — without defining _OPENMP, so libm's vector
+// variants of exp/log never get declared). libm exp is an opaque call
+// that would keep the hot weight loop scalar, so the softmax uses
+// lane_exp() below: pure elementwise straight-line arithmetic,
+// vectorizable, and bit-stable per lane regardless of batch width or
+// position. The log of the normalizer stays libm — it runs once per
+// lane per constraint (not once per term) and libm wins there.
+#if defined(__clang__) || defined(__GNUC__)
+#define MFA_SIMD _Pragma("omp simd")
+#else
+#define MFA_SIMD
+#endif
+
+namespace mfa::gp {
+namespace {
+
+std::atomic<std::int64_t> g_batched_solves{0};
+std::atomic<std::int64_t> g_batched_lanes{0};
+std::atomic<std::int64_t> g_batched_misgroupings{0};
+
+}  // namespace
+
+std::int64_t total_batched_solves() {
+  return g_batched_solves.load(std::memory_order_relaxed);
+}
+
+std::int64_t total_batched_lanes() {
+  return g_batched_lanes.load(std::memory_order_relaxed);
+}
+
+std::int64_t total_batched_misgroupings() {
+  return g_batched_misgroupings.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void count_batched_solve(std::size_t lanes) {
+  g_batched_solves.fetch_add(1, std::memory_order_relaxed);
+  g_batched_lanes.fetch_add(static_cast<std::int64_t>(lanes),
+                            std::memory_order_relaxed);
+}
+
+void count_batched_misgrouping() {
+  g_batched_misgroupings.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// LaneArray
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double* aligned_alloc_doubles(std::size_t n) {
+  return static_cast<double*>(
+      ::operator new(n * sizeof(double), std::align_val_t{64}));
+}
+
+/// exp(x) for the softmax weights, x = z − zmax ≤ 0. libm exp is the
+/// dominant cost of the batched kernel and cannot vectorize (it is an
+/// opaque call); this is the classic Cephes rational approximation
+/// (~1 ulp over the reduced interval) written as straight-line
+/// arithmetic so the surrounding lane loop vectorizes. Determinism:
+/// every operation is an elementwise IEEE op (mul/add/div, compare
+/// select, exact int truncation, exponent-bit scaling), so a lane
+/// produces the same bits whether it lands in a vector body or the
+/// scalar epilogue — batch width and lane position cannot change the
+/// result. The batched↔scalar parity contract is tolerance-level, so
+/// differing from libm exp by an ulp is within contract.
+inline double lane_exp(double x) {
+  x = std::max(x, -708.0);  // underflow guard; exp(-708) ~ 3e-308
+  // x = n·ln2 + r, n = round-to-nearest(x/ln2), |r| <= ln2/2. The magic
+  // constant 1.5·2^52 forces the FPU's own round-to-nearest and parks n
+  // in the low mantissa bits — no double→int conversion, which is what
+  // keeps the loop branch-free and vectorizable on baseline SSE2.
+  const double kMagic = 6755399441055744.0;  // 1.5·2^52
+  const double t = x * 1.4426950408889634074 + kMagic;
+  const double nd = t - kMagic;
+  // Cody–Waite two-step reduction keeps r exact to the last bit.
+  const double r = (x - nd * 6.93145751953125e-1) -
+                   nd * 1.42860682030941723212e-6;
+  const double rr = r * r;
+  // exp(r) = 1 + 2·r·P(r²) / (Q(r²) − r·P(r²))  (Cephes expml-style).
+  double p = 1.26177193074810590878e-4;
+  p = p * rr + 3.02994407707441961300e-2;
+  p = p * rr + 9.99999999999999999910e-1;
+  p *= r;
+  double q = 3.00198505138664455042e-6;
+  q = q * rr + 2.52448340349684104192e-3;
+  q = q * rr + 2.27265548208155028766e-1;
+  q = q * rr + 2.0;
+  const double e = 1.0 + 2.0 * p / (q - p);
+  // ·2^n: t's low mantissa bits are 2^51 + n, and 2^51 ≡ 0 (mod 2^12),
+  // so (bits(t) + 1023) << 52 is exactly the IEEE encoding of 2^n for
+  // the guarded range n ∈ [-1022, 0].
+  std::uint64_t ti;
+  std::memcpy(&ti, &t, sizeof ti);
+  const std::uint64_t bits = (ti + 1023) << 52;
+  double scale;
+  std::memcpy(&scale, &bits, sizeof scale);
+  return e * scale;
+}
+
+}  // namespace
+
+LaneArray::LaneArray(const LaneArray& other) : size_(other.size_) {
+  if (size_ == 0) return;
+  data_.reset(aligned_alloc_doubles(size_));
+  std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(double));
+}
+
+LaneArray& LaneArray::operator=(const LaneArray& other) {
+  if (this == &other) return *this;
+  if (size_ != other.size_) {
+    data_.reset(other.size_ > 0 ? aligned_alloc_doubles(other.size_)
+                                : nullptr);
+    size_ = other.size_;
+  }
+  if (size_ > 0) {
+    std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(double));
+  }
+  return *this;
+}
+
+void LaneArray::resize(std::size_t n) {
+  if (n == size_) return;
+  data_.reset(n > 0 ? aligned_alloc_doubles(n) : nullptr);
+  size_ = n;
+  fill(0.0);
+}
+
+void LaneArray::fill(double v) {
+  double* p = data_.get();
+  for (std::size_t i = 0; i < size_; ++i) p[i] = v;
+}
+
+// ---------------------------------------------------------------------------
+// BatchedModel
+// ---------------------------------------------------------------------------
+
+BatchedModel::BatchedModel() = default;
+BatchedModel::BatchedModel(const BatchedModel&) = default;
+BatchedModel::BatchedModel(BatchedModel&&) noexcept = default;
+BatchedModel& BatchedModel::operator=(const BatchedModel&) = default;
+BatchedModel& BatchedModel::operator=(BatchedModel&&) noexcept = default;
+BatchedModel::~BatchedModel() = default;
+
+std::optional<BatchedModel> BatchedModel::build(
+    const std::vector<const CompiledGp*>& lanes) {
+  MFA_ASSERT_MSG(!lanes.empty(), "batched model needs at least one lane");
+  for (std::size_t l = 1; l < lanes.size(); ++l) {
+    if (!lanes[0]->same_structure(*lanes[l])) {
+      detail::count_batched_misgrouping();
+      return std::nullopt;
+    }
+  }
+  BatchedModel m;
+  m.s_ = lanes[0]->s_;
+  m.lanes_ = lanes.size();
+  const std::size_t terms = lanes[0]->log_coeff_.size();
+  const std::size_t L = m.lanes_;
+  m.coeff_.resize(terms * L);
+  double* coeff = m.coeff_.data();
+  for (std::size_t t = 0; t < terms; ++t) {
+    for (std::size_t l = 0; l < L; ++l) {
+      coeff[t * L + l] = lanes[l]->log_coeff_[t];
+    }
+  }
+  return m;
+}
+
+std::size_t BatchedModel::num_vars() const { return s_->num_vars; }
+
+std::size_t BatchedModel::num_functions() const {
+  return s_->fun_begin.size() - 1;
+}
+
+void BatchedModel::ensure_workspace(BatchedWorkspace& ws) const {
+  const std::size_t L = lanes_;
+  if (ws.z.size() < s_->max_terms * L) {
+    ws.z.resize(s_->max_terms * L);
+    ws.w.resize(s_->max_terms * L);
+  }
+  if (ws.g.size() < s_->num_vars * L) ws.g.resize(s_->num_vars * L);
+  if (ws.zmax.size() < L) {
+    ws.zmax.resize(L);
+    ws.sum.resize(L);
+  }
+}
+
+void BatchedModel::value(std::size_t f, const LaneArray& y,
+                         BatchedWorkspace& ws, double* out) const {
+  const CompiledGp::Structure& s = *s_;
+  const std::size_t L = lanes_;
+  MFA_ASSERT(f + 1 < s.fun_begin.size() && y.size() >= s.num_vars * L);
+  ensure_workspace(ws);
+  const std::uint32_t t0 = s.fun_begin[f];
+  const std::uint32_t t1 = s.fun_begin[f + 1];
+  const std::uint32_t m = t1 - t0;
+  double* z = ws.z.data();
+  const double* yd = y.data();
+  const double* coeff = coeff_.data();
+  // z[(t−t0)·L + l] = log_coeff[t, l] + Σ_k exp[k]·y[var[k], l]: one walk
+  // over the CSR arrays, all lanes in the inner loop.
+  for (std::uint32_t t = t0; t < t1; ++t) {
+    double* zt = z + static_cast<std::size_t>(t - t0) * L;
+    const double* ct = coeff + static_cast<std::size_t>(t) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) zt[l] = ct[l];
+    const std::uint32_t r = s.row_of[t];
+    for (std::uint32_t k = s.row_begin[r]; k < s.row_begin[r + 1]; ++k) {
+      const double e = s.exp[k];
+      const double* yv = yd + static_cast<std::size_t>(s.var[k]) * L;
+      MFA_SIMD
+      for (std::size_t l = 0; l < L; ++l) zt[l] += e * yv[l];
+    }
+  }
+  double* zmax = ws.zmax.data();
+  double* sum = ws.sum.data();
+  MFA_SIMD
+  for (std::size_t l = 0; l < L; ++l) {
+    zmax[l] = -std::numeric_limits<double>::infinity();
+    sum[l] = 0.0;
+  }
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const double* zt = z + static_cast<std::size_t>(i) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) {
+      zmax[l] = std::max(zmax[l], zt[l]);
+    }
+  }
+  // Fused exp pass: the un-normalized softmax weights land in ws.w as a
+  // side effect, so prepare() never has to exponentiate a second time.
+  double* w = ws.w.data();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const double* zt = z + static_cast<std::size_t>(i) * L;
+    double* wt = w + static_cast<std::size_t>(i) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) {
+      wt[l] = lane_exp(zt[l] - zmax[l]);
+      sum[l] += wt[l];
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    out[l] = zmax[l] + std::log(sum[l]);
+  }
+}
+
+void BatchedModel::prepare(std::size_t f, const LaneArray& y,
+                           BatchedWorkspace& ws, double* out) const {
+  value(f, y, ws, out);
+  const std::size_t L = lanes_;
+  const std::uint32_t m = s_->fun_begin[f + 1] - s_->fun_begin[f];
+  double* w = ws.w.data();
+  const double* sum = ws.sum.data();
+  // value() already left the un-normalized weights exp(z − zmax) in ws.w
+  // and their per-lane totals in ws.sum; normalizing is all that is left.
+  for (std::uint32_t i = 0; i < m; ++i) {
+    double* wt = w + static_cast<std::size_t>(i) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) wt[l] /= sum[l];
+  }
+}
+
+void BatchedModel::scatter(std::size_t f, const double* wg, const double* wm,
+                           const double* wr, LaneArray& grad, LaneArray& hess,
+                           BatchedWorkspace& ws) const {
+  const CompiledGp::Structure& s = *s_;
+  const std::size_t L = lanes_;
+  const std::size_t n = s.num_vars;
+  const std::uint32_t t0 = s.fun_begin[f];
+  const std::uint32_t t1 = s.fun_begin[f + 1];
+  const std::vector<std::uint32_t>& sup = s.support[f];
+  MFA_ASSERT(grad.size() == n * L && hess.size() == n * n * L);
+  double* g = ws.g.data();
+  double* gd = grad.data();
+  double* hd = hess.data();
+  const double* w = ws.w.data();
+
+  // g_l = Aᵀw_l over the function's support only. Unlike the scalar
+  // scatter, lanes with w == 0 are not skipped — they add an exact 0,
+  // which is what keeps every lane's op sequence independent of its
+  // batch (and is covered by the tolerance-level scalar parity
+  // contract).
+  for (const std::uint32_t v : sup) {
+    double* gv = g + static_cast<std::size_t>(v) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) gv[l] = 0.0;
+  }
+  for (std::uint32_t t = t0; t < t1; ++t) {
+    const double* wt = w + static_cast<std::size_t>(t - t0) * L;
+    const std::uint32_t r = s.row_of[t];
+    for (std::uint32_t k = s.row_begin[r]; k < s.row_begin[r + 1]; ++k) {
+      const double e = s.exp[k];
+      double* gv = g + static_cast<std::size_t>(s.var[k]) * L;
+      MFA_SIMD
+      for (std::size_t l = 0; l < L; ++l) gv[l] += wt[l] * e;
+    }
+  }
+  for (const std::uint32_t v : sup) {
+    const double* gv = g + static_cast<std::size_t>(v) * L;
+    double* out = gd + static_cast<std::size_t>(v) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) out[l] += wg[l] * gv[l];
+  }
+
+  // wm · Σ_t w_t·a_t·a_tᵀ — sparse outer products over each term's nnz.
+  for (std::uint32_t t = t0; t < t1; ++t) {
+    const double* wt = w + static_cast<std::size_t>(t - t0) * L;
+    const std::uint32_t r = s.row_of[t];
+    const std::uint32_t begin = s.row_begin[r];
+    const std::uint32_t end = s.row_begin[r + 1];
+    for (std::uint32_t k1 = begin; k1 < end; ++k1) {
+      const double e1 = s.exp[k1];
+      const std::size_t v1 = s.var[k1];
+      for (std::uint32_t k2 = begin; k2 < end; ++k2) {
+        const double e2 = s.exp[k2];
+        double* h = hd + (v1 * n + s.var[k2]) * L;
+        MFA_SIMD
+        for (std::size_t l = 0; l < L; ++l) {
+          const double c = wm[l] * wt[l] * e1;
+          h[l] += c * e2;
+        }
+      }
+    }
+  }
+
+  // wr · g·gᵀ — rank-one update over the support.
+  for (const std::uint32_t v1 : sup) {
+    const double* g1 = g + static_cast<std::size_t>(v1) * L;
+    for (const std::uint32_t v2 : sup) {
+      const double* g2 = g + static_cast<std::size_t>(v2) * L;
+      double* h = hd + (static_cast<std::size_t>(v1) * n + v2) * L;
+      MFA_SIMD
+      for (std::size_t l = 0; l < L; ++l) {
+        const double c = wr[l] * g1[l];
+        h[l] += c * g2[l];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched SPD solve
+// ---------------------------------------------------------------------------
+
+void batched_spd_solve(const LaneArray& a, const LaneArray& b, std::size_t n,
+                       std::size_t lanes, BatchedSpdWorkspace& ws,
+                       LaneArray& x, std::uint8_t* ok) {
+  const std::size_t L = lanes;
+  MFA_ASSERT(a.size() == n * n * L && b.size() == n * L);
+  if (ws.l.size() < n * n * L) ws.l.resize(n * n * L);
+  if (ws.fw.size() < n * L) ws.fw.resize(n * L);
+  if (x.size() < n * L) x.resize(n * L);
+  for (std::size_t l = 0; l < L; ++l) ok[l] = 1;
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* ld = ws.l.data();
+  double* fw = ws.fw.data();
+  double* xd = x.data();
+
+  // Unregularized Cholesky, all lanes in lock-step. A lane that meets a
+  // non-positive pivot is flagged and its factor goes NaN from there on —
+  // contained to that lane; the caller re-solves flagged lanes through
+  // the scalar escalating-regularization path.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      double* ljk = ld + (j * n + k) * L;
+      const double* ajk = ad + (j * n + k) * L;
+      MFA_SIMD
+      for (std::size_t l = 0; l < L; ++l) ljk[l] = ajk[l];
+      for (std::size_t m = 0; m < k; ++m) {
+        const double* ljm = ld + (j * n + m) * L;
+        const double* lkm = ld + (k * n + m) * L;
+        MFA_SIMD
+        for (std::size_t l = 0; l < L; ++l) ljk[l] -= ljm[l] * lkm[l];
+      }
+      const double* lkk = ld + (k * n + k) * L;
+      MFA_SIMD
+      for (std::size_t l = 0; l < L; ++l) ljk[l] /= lkk[l];
+    }
+    double* ljj = ld + (j * n + j) * L;
+    const double* ajj = ad + (j * n + j) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) ljj[l] = ajj[l];
+    for (std::size_t m = 0; m < j; ++m) {
+      const double* ljm = ld + (j * n + m) * L;
+      MFA_SIMD
+      for (std::size_t l = 0; l < L; ++l) ljj[l] -= ljm[l] * ljm[l];
+    }
+    for (std::size_t l = 0; l < L; ++l) {
+      if (!(ljj[l] > 0.0)) ok[l] = 0;
+    }
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) ljj[l] = std::sqrt(ljj[l]);
+  }
+
+  // Forward substitution L·fw = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* fi = fw + i * L;
+    const double* bi = bd + i * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) fi[l] = bi[l];
+    for (std::size_t k = 0; k < i; ++k) {
+      const double* lik = ld + (i * n + k) * L;
+      const double* fk = fw + k * L;
+      MFA_SIMD
+      for (std::size_t l = 0; l < L; ++l) fi[l] -= lik[l] * fk[l];
+    }
+    const double* lii = ld + (i * n + i) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) fi[l] /= lii[l];
+  }
+
+  // Backward substitution Lᵀ·x = fw.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* xi = xd + ii * L;
+    const double* fi = fw + ii * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) xi[l] = fi[l];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      const double* lki = ld + (k * n + ii) * L;
+      const double* xk = xd + k * L;
+      MFA_SIMD
+      for (std::size_t l = 0; l < L; ++l) xi[l] -= lki[l] * xk[l];
+    }
+    const double* lii = ld + (ii * n + ii) * L;
+    MFA_SIMD
+    for (std::size_t l = 0; l < L; ++l) xi[l] /= lii[l];
+  }
+}
+
+}  // namespace mfa::gp

@@ -1,0 +1,183 @@
+// Batched (SIMD-friendly) evaluation of K structurally-identical
+// compiled GPs — "lanes" — over one shared Structure.
+//
+// PR 5's structure/coefficient split means a parameter sweep, a B&B
+// frontier and a multi-tenant event burst are all N solves of *one*
+// compiled Structure with N coefficient vectors. BatchedModel pins K such
+// instances together and stores their coefficients structure-major SoA:
+// for each CSR term t, the K log-coefficients sit contiguously at
+// coeff[t·K + lane], in a 64-byte-aligned buffer. The fused
+// value/gradient/Hessian pass then walks the CSR arrays (terms, exponent
+// rows) exactly once per term while an inner `#pragma omp simd` loop
+// computes all K lanes — no intrinsics, autovectorizes to AVX2/NEON.
+//
+// Per-lane arithmetic is a strict scalar chain: no reduction ever crosses
+// lanes, and exp/log stay scalar libm calls (their loops carry no simd
+// pragma, and -fopenmp-simd does not define _OPENMP, so glibc's vector
+// math declarations never activate). A lane therefore computes the exact
+// same bit pattern regardless of which other lanes share its batch, how
+// wide the batch is, or where in the batch it sits — which is what makes
+// batched results deterministic and independent of group formation order.
+// Against the *scalar* kernel the contract is tolerance-level parity only
+// (the scalar scatter's w==0 skips and its separately-reassociated merit
+// are not replayed bit-for-bit); the scalar path remains the oracle via
+// differential_fuzz --batched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <vector>
+
+#include "gp/compiled.hpp"
+#include "support/assert.hpp"
+
+namespace mfa::gp {
+
+// ---------------------------------------------------------------------------
+// Process-wide batching counters (relaxed atomics). bench/service_churn
+// --check asserts zero misgroupings across its replay: a misgrouping means
+// a fingerprint-formed batch did not actually share one Structure object
+// and had to fall back to scalar solves.
+// ---------------------------------------------------------------------------
+
+/// Batched solves dispatched (solve_batch calls that ran the batched
+/// kernel rather than falling back to per-lane scalar solves).
+std::int64_t total_batched_solves();
+/// Total lanes across those batched solves.
+std::int64_t total_batched_lanes();
+/// Groups whose members did not share one Structure object (each such
+/// group fell back to scalar solves).
+std::int64_t total_batched_misgroupings();
+
+namespace detail {
+void count_batched_solve(std::size_t lanes);
+void count_batched_misgrouping();
+}  // namespace detail
+
+/// A 64-byte-aligned array of doubles used for lane-strided (SoA) state:
+/// element (i, lane) of an n×L quantity lives at data()[i*L + lane].
+/// resize() discards contents (zero-fills); copying copies the payload.
+class LaneArray {
+ public:
+  LaneArray() = default;
+  explicit LaneArray(std::size_t n) { resize(n); }
+  LaneArray(const LaneArray& other);
+  LaneArray(LaneArray&&) noexcept = default;
+  LaneArray& operator=(const LaneArray& other);
+  LaneArray& operator=(LaneArray&&) noexcept = default;
+
+  /// Reallocates to exactly n doubles, zero-filled. No-op when the size
+  /// already matches (contents are kept in that case).
+  void resize(std::size_t n);
+  void fill(double v);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] double* data() { return data_.get(); }
+  [[nodiscard]] const double* data() const { return data_.get(); }
+
+  double& operator[](std::size_t i) {
+    MFA_ASSERT(i < size_);
+    return data_.get()[i];
+  }
+  double operator[](std::size_t i) const {
+    MFA_ASSERT(i < size_);
+    return data_.get()[i];
+  }
+
+ private:
+  struct Deleter {
+    void operator()(double* p) const noexcept {
+      ::operator delete(static_cast<void*>(p), std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<double, Deleter> data_;
+  std::size_t size_ = 0;
+};
+
+/// Reusable scratch for BatchedModel evaluation; sized lazily by the
+/// model that uses it (ensure_workspace). One per thread of evaluation.
+struct BatchedWorkspace {
+  LaneArray z;     ///< per-term shifted exponents, [max_terms × L]
+  LaneArray w;     ///< per-term softmax weights,   [max_terms × L]
+  LaneArray g;     ///< dense ∇F accumulator,       [num_vars × L]
+  LaneArray zmax;  ///< per-lane max shift, [L]
+  LaneArray sum;   ///< per-lane softmax normalizer, [L]
+};
+
+/// K coefficient instances of one shared CompiledGp Structure, evaluated
+/// lane-parallel. Built from lanes that must share one Structure object
+/// (the CompiledModelCache's clone-then-patch path guarantees this);
+/// build() refuses — and counts a misgrouping — otherwise.
+class BatchedModel {
+ public:
+  BatchedModel(const BatchedModel&);
+  BatchedModel(BatchedModel&&) noexcept;
+  BatchedModel& operator=(const BatchedModel&);
+  BatchedModel& operator=(BatchedModel&&) noexcept;
+  ~BatchedModel();
+
+  /// Pins the lanes' coefficients into the SoA buffer. Returns nullopt
+  /// (and bumps total_batched_misgroupings) when the lanes do not all
+  /// share lanes[0]'s Structure object.
+  static std::optional<BatchedModel> build(
+      const std::vector<const CompiledGp*>& lanes);
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] std::size_t num_vars() const;
+  [[nodiscard]] std::size_t num_functions() const;
+
+  void ensure_workspace(BatchedWorkspace& ws) const;
+
+  /// F_f(y_l) for every lane l: y is var-major SoA (y[j·L + l] is
+  /// variable j of lane l; y may have more than num_vars rows — extra
+  /// trailing rows are ignored, which lets the phase-I feasibility check
+  /// evaluate the main model directly on the slack iterate). out[l]
+  /// receives lane l's value.
+  void value(std::size_t f, const LaneArray& y, BatchedWorkspace& ws,
+             double* out) const;
+
+  /// As value(), and leaves each lane's normalized softmax weights in
+  /// ws.w (term-major SoA) for a following scatter().
+  void prepare(std::size_t f, const LaneArray& y, BatchedWorkspace& ws,
+               double* out) const;
+
+  /// Consumes the weights of the latest prepare(f, …): with g_l = ∇F_f
+  /// of lane l and M_l = Σ_t w_t·a_t·a_tᵀ, accumulates per lane
+  ///
+  ///   grad[j·L+l] += wg[l]·g_l[j]
+  ///   hess[(i·n+j)·L+l] += wm[l]·M_l(i,j) + wr[l]·g_l[i]·g_l[j].
+  ///
+  /// A lane with all-zero weights is frozen: it still computes but
+  /// contributes exactly zero.
+  void scatter(std::size_t f, const double* wg, const double* wm,
+               const double* wr, LaneArray& grad, LaneArray& hess,
+               BatchedWorkspace& ws) const;
+
+ private:
+  BatchedModel();
+
+  std::shared_ptr<const CompiledGp::Structure> s_;
+  std::size_t lanes_ = 0;
+  LaneArray coeff_;  ///< [total_terms × L], term-major SoA
+};
+
+/// Scratch for batched_spd_solve.
+struct BatchedSpdWorkspace {
+  LaneArray l;   ///< Cholesky factors, [n·n × L]
+  LaneArray fw;  ///< forward-substitution intermediate, [n × L]
+};
+
+/// Lane-strided dense SPD solve: factors each lane's n×n matrix
+/// a[(i·n+j)·L+l] with an unregularized Cholesky and solves for
+/// x[j·L+l]. ok[l] is set false where the factorization met a
+/// non-positive pivot (that lane's x is garbage; the caller re-solves it
+/// through the scalar regularizing path). Lanes are fully independent —
+/// a failing lane never perturbs its neighbors.
+void batched_spd_solve(const LaneArray& a, const LaneArray& b, std::size_t n,
+                       std::size_t lanes, BatchedSpdWorkspace& ws, LaneArray& x,
+                       std::uint8_t* ok);
+
+}  // namespace mfa::gp

@@ -180,7 +180,8 @@ class CompiledGp {
 
  private:
   friend class CompiledModel;
-  struct Structure;
+  friend class BatchedModel;  // gp/batched.hpp: lane-parallel evaluation
+  struct Structure;           // defined in gp/structure.hpp
 
   void ensure_workspace(GpWorkspace& ws) const;
 

@@ -51,6 +51,12 @@ AllocServer::AllocServer(core::Platform platform, ServerOptions options,
   options_.portfolio.context = &ctx_;
   options_.portfolio.relax_cache = nullptr;
   options_.portfolio.model_cache = nullptr;
+  // Greedy placements are memoized server-wide: every GP+A lane of every
+  // event consults one cache (the portfolio copies these options, so the
+  // pointer must be set before the Portfolio is constructed).
+  if (options_.portfolio.gpa.greedy.cache == nullptr) {
+    options_.portfolio.gpa.greedy.cache = &greedy_cache_;
+  }
   portfolio_ = std::make_unique<runtime::Portfolio>(options_.portfolio,
                                                     pool_.get());
 }

@@ -264,6 +264,10 @@ class AllocServer {
   ServerOptions options_;
   core::RelaxationCache cache_;
   core::CompiledModelCache models_;
+  /// Memoized greedy placements (alloc/greedy.hpp): service churn
+  /// re-places identical (problem, totals) pairs across events and
+  /// portfolio lanes, so placements are computed once and replayed.
+  alloc::GreedyCache greedy_cache_;
   /// Effective caches: ServerOptions::context overrides the owned ones.
   core::RelaxationCache* relax_cache_ = nullptr;
   core::CompiledModelCache* model_cache_ = nullptr;

@@ -35,6 +35,14 @@ struct DiscretizeOptions {
   /// valid bracket end after bound tightening, so the search result is
   /// unchanged and the node solve converges in fewer iterations.
   bool warm_start_nodes = true;
+  /// Solve both branch children through one
+  /// core::solve_relaxation_batch call instead of two separate solves.
+  /// Siblings share the parent's kernel set (only one bound differs), so
+  /// the batch reuses the bisection scratch across lanes; lane results
+  /// are bit-identical to the unbatched path and interoperate with the
+  /// shared relaxation cache (hits are taken per child, only the misses
+  /// are batch-solved, and solutions are published per child key).
+  bool batch_children = true;
   /// Optional shared memoization of node relaxations, keyed by problem
   /// fingerprint × bounds × warm hint (core/relax_cache.hpp). Portfolio
   /// lanes and duplicate batch instances walk identical trees, so a

@@ -17,11 +17,19 @@
 //     *re-weighted* twin, cloned and coefficient-patched) returns
 //     byte-identical results to a fresh compile, cold and warm-started.
 //
-// Usage: differential_fuzz [num_seeds] [--start S] [--out failure.json]
-//                          [--parity]
+//  5. batched-vs-scalar parity — K coefficient variants of the seed's
+//     relaxation GP (same structure, re-weighted WCETs) solved through
+//     the lane-parallel batched kernel (gp/batched.hpp) agree with K
+//     independent scalar prepared solves, per lane, within a solver
+//     tolerance band (the batched kernel follows its own arithmetic;
+//     the contract is tolerance-level, not bitwise).
 //
-// --parity runs only check 4 (no exact/naive oracles), which is cheap
-// enough for a wide ctest slice across heterogeneous platforms.
+// Usage: differential_fuzz [num_seeds] [--start S] [--out failure.json]
+//                          [--parity] [--batched]
+//
+// --parity runs only check 4 and --batched only check 5 (no exact/naive
+// oracles); both are cheap enough for wide ctest slices across
+// heterogeneous platforms.
 //
 // On mismatch it prints the seed and the scenario JSON to stderr, writes
 // the scenario to --out (CI uploads it as an artifact) and exits 1.
@@ -32,9 +40,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "alloc/gpa.hpp"
 #include "core/relaxation.hpp"
+#include "gp/compiled.hpp"
+#include "gp/solver.hpp"
 #include "io/serialize.hpp"
 #include "scenario/generate.hpp"
 #include "solver/exact.hpp"
@@ -47,6 +58,7 @@ struct Options {
   std::uint64_t count = 200;
   const char* out_path = nullptr;
   bool parity_only = false;
+  bool batched_only = false;
 };
 
 /// Scenario shape small enough for the naive oracle to *prove* optima
@@ -122,10 +134,70 @@ const char* check_patch_parity(const mfa::core::Problem& problem) {
   return nullptr;
 }
 
+/// Batched-kernel oracle: K coefficient variants of the seed's
+/// relaxation GP — same structure, per-lane WCET re-weighting — solved
+/// as one lock-step batch must agree with K independent scalar prepared
+/// solves lane by lane. K varies with the seed (2..5) so ragged widths
+/// and the K = 2 minimum both get coverage.
+const char* check_batched_parity(const mfa::core::Problem& problem,
+                                 std::uint64_t seed) {
+  const mfa::gp::SolverOptions opts = gp_options();
+  const std::size_t k_lanes = 2 + static_cast<std::size_t>(seed % 4);
+  std::vector<mfa::gp::GpProblem> gps;
+  gps.reserve(k_lanes);
+  for (std::size_t l = 0; l < k_lanes; ++l) {
+    mfa::core::Problem v = problem;
+    for (mfa::core::Kernel& k : v.app.kernels) {
+      k.wcet_ms *= 1.0 + 0.07 * static_cast<double>(l);
+    }
+    const mfa::core::CuBounds bounds = mfa::core::CuBounds::defaults(v);
+    for (std::size_t k = 0; k < v.num_kernels(); ++k) {
+      if (bounds.lower[k] > bounds.upper[k]) return nullptr;  // no GP
+    }
+    gps.push_back(mfa::core::build_relaxation_gp(v, bounds));
+  }
+  const mfa::Fingerprint fp = gps[0].structural_fingerprint();
+  const mfa::gp::CompiledModel base =
+      mfa::gp::CompiledModel::build(gps[0], opts.variable_box);
+  std::vector<mfa::gp::CompiledModel> models;
+  models.reserve(k_lanes);
+  for (const mfa::gp::GpProblem& g : gps) {
+    mfa::gp::CompiledModel m = base;
+    m.patch_coefficients(g, opts.variable_box, fp);
+    models.push_back(std::move(m));
+  }
+  const mfa::gp::GpSolver solver(opts);
+  std::vector<mfa::gp::BatchLane> lanes(k_lanes);
+  for (std::size_t l = 0; l < k_lanes; ++l) {
+    lanes[l].problem = &gps[l];
+    lanes[l].model = &models[l];
+  }
+  const std::vector<mfa::gp::GpSolution> batch = solver.solve_batch(lanes);
+  for (std::size_t l = 0; l < k_lanes; ++l) {
+    const mfa::gp::GpSolution scalar = solver.solve(gps[l], models[l]);
+    if (batch[l].ok() != scalar.ok()) {
+      return "batched and scalar GP solves disagree on convergence";
+    }
+    if (!scalar.ok()) continue;
+    for (std::size_t j = 0; j < scalar.x.size(); ++j) {
+      const double diff = std::abs(batch[l].x[j] - scalar.x[j]);
+      if (diff > 1e-4 * (1.0 + std::abs(scalar.x[j]))) {
+        std::fprintf(stderr,
+                     "lane %zu of %zu, x[%zu]: batched %.12g scalar %.12g\n",
+                     l, k_lanes, j, batch[l].x[j], scalar.x[j]);
+        return "batched GP lane drifted beyond tolerance of its scalar "
+               "solve";
+      }
+    }
+  }
+  return nullptr;
+}
+
 /// Runs all solvers on one scenario; returns nullptr on agreement, else
 /// a static description of the first mismatch. Sets *feasible when the
 /// instance's feasibility was decided.
-const char* check_seed(const mfa::core::Problem& problem, bool* feasible) {
+const char* check_seed(const mfa::core::Problem& problem, std::uint64_t seed,
+                       bool* feasible) {
   // Exact (structured) vs naive (oracle) on the full objective.
   mfa::solver::ExactOptions exact_options;
   exact_options.max_nodes = 20'000'000;
@@ -203,7 +275,10 @@ const char* check_seed(const mfa::core::Problem& problem, bool* feasible) {
   }
 
   // Compiled-model cache transparency (see check_patch_parity).
-  return check_patch_parity(problem);
+  if (const char* mismatch = check_patch_parity(problem)) return mismatch;
+
+  // Batched-vs-scalar GP kernel parity (see check_batched_parity).
+  return check_batched_parity(problem, seed);
 }
 
 }  // namespace
@@ -217,6 +292,8 @@ int main(int argc, char** argv) {
       opt.out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--parity") == 0) {
       opt.parity_only = true;
+    } else if (std::strcmp(argv[i], "--batched") == 0) {
+      opt.batched_only = true;
     } else if (argv[i][0] != '-') {
       opt.count = std::strtoull(argv[i], nullptr, 10);
       if (opt.count == 0) {
@@ -225,7 +302,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [num_seeds] [--start S] [--out failure.json]\n",
+                   "usage: %s [num_seeds] [--start S] [--out failure.json]"
+                   " [--parity] [--batched]\n",
                    argv[0]);
       return 2;
     }
@@ -237,9 +315,14 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed = opt.start; seed < opt.start + opt.count; ++seed) {
     const mfa::core::Problem problem = mfa::scenario::generate(spec, seed);
     bool feasible = true;
-    const char* mismatch = opt.parity_only
-                               ? check_patch_parity(problem)
-                               : check_seed(problem, &feasible);
+    const char* mismatch = nullptr;
+    if (opt.parity_only) {
+      mismatch = check_patch_parity(problem);
+    } else if (opt.batched_only) {
+      mismatch = check_batched_parity(problem, seed);
+    } else {
+      mismatch = check_seed(problem, seed, &feasible);
+    }
     if (mismatch != nullptr) {
       report_failure(seed, problem, opt, mismatch);
       return 1;
@@ -252,8 +335,11 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("differential fuzz%s: %" PRIu64 " seeds ok\n",
-              opt.parity_only ? " (patch parity)" : "", checked);
-  if (!opt.parity_only) {
+              opt.parity_only   ? " (patch parity)"
+              : opt.batched_only ? " (batched parity)"
+                                 : "",
+              checked);
+  if (!opt.parity_only && !opt.batched_only) {
     std::printf("(%" PRIu64 " infeasible instances exercised)\n", infeasible);
   }
   return 0;
