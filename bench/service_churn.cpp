@@ -117,12 +117,12 @@ ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start,
   event_ms.reserve(trace.events.size());
   for (const mfa::service::Event& event : trace.events) {
     const mfa::service::EventOutcome outcome = server.apply(event);
-    stats.nodes += outcome.solve_nodes;
-    stats.gp_compiles += outcome.gp_compiles;
-    stats.gp_patches += outcome.gp_patches;
+    stats.nodes += outcome.solve.nodes;
+    stats.gp_compiles += outcome.cache.gp_compiles;
+    stats.gp_patches += outcome.cache.gp_patches;
     if (event.type == mfa::service::Event::Type::kReprioritize ||
         event.type == mfa::service::Event::Type::kResizePlatform) {
-      stats.numeric_event_compiles += outcome.gp_compiles;
+      stats.numeric_event_compiles += outcome.cache.gp_compiles;
     }
     event_ms.push_back(outcome.seconds * 1e3);
     stats.log_digest += mfa::io::to_json(outcome).dump();

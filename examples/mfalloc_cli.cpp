@@ -350,6 +350,14 @@ int cmd_serve(const ArgParser& args) {
   const auto jobs = args.int_or("jobs", options.solver_threads, 0, 4096);
   if (!jobs.is_ok()) return flag_error(args, jobs.status());
   options.solver_threads = static_cast<int>(jobs.value());
+  const auto max_moves = args.int_or("max-moves", -1, -1, 1 << 30);
+  if (!max_moves.is_ok()) return flag_error(args, max_moves.status());
+  options.max_moves = static_cast<int>(max_moves.value());
+  const auto max_disturbed = args.int_or("max-disturbed", -1, -1, 1 << 30);
+  if (!max_disturbed.is_ok()) {
+    return flag_error(args, max_disturbed.status());
+  }
+  options.max_disturbed = static_cast<int>(max_disturbed.value());
 
   mfa::service::AllocServer server(trace.value().platform, options);
   // Replay as fast as the solver allows: submit in trace order, wait

@@ -67,7 +67,11 @@ int main(int argc, char** argv) {
   const auto snapshot_every = args.int_or("snapshot-every", 256, 0, 1 << 30);
   const auto jobs = args.int_or("jobs", 1, 0, 4096);
   const auto port = args.int_or("port", 8080, 0, 65535);
-  for (const auto* v : {&shards, &snapshot_every, &jobs, &port}) {
+  const auto max_moves = args.int_or("max-moves", -1, -1, 1 << 30);
+  const auto max_disturbed = args.int_or("max-disturbed", -1, -1, 1 << 30);
+  for (const auto* v :
+       {&shards, &snapshot_every, &jobs, &port, &max_moves,
+        &max_disturbed}) {
     if (!v->is_ok()) {
       std::fprintf(stderr, "error: %s\n", v->status().message().c_str());
       return 2;
@@ -78,6 +82,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(snapshot_every.value());
   options.server.wal_fsync = !args.flag_set("no-fsync");
   options.server.solver_threads = static_cast<int>(jobs.value());
+  options.server.max_moves = static_cast<int>(max_moves.value());
+  options.server.max_disturbed = static_cast<int>(max_disturbed.value());
 
   // SIGINT/SIGTERM are consumed synchronously below; mask them first so
   // every thread the stack spawns inherits the mask.

@@ -16,6 +16,7 @@
 #include "core/relaxation.hpp"
 #include "core/solver_context.hpp"
 #include "solver/discretize.hpp"
+#include "solver/packing.hpp"
 #include "support/status.hpp"
 
 namespace mfa::alloc {
@@ -70,6 +71,16 @@ struct GpaOptions {
     return model_cache;
   }
 
+  /// Migration-aware re-solve (lives next to the caches: the online
+  /// service wires it per event like it wires the shared caches). When
+  /// set and constrained, the placed totals are re-packed against the
+  /// incumbent reference under the move/disturb budgets and the repack
+  /// *replaces* the greedy placement when it is feasible — same totals,
+  /// so II is unchanged and only φ can regress. An infeasible or
+  /// over-budget repack leaves the unconstrained placement standing
+  /// (GpaResult::stability_applied reports which happened). Not owned.
+  const solver::StabilityOptions* stability = nullptr;
+
   gp::SolverOptions gp;
   solver::DiscretizeOptions discretize;
   GreedyOptions greedy;
@@ -84,6 +95,9 @@ struct GpaResult {
   std::vector<int> totals;       ///< discretized N_k
   double used_fraction = 0.0;    ///< R_c the allocator ended at
   std::int64_t discretize_nodes = 0;
+  /// True when GpaOptions::stability was constrained and the migration-
+  /// aware repack replaced the greedy placement.
+  bool stability_applied = false;
 
   double seconds_relax = 0.0;
   double seconds_discretize = 0.0;

@@ -65,7 +65,13 @@ void declare_serve(ArgParser& p) {
       .flag("cold", "disable the incumbent warm start")
       .option("log", "out.json", "also write the deterministic event log")
       .flag("interior-point", "interior-point root relaxation")
-      .flag("exact", "add the budgeted exact lane per event");
+      .flag("exact", "add the budgeted exact lane per event")
+      .option("max-moves", "K",
+              "stability budget: max CUs torn from surviving pipelines "
+              "per event (default unlimited)")
+      .option("max-disturbed", "K",
+              "stability budget: max non-target pipelines disturbed per "
+              "event (default unlimited)");
 }
 
 void declare_post(ArgParser& p) {
@@ -127,9 +133,10 @@ StatusOr<ArgParser> command_parser(const std::string& program,
 ArgParser mfallocd_parser(const std::string& program) {
   ArgParser p(program, "",
               "Allocation daemon: serves the versioned wire API (POST "
-              "/v1/events, GET /v1/allocation|/v1/stats|/v1/healthz) over "
-              "HTTP, sharding pipelines across AllocServers by consistent "
-              "hashing, with optional write-ahead-log durability.");
+              "/v1/events, GET /v1/allocation|/v1/occupancy|/v1/stats|"
+              "/v1/healthz) over HTTP, sharding pipelines across "
+              "AllocServers by consistent hashing, with optional "
+              "write-ahead-log durability.");
   p.option("platform", "file.json",
            "initial pool: a platform JSON, or any problem/trace file with "
            "a \"platform\" field (required unless --recover)")
@@ -143,6 +150,12 @@ ArgParser mfallocd_parser(const std::string& program) {
       .option("snapshot-every", "N",
               "snapshot each shard's workload every N events (default 256)")
       .option("jobs", "N", "solver threads per shard (default 1)")
+      .option("max-moves", "K",
+              "stability budget: max CUs torn from surviving pipelines "
+              "per event (default unlimited)")
+      .option("max-disturbed", "K",
+              "stability budget: max non-target pipelines disturbed per "
+              "event (default unlimited)")
       .flag("recover",
             "rebuild every shard from --data WALs instead of starting "
             "fresh (ignores --platform)")

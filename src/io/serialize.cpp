@@ -484,22 +484,79 @@ Json to_json(const service::EventOutcome& o) {
   j.set("status", Json::string(o.status.to_string()));
   j.set("solve_status", Json::string(o.solve_status.to_string()));
   j.set("active", Json::number(static_cast<double>(o.active_pipelines)));
-  j.set("warm", Json::boolean(o.warm_started));
-  j.set("ii_ms", Json::number(o.ii));
-  j.set("phi", Json::number(o.phi));
-  j.set("goal", Json::number(o.goal));
+  j.set("warm", Json::boolean(o.solve.warm_started));
+  j.set("ii_ms", Json::number(o.solve.ii));
+  j.set("phi", Json::number(o.solve.phi));
+  j.set("goal", Json::number(o.solve.goal));
   Json totals = Json::array();
-  for (int t : o.totals) totals.push_back(Json::number(t));
+  for (int t : o.solve.totals) totals.push_back(Json::number(t));
   j.set("totals", std::move(totals));
-  j.set("nodes", Json::number(static_cast<double>(o.solve_nodes)));
+  j.set("nodes", Json::number(static_cast<double>(o.solve.nodes)));
   // Compilation-cache observability (deterministic with the default
   // sequential lanes; see EventOutcome).
-  j.set("delta", Json::string(service::to_string(o.delta)));
-  j.set("gp_compiles", Json::number(static_cast<double>(o.gp_compiles)));
-  j.set("gp_patches", Json::number(static_cast<double>(o.gp_patches)));
-  j.set("model_hits", Json::number(static_cast<double>(o.model_hits)));
-  j.set("model_misses", Json::number(static_cast<double>(o.model_misses)));
-  j.set("relax_hits", Json::number(static_cast<double>(o.relax_hits)));
+  j.set("delta", Json::string(service::to_string(o.cache.delta)));
+  j.set("gp_compiles",
+        Json::number(static_cast<double>(o.cache.gp_compiles)));
+  j.set("gp_patches", Json::number(static_cast<double>(o.cache.gp_patches)));
+  j.set("model_hits", Json::number(static_cast<double>(o.cache.model_hits)));
+  j.set("model_misses",
+        Json::number(static_cast<double>(o.cache.model_misses)));
+  j.set("relax_hits", Json::number(static_cast<double>(o.cache.relax_hits)));
+  // Migration diff, appended after the PR-7 flat keys so consumers that
+  // parse (or byte-compare) the historical prefix keep working.
+  j.set("diff", to_json(o.diff));
+  return j;
+}
+
+Json to_json(const service::AllocationDiff& d) {
+  Json j = Json::object();
+  j.set("computed", Json::boolean(d.computed));
+  j.set("cus_moved", Json::number(d.cus_moved));
+  j.set("disturbed", Json::number(d.pipelines_disturbed));
+  j.set("goal_regret", Json::number(d.goal_regret));
+  j.set("stability_applied", Json::boolean(d.stability_applied));
+  j.set("budget_exceeded", Json::boolean(d.budget_exceeded));
+  return j;
+}
+
+Json to_json(const service::DeviceOccupancy& dev) {
+  Json j = Json::object();
+  j.set("cus", Json::number(dev.cus));
+  j.set("used", capacity_to_json(dev.used));
+  j.set("capacity", capacity_to_json(dev.capacity));
+  j.set("bw_used", Json::number(dev.bw_used));
+  j.set("bw_capacity", Json::number(dev.bw_capacity));
+  j.set("utilization", Json::number(dev.utilization));
+  return j;
+}
+
+Json to_json(const service::PipelinePlacement& p) {
+  Json j = Json::object();
+  j.set("id", Json::string(p.id));
+  j.set("cus", Json::number(p.total_cus()));
+  Json rows = Json::array();
+  for (const std::vector<int>& row : p.rows) {
+    Json r = Json::array();
+    for (const int n : row) r.push_back(Json::number(n));
+    rows.push_back(std::move(r));
+  }
+  j.set("rows", std::move(rows));
+  return j;
+}
+
+Json to_json(const service::OccupancyTracker& occ) {
+  Json j = Json::object();
+  j.set("valid", Json::boolean(occ.valid()));
+  Json devices = Json::array();
+  for (const service::DeviceOccupancy& dev : occ.devices()) {
+    devices.push_back(to_json(dev));
+  }
+  j.set("devices", std::move(devices));
+  Json placements = Json::array();
+  for (const service::PipelinePlacement& p : occ.placements()) {
+    placements.push_back(to_json(p));
+  }
+  j.set("placements", std::move(placements));
   return j;
 }
 
@@ -571,6 +628,11 @@ Json to_json(const service::WalSnapshot& snapshot) {
     pipelines.push_back(to_json(p));
   }
   j.set("pipelines", std::move(pipelines));
+  Json placements = Json::array();
+  for (const service::PipelinePlacement& p : snapshot.placements) {
+    placements.push_back(to_json(p));
+  }
+  j.set("placements", std::move(placements));
   return j;
 }
 
@@ -607,6 +669,55 @@ StatusOr<service::WalSnapshot> wal_snapshot_from_json(const Json& j) {
                                         "]: " + p.status().message()};
     }
     snapshot.pipelines.push_back(std::move(p.value()));
+  }
+  // Optional (absent in pre-PR-8 snapshots): the placement ledger that
+  // makes recovery exact under migration budgets.
+  const Json* placements = j.find("placements");
+  if (placements != nullptr) {
+    if (!placements->is_array()) {
+      return Status{Code::kInvalid,
+                    "wal snapshot: 'placements' is not an array"};
+    }
+    snapshot.placements.reserve(placements->size());
+    for (std::size_t i = 0; i < placements->size(); ++i) {
+      const Json& pj = placements->at(i);
+      const std::string where = "placements[" + std::to_string(i) + "]";
+      if (!pj.is_object()) {
+        return Status{Code::kInvalid, "wal snapshot: " + where +
+                                          " is not an object"};
+      }
+      service::PipelinePlacement record;
+      record.id = optional_string(pj, "id", "");
+      if (record.id.empty()) {
+        return Status{Code::kInvalid,
+                      "wal snapshot: " + where + " missing 'id'"};
+      }
+      const Json* rows = pj.find("rows");
+      if (rows == nullptr || !rows->is_array()) {
+        return Status{Code::kInvalid,
+                      "wal snapshot: " + where + " missing 'rows' array"};
+      }
+      record.rows.reserve(rows->size());
+      for (std::size_t r = 0; r < rows->size(); ++r) {
+        const Json& rj = rows->at(r);
+        if (!rj.is_array()) {
+          return Status{Code::kInvalid, "wal snapshot: " + where +
+                                            ".rows is not an array of arrays"};
+        }
+        std::vector<int> row;
+        row.reserve(rj.size());
+        for (std::size_t f = 0; f < rj.size(); ++f) {
+          if (!rj.at(f).is_number() || rj.at(f).as_number() < 0) {
+            return Status{Code::kInvalid,
+                          "wal snapshot: " + where +
+                              ".rows holds a non-count entry"};
+          }
+          row.push_back(static_cast<int>(rj.at(f).as_number()));
+        }
+        record.rows.push_back(std::move(row));
+      }
+      snapshot.placements.push_back(std::move(record));
+    }
   }
   return snapshot;
 }

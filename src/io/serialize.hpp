@@ -55,6 +55,7 @@
 #include "io/json.hpp"
 #include "scenario/trace.hpp"
 #include "service/event.hpp"
+#include "service/occupancy.hpp"
 #include "service/wal.hpp"
 
 namespace mfa::io {
@@ -104,7 +105,19 @@ StatusOr<service::PipelineSpec> pipeline_spec_from_json(const Json& j);
 /// The *deterministic* slice of an outcome — every field except wall
 /// clock, so two replays of one trace dump byte-identical logs (the
 /// property CI diffs). Callers wanting latency add it themselves.
+/// Encoding: the PR-7 flat key sequence (seq..relax_hits) followed by a
+/// nested "diff" object, so consumers of the historical prefix keep
+/// working byte-for-byte.
 Json to_json(const service::EventOutcome& outcome);
+
+/// Migration diff → {"computed", "cus_moved", "disturbed",
+/// "goal_regret", "stability_applied", "budget_exceeded"}.
+Json to_json(const service::AllocationDiff& diff);
+
+/// Occupancy ledger pieces (the GET /v1/occupancy payload).
+Json to_json(const service::DeviceOccupancy& device);
+Json to_json(const service::PipelinePlacement& placement);
+Json to_json(const service::OccupancyTracker& occupancy);
 
 /// WAL line formats (see service/wal.hpp for the file layout). All
 /// require schema_version — the WAL was born versioned.

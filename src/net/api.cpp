@@ -43,6 +43,13 @@ Json stats_to_json(const service::ServiceStats& s) {
   j.set("model_misses",
         Json::number(static_cast<double>(s.model_misses)));
   j.set("relax_hits", Json::number(static_cast<double>(s.relax_hits)));
+  j.set("cus_moved", Json::number(static_cast<double>(s.cus_moved)));
+  j.set("pipelines_disturbed",
+        Json::number(static_cast<double>(s.pipelines_disturbed)));
+  j.set("stability_repacks",
+        Json::number(static_cast<double>(s.stability_repacks)));
+  j.set("budget_exceeded",
+        Json::number(static_cast<double>(s.budget_exceeded)));
   j.set("snapshots", Json::number(static_cast<double>(s.snapshots)));
   j.set("wal_errors", Json::number(static_cast<double>(s.wal_errors)));
   j.set("p50_ms", Json::number(s.p50_ms));
@@ -59,12 +66,14 @@ HttpResponse Api::handle(const HttpRequest& request) {
     }
     return post_events(request);
   }
-  if (request.target == "/v1/allocation" || request.target == "/v1/stats" ||
+  if (request.target == "/v1/allocation" ||
+      request.target == "/v1/occupancy" || request.target == "/v1/stats" ||
       request.target == "/v1/healthz") {
     if (request.method != "GET") {
       return error_response(405, "use GET " + request.target);
     }
     if (request.target == "/v1/allocation") return get_allocation();
+    if (request.target == "/v1/occupancy") return get_occupancy();
     if (request.target == "/v1/stats") return get_stats();
     Json body = Json::object();
     body.set("status", Json::string("ok"));
@@ -138,6 +147,21 @@ HttpResponse Api::get_allocation() {
     } else {
       row.set("allocation", Json::null());
     }
+    shards.push_back(std::move(row));
+  }
+  Json reply = Json::object();
+  reply.set("schema_version", Json::number(io::kSchemaVersion));
+  reply.set("active_pipelines",
+            Json::number(static_cast<double>(router_->active_pipelines())));
+  reply.set("shards", std::move(shards));
+  return json_response(200, std::move(reply));
+}
+
+HttpResponse Api::get_occupancy() {
+  Json shards = Json::array();
+  for (std::size_t i = 0; i < router_->num_shards(); ++i) {
+    Json row = io::to_json(router_->shard(i).occupancy());
+    row.set("shard", Json::number(static_cast<double>(i)));
     shards.push_back(std::move(row));
   }
   Json reply = Json::object();

@@ -13,6 +13,10 @@
 //                        id, infeasible resize) are per-outcome
 //                        statuses, not HTTP errors.
 //   GET  /v1/allocation  Current incumbent per shard.
+//   GET  /v1/occupancy   Per-shard occupancy ledger: each FPGA's
+//                        free/occupied resources, bandwidth and CU
+//                        count, plus every live pipeline's placement
+//                        rows (see service/occupancy.hpp).
 //   GET  /v1/stats       Merged + per-shard ServiceStats, plus a
 //                        top-level "events_processed": the number of
 //                        *client* events the deployment has applied,
@@ -42,6 +46,7 @@ class Api {
  private:
   HttpResponse post_events(const HttpRequest& request);
   HttpResponse get_allocation();
+  HttpResponse get_occupancy();
   HttpResponse get_stats();
 
   service::ShardRouter* router_;

@@ -171,6 +171,7 @@ std::vector<SolveResult> BatchRunner::solve_all(
   PortfolioOptions base = options_.portfolio;
   if (base.relax_cache == nullptr) base.relax_cache = cache;
   if (base.model_cache == nullptr) base.model_cache = models;
+  if (base.stability == nullptr) base.stability = options_.stability;
   // Batched structural dispatch is only meaningful when the GP+A root
   // actually runs the compiled interior-point kernel.
   const bool batching = options_.batch_structural_groups &&

@@ -59,6 +59,10 @@ struct BatchOptions {
   /// still honored when `context` leaves them null. Not owned.
   RelaxationCache* relax_cache = nullptr;
   CompiledModelCache* model_cache = nullptr;
+  /// Migration-aware re-solve applied to every request without its own
+  /// options (next to the caches, same wiring rules): forwarded into
+  /// `portfolio.stability` when that is unset. Not owned.
+  const solver::StabilityOptions* stability = nullptr;
 };
 
 class BatchRunner {

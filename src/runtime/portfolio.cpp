@@ -49,6 +49,10 @@ LaneRun run_lane(const StrategySpec& spec, const core::Problem& problem,
       o.context = nullptr;
       o.relax_cache = cache;
       o.model_cache = models;
+      // Stability rides the same wiring as the caches: the portfolio-
+      // level pointer reaches every GP+A lane unless the base GpaOptions
+      // already carried its own.
+      if (o.stability == nullptr) o.stability = options.stability;
       if (warm) o.warm = warm;  // root-relaxation seed (request-level)
       StatusOr<alloc::GpaResult> r = alloc::GpaSolver(o).solve(problem);
       if (r.is_ok()) {

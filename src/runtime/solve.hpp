@@ -84,6 +84,14 @@ struct PortfolioOptions {
   core::RelaxationCache* relax_cache = nullptr;
   core::CompiledModelCache* model_cache = nullptr;
 
+  /// Migration-aware re-solve (next to the caches, same wiring rules):
+  /// forwarded into every GP+A lane's GpaOptions::stability, where a
+  /// constrained reference triggers a repack of the placed totals under
+  /// the move/disturb budgets. Exact/naive lanes ignore it (they answer
+  /// the unconstrained question; the budgets only shape heuristic
+  /// placements). `gpa.stability` wins when both are set. Not owned.
+  const solver::StabilityOptions* stability = nullptr;
+
   /// Context-first resolution of the shared caches.
   [[nodiscard]] core::RelaxationCache* resolved_relax_cache() const {
     if (context != nullptr && context->relax_cache != nullptr) {

@@ -127,6 +127,17 @@ Status AllocServer::restore(const WalRecovery& recovery) {
     if (!pipelines_.empty()) {
       EventOutcome scratch;  // re-derivation; not an event, not logged
       resolve_workload(scratch);
+      // Under migration budgets the incumbent is path-dependent (a
+      // repack's output depends on the placement the events before the
+      // snapshot left behind), so the pure re-derivation above may
+      // diverge from the crashed run. PR-8 snapshots carry the ledger:
+      // splice its exact rows back in. Without budgets the rows match
+      // the re-derivation and this is a byte-level no-op.
+      if (Status s = restore_placements(recovery.snapshot->placements);
+          !s.is_ok()) {
+        replaying_ = false;
+        return s;
+      }
     }
   }
   for (const WalRecord& record : recovery.tail) {
@@ -150,6 +161,59 @@ Status AllocServer::restore(const WalRecovery& recovery) {
     stats_.sequence = sequence_;
   }
   replaying_ = false;
+  return Status::ok();
+}
+
+Status AllocServer::restore_placements(
+    const std::vector<PipelinePlacement>& placements) {
+  if (placements.empty()) return Status::ok();  // pre-PR-8 snapshot
+  if (!incumbent_ || !incumbent_->allocation) {
+    return Status{Code::kInvalid,
+                  "wal snapshot: placements for an unsolvable workload"};
+  }
+  if (placements.size() != pipelines_.size()) {
+    return Status{Code::kInvalid,
+                  "wal snapshot: placement ledger covers " +
+                      std::to_string(placements.size()) + " pipelines, " +
+                      std::to_string(pipelines_.size()) + " are live"};
+  }
+  const core::Problem& problem = *incumbent_->problem;
+  const std::size_t fpgas = static_cast<std::size_t>(problem.num_fpgas());
+  core::Allocation exact(problem);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const PipelinePlacement& record = placements[i];
+    const PipelineSpec& pipe = pipelines_[i];
+    if (record.id != pipe.id ||
+        record.rows.size() != pipe.app.kernels.size()) {
+      return Status{Code::kInvalid,
+                    "wal snapshot: placement ledger out of step with "
+                    "pipeline '" +
+                        pipe.id + "'"};
+    }
+    for (const std::vector<int>& row : record.rows) {
+      if (row.size() != fpgas) {
+        return Status{Code::kInvalid,
+                      "wal snapshot: placement row width " +
+                          std::to_string(row.size()) + " on a " +
+                          std::to_string(fpgas) + "-FPGA pool"};
+      }
+      for (std::size_t f = 0; f < fpgas; ++f) {
+        exact.set_cu(k, static_cast<int>(f), row[f]);
+      }
+      ++k;
+    }
+  }
+  if (!exact.feasible()) {
+    return Status{Code::kInvalid,
+                  "wal snapshot: placement ledger is infeasible on the "
+                  "snapshotted pool"};
+  }
+  incumbent_->allocation = std::move(exact);
+  incumbent_->ii = incumbent_->allocation->ii();
+  incumbent_->phi = incumbent_->allocation->phi();
+  incumbent_->goal = incumbent_->allocation->goal();
+  occupancy_.update(problem, pipelines_, *incumbent_->allocation);
   return Status::ok();
 }
 
@@ -251,18 +315,26 @@ void AllocServer::resolve_workload(EventOutcome& outcome) {
   runtime::SolveRequest request;
   request.problem = composite_.snapshot();
   request.warm = make_warm(*request.problem);
-  outcome.warm_started = request.warm.has_value();
+  outcome.solve.warm_started = request.warm.has_value();
   runtime::SolveResult result = portfolio_->solve(request);
   outcome.solve_status = result.status;
-  outcome.solve_nodes = result.nodes;
-  outcome.gp_compiles = gp::total_structure_compiles() - compiles0;
-  outcome.gp_patches = gp::total_coefficient_patches() - patches0;
+  outcome.solve.nodes = result.nodes;
+  outcome.cache.gp_compiles = gp::total_structure_compiles() - compiles0;
+  outcome.cache.gp_patches = gp::total_coefficient_patches() - patches0;
   const auto models1 = model_cache_->stats();
   const auto relax1 = relax_cache_->stats();
-  outcome.model_hits = models1.hits - models0.hits;
-  outcome.model_misses = models1.misses - models0.misses;
-  outcome.relax_hits = relax1.hits - relax0.hits;
+  outcome.cache.model_hits = models1.hits - models0.hits;
+  outcome.cache.model_misses = models1.misses - models0.misses;
+  outcome.cache.relax_hits = relax1.hits - relax0.hits;
   if (result.is_ok() && result.allocation) {
+    // Diff the unconstrained optimum against the occupancy records
+    // (recorded whether or not stability is configured — "stability
+    // off" and "budgets too large to bind" produce identical logs);
+    // when it busts a configured budget the ladder may swap in a
+    // gentler allocation and re-stamp the diff.
+    outcome.diff =
+        occupancy_.diff_against(pipelines_, *result.allocation, outcome.id);
+    apply_stability(result, outcome);
     // Refresh the warm seed: the winning lane's root relaxation
     // (ÎI, N̂), sliced per pipeline so surviving tenants carry their N̂
     // into the next composite. An exact-lane winner has no root; fall
@@ -284,12 +356,108 @@ void AllocServer::resolve_workload(EventOutcome& outcome) {
     }
     last_ii_ = have_relaxed ? result.relaxed->ii : result.ii;
     incumbent_ = std::move(result);
+    // Occupancy moves in lock-step with the incumbent: the same update
+    // happens inside recovery's re-derivation solve and tail replay, so
+    // a recovered ledger is byte-identical to an uninterrupted run's.
+    occupancy_.update(*request.problem, pipelines_,
+                      *incumbent_->allocation);
   } else {
-    // Keep serving the previous allocation; the failed state's seed
-    // data would poison the next warm start, so drop it.
+    // Keep serving the previous allocation (and its occupancy records);
+    // the failed state's seed data would poison the next warm start, so
+    // drop it.
     last_totals_.clear();
     last_ii_ = 0.0;
   }
+}
+
+void AllocServer::apply_stability(runtime::SolveResult& result,
+                                  EventOutcome& outcome) {
+  const bool budgeted =
+      options_.max_moves >= 0 || options_.max_disturbed >= 0;
+  if (!budgeted && options_.move_cost <= 0.0) return;  // stability off
+  if (!outcome.diff.computed) return;  // no reference placement yet
+  const bool over =
+      (options_.max_moves >= 0 &&
+       outcome.diff.cus_moved > options_.max_moves) ||
+      (options_.max_disturbed >= 0 &&
+       outcome.diff.pipelines_disturbed > options_.max_disturbed);
+  // A pure soft cost re-packs whenever the optimum moves anything; hard
+  // budgets only engage the ladder once busted (so generous budgets
+  // leave the solve path — and the event log — untouched).
+  if (!over && !(options_.move_cost > 0.0 && outcome.diff.cus_moved > 0)) {
+    return;
+  }
+
+  const core::Problem& problem = *result.problem;
+  const double unconstrained_goal = result.goal;
+  solver::StabilityOptions stab =
+      occupancy_.make_stability(pipelines_, outcome.id);
+  stab.max_moves = options_.max_moves;
+  stab.max_disturbed = options_.max_disturbed;
+  stab.move_cost = options_.move_cost;
+  stab.repack_nodes = options_.stability_nodes;
+
+  std::vector<int> totals(problem.num_kernels(), 0);
+  for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
+    totals[k] = result.allocation->total_cu(k);
+  }
+
+  const solver::PackingSolver packer(problem);
+  const auto adopt = [&](const solver::PackingResult& packed) {
+    result.allocation = *packed.allocation;
+    result.ii = result.allocation->ii();
+    result.phi = result.allocation->phi();
+    result.goal = result.allocation->goal();
+    outcome.diff =
+        occupancy_.diff_against(pipelines_, *result.allocation, outcome.id);
+    outcome.diff.goal_regret = std::max(0.0, result.goal - unconstrained_goal);
+    outcome.diff.stability_applied = true;
+  };
+
+  // Rung 1: repack the optimum's own totals under the budgets. Same
+  // totals ⇒ same II, so any regret is pure φ.
+  {
+    solver::Budget budget =
+        solver::Budget::nodes_only(options_.stability_nodes);
+    const solver::PackingResult packed = packer.pack(
+        totals, solver::PackingMode::kMinSpreading, budget, &stab);
+    if (packed.feasible && packed.allocation) {
+      adopt(packed);
+      return;
+    }
+  }
+
+  // Rung 2: pin every surviving pipeline exactly where it is (zero
+  // budgets) and place only the event's target into the holes. Totals
+  // change, so II may too — the regret covers both terms.
+  if (stab.exempt_group >= 0) {
+    std::vector<int> pinned = totals;
+    for (std::size_t k = 0; k < stab.reference.size(); ++k) {
+      if (!stab.group_of.empty() && stab.group_of[k] == stab.exempt_group) {
+        continue;
+      }
+      if (stab.reference[k].empty()) continue;  // new arrival: keep A* total
+      int held = 0;
+      for (const int n : stab.reference[k]) held += n;
+      pinned[k] = held;
+    }
+    solver::StabilityOptions frozen = stab;
+    frozen.max_moves = 0;
+    frozen.max_disturbed = 0;
+    frozen.move_cost = 0.0;
+    solver::Budget budget =
+        solver::Budget::nodes_only(options_.stability_nodes);
+    const solver::PackingResult packed = packer.pack(
+        pinned, solver::PackingMode::kMinSpreading, budget, &frozen);
+    if (packed.feasible && packed.allocation) {
+      adopt(packed);
+      return;
+    }
+  }
+
+  // Rung 3: no in-budget candidate — accept the unconstrained optimum
+  // over budget rather than serve nothing.
+  outcome.diff.budget_exceeded = true;
 }
 
 EventOutcome AllocServer::process(Event event) {
@@ -355,7 +523,7 @@ EventOutcome AllocServer::process(Event event) {
           touched = pipelines_.size();
           pipelines_.push_back(std::move(event.pipeline));
           composite_.add_pipeline(pipelines_.back());
-          outcome.delta = CompositeDelta::kStructural;
+          outcome.cache.delta = CompositeDelta::kStructural;
           workload_changed = true;
         }
         break;
@@ -372,7 +540,7 @@ EventOutcome AllocServer::process(Event event) {
           removed = std::move(*it);
           pipelines_.erase(it);
           composite_.remove_pipeline(touched);
-          outcome.delta = CompositeDelta::kStructural;
+          outcome.cache.delta = CompositeDelta::kStructural;
           workload_changed = true;
         }
         break;
@@ -390,7 +558,7 @@ EventOutcome AllocServer::process(Event event) {
           old_weight = it->weight;
           it->weight = event.weight;
           composite_.reprioritize(touched, *it);
-          outcome.delta = CompositeDelta::kCoefficients;
+          outcome.cache.delta = CompositeDelta::kCoefficients;
           workload_changed = true;
         }
         break;
@@ -404,7 +572,7 @@ EventOutcome AllocServer::process(Event event) {
         } else {
           old_platform = composite_.platform();
           composite_.resize(std::move(event.platform));
-          outcome.delta = CompositeDelta::kRhs;
+          outcome.cache.delta = CompositeDelta::kRhs;
           workload_changed = true;
         }
         break;
@@ -416,6 +584,7 @@ EventOutcome AllocServer::process(Event event) {
   if (workload_changed) {
     if (pipelines_.empty()) {
       incumbent_.reset();
+      occupancy_.clear();
       last_totals_.clear();
       last_ii_ = 0.0;
     } else {
@@ -446,7 +615,7 @@ EventOutcome AllocServer::process(Event event) {
             composite_.resize(std::move(old_platform));
             break;
         }
-        outcome.delta = CompositeDelta::kNone;
+        outcome.cache.delta = CompositeDelta::kNone;
         outcome.status = std::move(valid);
       } else {
         resolve_workload(outcome);
@@ -462,6 +631,10 @@ EventOutcome AllocServer::process(Event event) {
     snapshot.sequence = sequence_;
     snapshot.platform = composite_.platform();
     snapshot.pipelines = pipelines_;
+    // The ledger rides along so recovery can restore the incumbent's
+    // exact rows — under migration budgets the incumbent depends on
+    // placement history, not just the live set.
+    snapshot.placements = occupancy_.placements();
     if (wal_->write_snapshot(snapshot).is_ok()) {
       ++stats_.snapshots;
     } else {
@@ -473,13 +646,13 @@ EventOutcome AllocServer::process(Event event) {
 
   outcome.active_pipelines = pipelines_.size();
   if (incumbent_) {
-    outcome.ii = incumbent_->ii;
-    outcome.phi = incumbent_->phi;
-    outcome.goal = incumbent_->goal;
-    outcome.totals.reserve(incumbent_->allocation->num_kernels());
+    outcome.solve.ii = incumbent_->ii;
+    outcome.solve.phi = incumbent_->phi;
+    outcome.solve.goal = incumbent_->goal;
+    outcome.solve.totals.reserve(incumbent_->allocation->num_kernels());
     for (std::size_t k = 0; k < incumbent_->allocation->num_kernels();
          ++k) {
-      outcome.totals.push_back(incumbent_->allocation->total_cu(k));
+      outcome.solve.totals.push_back(incumbent_->allocation->total_cu(k));
     }
   }
   outcome.seconds = seconds_since(t0);
@@ -494,12 +667,18 @@ EventOutcome AllocServer::process(Event event) {
   // Broadcast events are counted by *every* shard; this counter lets a
   // router-level reader (the wire API) de-duplicate them.
   if (outcome.type == Event::Type::kResizePlatform) ++stats_.resizes;
-  stats_.solve_nodes += outcome.solve_nodes;
-  stats_.gp_compiles += outcome.gp_compiles;
-  stats_.gp_patches += outcome.gp_patches;
-  stats_.model_hits += outcome.model_hits;
-  stats_.model_misses += outcome.model_misses;
-  stats_.relax_hits += outcome.relax_hits;
+  stats_.solve_nodes += outcome.solve.nodes;
+  stats_.gp_compiles += outcome.cache.gp_compiles;
+  stats_.gp_patches += outcome.cache.gp_patches;
+  stats_.model_hits += outcome.cache.model_hits;
+  stats_.model_misses += outcome.cache.model_misses;
+  stats_.relax_hits += outcome.cache.relax_hits;
+  stats_.cus_moved += static_cast<std::uint64_t>(
+      std::max(0, outcome.diff.cus_moved));
+  stats_.pipelines_disturbed += static_cast<std::uint64_t>(
+      std::max(0, outcome.diff.pipelines_disturbed));
+  if (outcome.diff.stability_applied) ++stats_.stability_repacks;
+  if (outcome.diff.budget_exceeded) ++stats_.budget_exceeded;
   return outcome;
 }
 
@@ -516,6 +695,11 @@ std::optional<runtime::SolveResult> AllocServer::incumbent() const {
 std::vector<EventOutcome> AllocServer::log() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   return {log_.begin(), log_.end()};
+}
+
+OccupancyTracker AllocServer::occupancy() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return occupancy_;
 }
 
 ServiceStats AllocServer::stats() const {

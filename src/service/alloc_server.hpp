@@ -69,7 +69,9 @@
 #include "service/composite.hpp"
 #include "service/event.hpp"
 #include "service/event_queue.hpp"
+#include "service/occupancy.hpp"
 #include "service/wal.hpp"
+#include "solver/packing.hpp"
 
 namespace mfa::service {
 
@@ -113,6 +115,23 @@ struct ServerOptions {
   /// Worker threads the portfolio lanes race on (the server keeps one
   /// pool for its lifetime): 1 = sequential lanes, 0 = hardware size.
   int solver_threads = 1;
+
+  // ---- Migration-aware stability (ROADMAP item 2). Both budgets off
+  // (-1) keeps the solve path byte-identical to the unconstrained
+  // server; the diff in EventOutcome is recorded either way. ------------
+
+  /// Max CUs an event may tear down from surviving pipelines before the
+  /// stability ladder kicks in (-1 = unlimited).
+  int max_moves = -1;
+  /// Max surviving non-target pipelines an event may disturb (-1 =
+  /// unlimited).
+  int max_disturbed = -1;
+  /// Soft migration cost the constrained repack adds per torn CU on top
+  /// of φ (0 keeps the pure-φ repack objective).
+  double move_cost = 0.0;
+  /// Deterministic node budget per stability repack (never wall clock —
+  /// the event log must stay timing-independent).
+  std::int64_t stability_nodes = 200'000;
 
   /// Composite-problem knobs (the pool-wide objective and the swept
   /// resource fraction; individual pipelines only carry weights).
@@ -167,6 +186,13 @@ struct ServiceStats {
   std::uint64_t model_hits = 0;
   std::uint64_t model_misses = 0;
   std::uint64_t relax_hits = 0;
+  // Migration totals (see AllocationDiff): CUs torn down and pipelines
+  // disturbed across all events, plus how often the stability ladder
+  // repacked or gave up.
+  std::uint64_t cus_moved = 0;
+  std::uint64_t pipelines_disturbed = 0;
+  std::uint64_t stability_repacks = 0;
+  std::uint64_t budget_exceeded = 0;
   std::uint64_t snapshots = 0;   ///< snapshots successfully written
   std::uint64_t wal_errors = 0;  ///< failed appends/snapshots
   double p50_ms = 0.0;  ///< event latency percentiles over log()
@@ -224,6 +250,10 @@ class AllocServer {
   /// Aggregate serving counters (see ServiceStats).
   [[nodiscard]] ServiceStats stats() const;
 
+  /// Snapshot of the per-FPGA occupancy ledger (copies are cheap plain
+  /// data; invalid/empty before the first successful solve).
+  [[nodiscard]] OccupancyTracker occupancy() const;
+
   [[nodiscard]] core::RelaxationCache::Stats cache_stats() const {
     return relax_cache_->stats();
   }
@@ -242,14 +272,29 @@ class AllocServer {
   void dispatcher_loop();
   EventOutcome process(Event event);
 
-  /// Re-solves the current composite and refreshes incumbent/seed
-  /// state, recording solve provenance into `outcome`. Requires
-  /// state_mutex_ held and a non-empty pipeline set.
+  /// Re-solves the current composite and refreshes incumbent/seed/
+  /// occupancy state, recording solve provenance and the migration diff
+  /// into `outcome` (outcome.id names the event's target, "" for
+  /// resize). Requires state_mutex_ held and a non-empty pipeline set.
   void resolve_workload(EventOutcome& outcome);
+
+  /// Stability ladder for an over-budget unconstrained result: tries a
+  /// constrained repack of its totals, then a pinned placement that
+  /// keeps every surviving pipeline exactly in place; on success swaps
+  /// the accepted allocation into `result` and stamps outcome.diff.
+  /// Requires state_mutex_ held.
+  void apply_stability(runtime::SolveResult& result, EventOutcome& outcome);
 
   /// Rebuilds dispatcher state from a loaded WAL (called before
   /// start(); see recover()).
   Status restore(const WalRecovery& recovery);
+
+  /// Splices a snapshot's placement ledger into the just-re-derived
+  /// incumbent (exact rows, recomputed II/φ/goal, occupancy refresh) —
+  /// the path-dependence fix for recovery under migration budgets.
+  /// No-op for empty (pre-PR-8) ledgers. Requires state_mutex_ held.
+  Status restore_placements(
+      const std::vector<PipelinePlacement>& placements);
 
   /// Appends the retained outcome and trims to log_capacity. Requires
   /// state_mutex_ held.
@@ -282,6 +327,9 @@ class AllocServer {
   CompositeBuilder composite_;
   std::vector<PipelineSpec> pipelines_;  ///< live set, arrival order
   std::optional<runtime::SolveResult> incumbent_;
+  /// Per-FPGA ledger + per-pipeline placement records, lock-step with
+  /// incumbent_ (updated inside resolve_workload, cleared with it).
+  OccupancyTracker occupancy_;
   /// Previous solve's per-pipeline CU totals and ÎI, the warm seed.
   std::unordered_map<std::string, std::vector<double>> last_totals_;
   double last_ii_ = 0.0;

@@ -123,18 +123,8 @@ inline const char* to_string(Event::Type type) {
   return "unknown";
 }
 
-/// What the server reports for one processed event. Every field except
-/// `seconds` is deterministic for a fixed trace, configuration and
-/// thread count — the replay log the CLI writes (and CI diffs) contains
-/// exactly those fields; `seconds` is wall clock and reported
-/// separately.
-struct EventOutcome {
-  std::uint64_t sequence = 0;  ///< position in the server's event order
-  Event::Type type = Event::Type::kAddPipeline;
-  std::string id;  ///< affected pipeline id (empty for resize)
-  Status status;   ///< event application (e.g. unknown id → kInvalid)
-  Status solve_status;  ///< re-solve outcome (ok for an empty pool)
-  std::size_t active_pipelines = 0;  ///< live pipelines after the event
+/// The solve half of an event's outcome: what the re-solve produced.
+struct SolveCounters {
   bool warm_started = false;  ///< re-solve was seeded from the incumbent
   double ii = 0.0;            ///< incumbent II after the event (ms)
   double phi = 0.0;           ///< incumbent spreading after the event
@@ -142,15 +132,15 @@ struct EventOutcome {
   /// Discretized CU totals of the composite allocation, in composite
   /// kernel order (empty when there is no incumbent).
   std::vector<int> totals;
-  std::int64_t solve_nodes = 0;  ///< Σ nodes across portfolio lanes
-  double seconds = 0.0;          ///< wall-clock event latency (not logged)
+  std::int64_t nodes = 0;  ///< Σ nodes across portfolio lanes
+};
 
-  // ---- Compilation-cache observability. The counters below are
-  // deterministic with sequential portfolio lanes (solver_threads = 1,
-  // the default): racing lanes may duplicate a miss before the first
-  // writer publishes, which makes them timing-dependent at higher
-  // thread counts (like `seconds`, unlike the solve outputs). ----------
-
+/// The cache half of an event's outcome: what the solve paid for. These
+/// counters are deterministic with sequential portfolio lanes
+/// (solver_threads = 1, the default): racing lanes may duplicate a miss
+/// before the first writer publishes, which makes them timing-dependent
+/// at higher thread counts (like `seconds`, unlike the solve outputs).
+struct CacheCounters {
   /// Delta class the event applied to the composite problem.
   CompositeDelta delta = CompositeDelta::kNone;
   /// Full GP IR lowerings performed by this event's solve. Zero for
@@ -165,6 +155,51 @@ struct EventOutcome {
   /// Relaxation-cache hits during the event's solve (lanes 2..n of the
   /// portfolio replaying lane 1's root).
   std::uint64_t relax_hits = 0;
+};
+
+/// The migration half of an event's outcome: what the accepted
+/// allocation moved relative to the previous one (the occupancy
+/// tracker's records — see service/occupancy.hpp). CUs are "moved" when
+/// the previous placement had them on an FPGA where the new one does
+/// not (torn down; newly added CUs are free). A pipeline is "disturbed"
+/// when its placement rows changed at all. The event's own target is
+/// exempt from both counters — its churn is the event's purpose, and
+/// the packing-search budgets exempt its group the same way, so with
+/// budgets (km, kd) every accepted event satisfies cus_moved <= km and
+/// pipelines_disturbed <= kd unless budget_exceeded is set.
+struct AllocationDiff {
+  bool computed = false;  ///< a reference placement existed
+  int cus_moved = 0;
+  int pipelines_disturbed = 0;
+  /// goal(accepted) − goal(unconstrained optimum) ≥ 0: what stability
+  /// cost this event (0 when the unconstrained solve was accepted).
+  double goal_regret = 0.0;
+  /// The accepted allocation came from the migration-aware repack.
+  bool stability_applied = false;
+  /// No in-budget candidate existed; the unconstrained allocation was
+  /// accepted over budget.
+  bool budget_exceeded = false;
+};
+
+/// What the server reports for one processed event, in three explicit
+/// sections — solve outputs, cache counters, migration diff — plus the
+/// event envelope. Every field except `seconds` is deterministic for a
+/// fixed trace, configuration and thread count — the replay log the CLI
+/// writes (and CI diffs) contains exactly those fields; `seconds` is
+/// wall clock and reported separately. (The JSON encoding stays the
+/// PR-7 flat key sequence with "diff" appended, so existing log
+/// consumers keep working byte-for-byte; see io/serialize.cpp.)
+struct EventOutcome {
+  std::uint64_t sequence = 0;  ///< position in the server's event order
+  Event::Type type = Event::Type::kAddPipeline;
+  std::string id;  ///< affected pipeline id (empty for resize)
+  Status status;   ///< event application (e.g. unknown id → kInvalid)
+  Status solve_status;  ///< re-solve outcome (ok for an empty pool)
+  std::size_t active_pipelines = 0;  ///< live pipelines after the event
+  SolveCounters solve;
+  CacheCounters cache;
+  AllocationDiff diff;
+  double seconds = 0.0;  ///< wall-clock event latency (not logged)
 };
 
 }  // namespace mfa::service

@@ -1,0 +1,200 @@
+#include "service/occupancy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace mfa::service {
+
+int PipelinePlacement::total_cus() const {
+  int total = 0;
+  for (const std::vector<int>& row : rows) {
+    for (const int n : row) total += n;
+  }
+  return total;
+}
+
+void OccupancyTracker::update(const core::Problem& problem,
+                              const std::vector<PipelineSpec>& pipelines,
+                              const core::Allocation& alloc) {
+  const std::size_t fpgas = static_cast<std::size_t>(problem.num_fpgas());
+  placements_.clear();
+  placements_.reserve(pipelines.size());
+  std::size_t k = 0;
+  for (const PipelineSpec& pipe : pipelines) {
+    PipelinePlacement record;
+    record.id = pipe.id;
+    record.rows.reserve(pipe.app.kernels.size());
+    for (std::size_t j = 0; j < pipe.app.kernels.size(); ++j, ++k) {
+      std::vector<int> row(fpgas, 0);
+      for (std::size_t f = 0; f < fpgas; ++f) {
+        row[f] = alloc.cu(k, static_cast<int>(f));
+      }
+      record.rows.push_back(std::move(row));
+    }
+    placements_.push_back(std::move(record));
+  }
+  MFA_ASSERT_MSG(k == alloc.num_kernels(),
+                 "occupancy: pipelines do not cover the composite");
+
+  devices_.assign(fpgas, DeviceOccupancy{});
+  for (std::size_t f = 0; f < fpgas; ++f) {
+    const int fi = static_cast<int>(f);
+    DeviceOccupancy& dev = devices_[f];
+    dev.used = alloc.fpga_resources(fi);
+    dev.capacity = problem.cap(fi);
+    dev.bw_used = alloc.fpga_bw(fi);
+    dev.bw_capacity = problem.bw_cap(fi);
+    dev.utilization = alloc.fpga_utilization(fi);
+    for (std::size_t kk = 0; kk < alloc.num_kernels(); ++kk) {
+      dev.cus += alloc.cu(kk, fi);
+    }
+  }
+  valid_ = true;
+  ++updates_;
+}
+
+void OccupancyTracker::clear() {
+  valid_ = false;
+  placements_.clear();
+  devices_.clear();
+  ++updates_;
+}
+
+const PipelinePlacement* OccupancyTracker::placement(
+    const std::string& id) const {
+  for (const PipelinePlacement& record : placements_) {
+    if (record.id == id) return &record;
+  }
+  return nullptr;
+}
+
+OccupancyTracker::Statistics OccupancyTracker::statistics() const {
+  Statistics stats;
+  stats.num_fpgas = static_cast<int>(devices_.size());
+  stats.num_pipelines = placements_.size();
+  stats.updates = updates_;
+  for (const PipelinePlacement& record : placements_) {
+    stats.total_cus += record.total_cus();
+  }
+  double sum = 0.0;
+  for (const DeviceOccupancy& dev : devices_) {
+    stats.peak_utilization = std::max(stats.peak_utilization,
+                                      dev.utilization);
+    sum += dev.utilization;
+  }
+  if (!devices_.empty()) {
+    stats.mean_utilization = sum / static_cast<double>(devices_.size());
+  }
+  return stats;
+}
+
+std::string OccupancyTracker::dump() const {
+  std::ostringstream out;
+  const Statistics stats = statistics();
+  out << "occupancy: " << stats.num_fpgas << " FPGAs, "
+      << stats.num_pipelines << " pipelines, " << stats.total_cus
+      << " CUs (peak util " << stats.peak_utilization << ", mean "
+      << stats.mean_utilization << ")\n";
+  for (std::size_t f = 0; f < devices_.size(); ++f) {
+    const DeviceOccupancy& dev = devices_[f];
+    out << "  fpga " << f << ": " << dev.cus << " CUs, util "
+        << dev.utilization << ", bw " << dev.bw_used << "/"
+        << dev.bw_capacity << ", used " << dev.used.to_string() << " of "
+        << dev.capacity.to_string() << "\n";
+  }
+  for (const PipelinePlacement& record : placements_) {
+    out << "  pipeline " << record.id << ": " << record.total_cus()
+        << " CUs";
+    for (std::size_t j = 0; j < record.rows.size(); ++j) {
+      out << (j == 0 ? " [" : " [");
+      for (std::size_t f = 0; f < record.rows[j].size(); ++f) {
+        out << (f == 0 ? "" : ",") << record.rows[j][f];
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Torn CUs and change flag of one kernel row vs its reference.
+void diff_row(const std::vector<int>& ref, const std::vector<int>& now,
+              int& torn, bool& changed) {
+  const std::size_t width = std::max(ref.size(), now.size());
+  for (std::size_t f = 0; f < width; ++f) {
+    const int old_n = f < ref.size() ? ref[f] : 0;
+    const int new_n = f < now.size() ? now[f] : 0;
+    if (old_n != new_n) changed = true;
+    if (old_n > new_n) torn += old_n - new_n;
+  }
+}
+
+}  // namespace
+
+AllocationDiff OccupancyTracker::diff_against(
+    const std::vector<PipelineSpec>& pipelines,
+    const core::Allocation& candidate, const std::string& target_id) const {
+  AllocationDiff diff;
+  if (!valid_) return diff;
+  diff.computed = true;
+  const std::size_t fpgas =
+      static_cast<std::size_t>(candidate.num_fpgas());
+  std::size_t k = 0;
+  for (const PipelineSpec& pipe : pipelines) {
+    const PipelinePlacement* record = placement(pipe.id);
+    bool changed = false;
+    int torn = 0;
+    for (std::size_t j = 0; j < pipe.app.kernels.size(); ++j, ++k) {
+      if (record == nullptr || j >= record->rows.size()) continue;
+      std::vector<int> now(fpgas, 0);
+      for (std::size_t f = 0; f < fpgas; ++f) {
+        now[f] = candidate.cu(k, static_cast<int>(f));
+      }
+      diff_row(record->rows[j], now, torn, changed);
+    }
+    if (record == nullptr) continue;  // new arrival: nothing to preserve
+    if (pipe.id == target_id) continue;  // the event's own churn is free
+    diff.cus_moved += torn;
+    if (changed) ++diff.pipelines_disturbed;
+  }
+  // Records without a surviving pipeline are departures, not
+  // migrations: their CUs are freed no matter what the solver decides,
+  // so they contribute nothing to the budgeted counters. (This also
+  // keeps the diff aligned with the packing search, whose reference
+  // only ever covers live kernels — a departed record is invisible to
+  // it and could otherwise bust a budget no repack can satisfy.)
+  return diff;
+}
+
+solver::StabilityOptions OccupancyTracker::make_stability(
+    const std::vector<PipelineSpec>& pipelines,
+    const std::string& target_id) const {
+  solver::StabilityOptions stab;
+  std::size_t kernels = 0;
+  for (const PipelineSpec& pipe : pipelines) {
+    kernels += pipe.app.kernels.size();
+  }
+  stab.reference.reserve(kernels);
+  stab.group_of.reserve(kernels);
+  int group = 0;
+  for (const PipelineSpec& pipe : pipelines) {
+    const PipelinePlacement* record = placement(pipe.id);
+    if (!target_id.empty() && pipe.id == target_id) {
+      stab.exempt_group = group;
+    }
+    for (std::size_t j = 0; j < pipe.app.kernels.size(); ++j) {
+      stab.reference.push_back(record != nullptr && j < record->rows.size()
+                                   ? record->rows[j]
+                                   : std::vector<int>{});
+      stab.group_of.push_back(group);
+    }
+    ++group;
+  }
+  return stab;
+}
+
+}  // namespace mfa::service

@@ -1,0 +1,123 @@
+// Per-FPGA occupancy: the service's first-class view of "who holds what".
+//
+// The solvers answer "what is the best allocation"; a live service also
+// has to answer "what is placed where right now, and what would this
+// re-solve move". OccupancyTracker is that answer: a materialized
+// per-device free/occupied ledger plus per-pipeline placement records,
+// owned by AllocServer and updated in lock-step with the incumbent
+// (inside resolve_workload, so WAL snapshot-restore and tail replay
+// rebuild it byte-identically).
+//
+// Three consumers:
+//  * the wire API's GET /v1/occupancy (devices + placements as JSON);
+//  * AllocationDiff — what an event's candidate allocation would move
+//    relative to the records, the diff-first half of the event API;
+//  * solver::StabilityOptions — the records are exactly the reference
+//    rows the migration-aware packing search constrains against.
+//
+// Everything here is plain data derived from (platform, pipelines,
+// allocation); the tracker never solves and holds no references into
+// the composite, so copies are cheap snapshots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "service/event.hpp"
+#include "solver/packing.hpp"
+
+namespace mfa::service {
+
+/// Where one pipeline's CUs sit: rows[j][f] = CUs of the pipeline's j-th
+/// kernel on FPGA f, in the pipeline's own kernel order (row length is
+/// the fleet size at record time — a later resize does not rewrite
+/// history; diffs handle the length mismatch).
+struct PipelinePlacement {
+  std::string id;
+  std::vector<std::vector<int>> rows;
+
+  [[nodiscard]] int total_cus() const;
+};
+
+/// One FPGA's ledger entry (capacities are the *effective* caps the
+/// solve ran under, i.e. fraction-scaled).
+struct DeviceOccupancy {
+  core::ResourceVec used;
+  core::ResourceVec capacity;
+  double bw_used = 0.0;
+  double bw_capacity = 0.0;
+  int cus = 0;             ///< CUs hosted
+  double utilization = 0.0;  ///< max-axis used/full-class-capacity
+};
+
+class OccupancyTracker {
+ public:
+  struct Statistics {
+    int num_fpgas = 0;
+    std::size_t num_pipelines = 0;
+    int total_cus = 0;
+    double peak_utilization = 0.0;
+    double mean_utilization = 0.0;
+    std::uint64_t updates = 0;  ///< update() calls since construction
+  };
+
+  /// Rebuilds the ledger from a solved composite: `pipelines` in
+  /// composite order (their kernel counts recover the per-pipeline
+  /// ranges), `alloc` bound to `problem`.
+  void update(const core::Problem& problem,
+              const std::vector<PipelineSpec>& pipelines,
+              const core::Allocation& alloc);
+
+  /// Forgets everything (the pool emptied).
+  void clear();
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] const std::vector<PipelinePlacement>& placements() const {
+    return placements_;
+  }
+  [[nodiscard]] const std::vector<DeviceOccupancy>& devices() const {
+    return devices_;
+  }
+  /// The record for `id`, or nullptr when the pipeline has none.
+  [[nodiscard]] const PipelinePlacement* placement(
+      const std::string& id) const;
+
+  [[nodiscard]] Statistics statistics() const;
+
+  /// Human-readable occupancy map (devices then placements), for
+  /// debugging and `serve` logs.
+  [[nodiscard]] std::string dump() const;
+
+  /// What `candidate` (for the composite described by `pipelines`)
+  /// would move relative to the records. `target_id` names the event's
+  /// own pipeline — excluded from *both* counters, exactly as the
+  /// packing search exempts its group from the budgets (its churn is
+  /// the event's purpose); pass "" when the event has no target
+  /// (resize). Records without a surviving pipeline are departures and
+  /// count for nothing — the counters cover exactly what a constrained
+  /// repack could preserve. goal_regret/stability flags are the
+  /// caller's to fill.
+  [[nodiscard]] AllocationDiff diff_against(
+      const std::vector<PipelineSpec>& pipelines,
+      const core::Allocation& candidate, const std::string& target_id) const;
+
+  /// Builds the packing-search stability reference for a composite in
+  /// `pipelines` order: reference rows from the records (empty row for
+  /// pipelines without one), group_of = pipeline index, exempt_group =
+  /// `target_id`'s index (-1 when absent). Budgets/costs are left to
+  /// the caller.
+  [[nodiscard]] solver::StabilityOptions make_stability(
+      const std::vector<PipelineSpec>& pipelines,
+      const std::string& target_id) const;
+
+ private:
+  bool valid_ = false;
+  std::vector<PipelinePlacement> placements_;  ///< composite order
+  std::vector<DeviceOccupancy> devices_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace mfa::service

@@ -35,13 +35,22 @@ EventOutcome merge_outcomes(std::vector<EventOutcome> outcomes) {
     if (merged.solve_status.is_ok() && !o.solve_status.is_ok()) {
       merged.solve_status = o.solve_status;
     }
-    merged.warm_started = merged.warm_started && o.warm_started;
-    merged.solve_nodes += o.solve_nodes;
-    merged.gp_compiles += o.gp_compiles;
-    merged.gp_patches += o.gp_patches;
-    merged.model_hits += o.model_hits;
-    merged.model_misses += o.model_misses;
-    merged.relax_hits += o.relax_hits;
+    merged.solve.warm_started =
+        merged.solve.warm_started && o.solve.warm_started;
+    merged.solve.nodes += o.solve.nodes;
+    merged.cache.gp_compiles += o.cache.gp_compiles;
+    merged.cache.gp_patches += o.cache.gp_patches;
+    merged.cache.model_hits += o.cache.model_hits;
+    merged.cache.model_misses += o.cache.model_misses;
+    merged.cache.relax_hits += o.cache.relax_hits;
+    merged.diff.computed = merged.diff.computed || o.diff.computed;
+    merged.diff.cus_moved += o.diff.cus_moved;
+    merged.diff.pipelines_disturbed += o.diff.pipelines_disturbed;
+    merged.diff.goal_regret += o.diff.goal_regret;
+    merged.diff.stability_applied =
+        merged.diff.stability_applied || o.diff.stability_applied;
+    merged.diff.budget_exceeded =
+        merged.diff.budget_exceeded || o.diff.budget_exceeded;
     merged.seconds = std::max(merged.seconds, o.seconds);
   }
   return merged;
@@ -189,6 +198,10 @@ ServiceStats ShardRouter::stats() const {
     merged.model_hits += s.model_hits;
     merged.model_misses += s.model_misses;
     merged.relax_hits += s.relax_hits;
+    merged.cus_moved += s.cus_moved;
+    merged.pipelines_disturbed += s.pipelines_disturbed;
+    merged.stability_repacks += s.stability_repacks;
+    merged.budget_exceeded += s.budget_exceeded;
     merged.snapshots += s.snapshots;
     merged.wal_errors += s.wal_errors;
     merged.p50_ms = std::max(merged.p50_ms, s.p50_ms);

@@ -45,6 +45,7 @@
 
 #include "core/problem.hpp"
 #include "service/event.hpp"
+#include "service/occupancy.hpp"
 #include "support/status.hpp"
 
 namespace mfa::service {
@@ -58,12 +59,19 @@ struct WalRecord {
 
 /// Durable workload state at a sequence point: everything needed to
 /// reconstruct the server's deterministic state without replaying the
-/// events before `sequence` (the incumbent itself is re-derived by one
-/// solve — it is a pure function of this state).
+/// events before `sequence`. Without migration budgets the incumbent is
+/// a pure function of (platform, pipelines, options) and one solve
+/// re-derives it; under budgets it is path-dependent (a repack's output
+/// depends on the previous placement), so the snapshot also carries the
+/// placement ledger and recovery restores the incumbent rows exactly.
 struct WalSnapshot {
   std::uint64_t sequence = 0;  ///< events applied when the snapshot ran
   core::Platform platform;     ///< pool shape at that point
   std::vector<PipelineSpec> pipelines;  ///< live set, arrival order
+  /// Per-pipeline CU placements (composite order, same shape as the
+  /// occupancy records). Empty in pre-PR-8 snapshots: recovery then
+  /// falls back to the pure re-derivation.
+  std::vector<PipelinePlacement> placements;
 };
 
 /// What load() hands back for recovery.

@@ -37,10 +37,53 @@ enum class PackingMode {
   kMinSpreading,   ///< minimize φ = max_k φ_k over feasible placements
 };
 
+/// Migration awareness for re-packs against an incumbent placement
+/// (ROADMAP item 2): the online service must not shuffle CUs across the
+/// whole fleet for a tiny goal gain. A kernel *moves* a CU when its
+/// reference row had the CU on an FPGA where the new placement does not
+/// (CUs torn down; newly added CUs are free). A *group* — in the service,
+/// one pipeline — is disturbed when any of its kernels' rows changed.
+///
+/// Kernels with an empty reference row (new arrivals) and kernels of
+/// `exempt_group` (the event's own target) are never counted. With all
+/// budgets < 0 and move_cost = 0 the search is bit-identical to the
+/// unconstrained one.
+struct StabilityOptions {
+  /// Incumbent placement, aligned to the problem's kernel order:
+  /// reference[k][f] = CUs of kernel k on FPGA f before the event. An
+  /// empty row exempts the kernel (no incumbent placement). Rows may be
+  /// shorter/longer than the current fleet (the pool was resized);
+  /// missing entries read as 0, entries beyond the fleet count as torn.
+  std::vector<std::vector<int>> reference;
+  /// Kernel → group id (the service uses the pipeline index). Empty
+  /// means every kernel forms group 0.
+  std::vector<int> group_of;
+  /// Group whose kernels are never counted (the event's target); -1
+  /// disables the exemption.
+  int exempt_group = -1;
+  /// Hard cap on CUs torn down across all counted kernels (-1 = off).
+  int max_moves = -1;
+  /// Hard cap on disturbed groups (-1 = off).
+  int max_disturbed = -1;
+  /// Soft migration cost: kMinSpreading minimizes φ + move_cost · moves
+  /// instead of φ alone (0 keeps the pure-φ objective).
+  double move_cost = 0.0;
+  /// Deterministic node budget callers use for stability re-packs (the
+  /// service must never let a repack's cost depend on wall clock).
+  std::int64_t repack_nodes = 200'000;
+
+  /// True when any constraint or cost term is active.
+  [[nodiscard]] bool constrained() const {
+    return max_moves >= 0 || max_disturbed >= 0 || move_cost > 0.0;
+  }
+};
+
 struct PackingResult {
   bool feasible = false;        ///< a placement satisfying eqs. 9–10 exists
   bool proved_optimal = false;  ///< search completed within budget
   double phi = 0.0;             ///< φ of the returned placement
+  int cus_moved = 0;   ///< CUs torn down vs the stability reference
+  int disturbed = 0;   ///< groups disturbed vs the stability reference
   std::optional<core::Allocation> allocation;
 };
 
@@ -61,6 +104,14 @@ class PackingSolver {
   /// though eq. 8 requires ≥ 1 for full solutions).
   [[nodiscard]] PackingResult pack(const std::vector<int>& totals,
                                    PackingMode mode, Budget& budget) const;
+
+  /// Migration-aware pack: same search, with torn-CU/disturbed-group
+  /// accounting against `stability->reference` and its budgets enforced
+  /// as hard constraints (see StabilityOptions). A null `stability` is
+  /// exactly the unconstrained overload.
+  [[nodiscard]] PackingResult pack(const std::vector<int>& totals,
+                                   PackingMode mode, Budget& budget,
+                                   const StabilityOptions* stability) const;
 
  private:
   const core::Problem* problem_;

@@ -59,10 +59,26 @@ TEST(Cli, MfallocdParserShape) {
   ArgParser parser = mfallocd_parser("mfallocd");
   EXPECT_EQ(parser.usage_line(), "usage: mfallocd [options]");
   const std::string help = parser.help_text();
-  for (const char* flag : {"--platform", "--port", "--data", "--shards",
-                           "--recover", "--no-fsync", "--help"}) {
+  for (const char* flag :
+       {"--platform", "--port", "--data", "--shards", "--max-moves",
+        "--max-disturbed", "--recover", "--no-fsync", "--help"}) {
     EXPECT_NE(help.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST(Cli, ServeExposesStabilityBudgets) {
+  auto parser = command_parser("mfalloc_cli", "serve");
+  ASSERT_TRUE(parser.is_ok());
+  const std::string help = parser.value().help_text();
+  for (const char* flag : {"--max-moves", "--max-disturbed"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag;
+  }
+  ASSERT_TRUE(parse(parser.value(), {"--trace", "t.json", "--max-moves",
+                                     "4", "--max-disturbed", "1"})
+                  .is_ok());
+  EXPECT_EQ(parser.value().int_or("max-moves", -1, -1, 1 << 30).value(), 4);
+  EXPECT_EQ(
+      parser.value().int_or("max-disturbed", -1, -1, 1 << 30).value(), 1);
 }
 
 TEST(Cli, UnknownCommandRejected) {

@@ -24,12 +24,21 @@
 //     tolerance band (the batched kernel follows its own arithmetic;
 //     the contract is tolerance-level, not bitwise).
 //
-// Usage: differential_fuzz [num_seeds] [--start S] [--out failure.json]
-//                          [--parity] [--batched]
+//  6. stability oracle — the migration-aware packing search against a
+//     reference placement: zero budgets must reproduce the reference
+//     bit-exactly, unlimited budgets must match the unconstrained
+//     optimum φ, seeded hard budgets must be respected by the reported
+//     counters (and those counters must match a recount from the
+//     returned allocation), a soft move cost must never do worse than
+//     the free stay-put option, and the GP+A stability plumbing must
+//     hold the incumbent in place at zero budgets.
 //
-// --parity runs only check 4 and --batched only check 5 (no exact/naive
-// oracles); both are cheap enough for wide ctest slices across
-// heterogeneous platforms.
+// Usage: differential_fuzz [num_seeds] [--start S] [--out failure.json]
+//                          [--parity] [--batched] [--stability]
+//
+// --parity runs only check 4, --batched only check 5 and --stability
+// only check 6 (no exact/naive oracles); all are cheap enough for wide
+// ctest slices across heterogeneous platforms.
 //
 // On mismatch it prints the seed and the scenario JSON to stderr, writes
 // the scenario to --out (CI uploads it as an artifact) and exits 1.
@@ -50,6 +59,7 @@
 #include "scenario/generate.hpp"
 #include "solver/exact.hpp"
 #include "solver/naive.hpp"
+#include "solver/packing.hpp"
 
 namespace {
 
@@ -59,6 +69,7 @@ struct Options {
   const char* out_path = nullptr;
   bool parity_only = false;
   bool batched_only = false;
+  bool stability_only = false;
 };
 
 /// Scenario shape small enough for the naive oracle to *prove* optima
@@ -193,6 +204,162 @@ const char* check_batched_parity(const mfa::core::Problem& problem,
   return nullptr;
 }
 
+/// Migration-aware packing oracle (see file comment, check 6). The
+/// reference placement is GP+A's own allocation of the seed — a
+/// realistic incumbent the budgets can always fall back to, which makes
+/// every property below unconditional:
+///  * zero budgets reproduce the reference bit-exactly (staying put is
+///    the only in-budget placement, and it is feasible);
+///  * budgeted packs are feasible whenever the zero-budget one is (the
+///    reference itself fits any non-negative budget) and their reported
+///    moved/disturbed counters respect the budgets *and* match a
+///    recount from the returned allocation;
+///  * unlimited budgets match the unconstrained optimum φ (the
+///    constrained search machinery must not change what it finds, only
+///    what it may visit — this also exercises the symmetry-breaking
+///    handoff);
+///  * a soft move cost never does worse than the free stay-put option:
+///    φ(packed) + c·moves(packed) ≤ φ(reference);
+///  * GpaOptions::stability at zero budgets hands back the incumbent
+///    placement unchanged (the service's Rung-1 wiring).
+const char* check_stability(const mfa::core::Problem& problem,
+                            std::uint64_t seed) {
+  mfa::alloc::GpaOptions gpa_options;
+  gpa_options.greedy.t_max = 0.2;
+  const auto gpa = mfa::alloc::GpaSolver(gpa_options).solve(problem);
+  if (!gpa.is_ok()) return nullptr;  // nothing placed, nothing to keep
+  mfa::core::Problem used = problem;
+  used.resource_fraction = gpa.value().used_fraction;
+  const mfa::core::Allocation& base = gpa.value().allocation;
+  const std::size_t kernels = base.num_kernels();
+  const int fpgas = base.num_fpgas();
+
+  std::vector<int> totals(kernels, 0);
+  mfa::solver::StabilityOptions stab;
+  stab.reference.resize(kernels);
+  stab.group_of.resize(kernels);
+  for (std::size_t k = 0; k < kernels; ++k) {
+    totals[k] = base.total_cu(k);
+    stab.group_of[k] = static_cast<int>(k);
+    for (int f = 0; f < fpgas; ++f) {
+      stab.reference[k].push_back(base.cu(k, f));
+    }
+  }
+  const double base_phi = base.phi();
+  const mfa::solver::PackingSolver packer(used);
+  const auto pack = [&](const mfa::solver::StabilityOptions* s) {
+    mfa::solver::Budget budget = mfa::solver::Budget::nodes_only(2'000'000);
+    return packer.pack(totals, mfa::solver::PackingMode::kMinSpreading,
+                       budget, s);
+  };
+
+  const mfa::solver::PackingResult unconstrained = pack(nullptr);
+  if (!unconstrained.feasible) {
+    return "packing lost a placement the heuristic proved feasible";
+  }
+
+  // Zero budgets: the search may only return the reference itself.
+  stab.max_moves = 0;
+  stab.max_disturbed = 0;
+  const mfa::solver::PackingResult frozen = pack(&stab);
+  if (!frozen.feasible || !frozen.allocation) {
+    return "zero-budget pack failed to reproduce the reference placement";
+  }
+  for (std::size_t k = 0; k < kernels; ++k) {
+    for (int f = 0; f < fpgas; ++f) {
+      if (frozen.allocation->cu(k, f) != base.cu(k, f)) {
+        return "zero-budget pack moved a CU off the reference";
+      }
+    }
+  }
+  if (frozen.cus_moved != 0 || frozen.disturbed != 0 ||
+      std::abs(frozen.phi - base_phi) > 1e-9) {
+    return "zero-budget pack misreported its own diff";
+  }
+
+  // Unlimited budgets: same optimum as the unconstrained search.
+  stab.max_moves = 1 << 29;
+  stab.max_disturbed = 1 << 29;
+  const mfa::solver::PackingResult roomy = pack(&stab);
+  if (!roomy.feasible) {
+    return "generous-budget pack lost a feasible placement";
+  }
+  if (roomy.proved_optimal && unconstrained.proved_optimal &&
+      std::abs(roomy.phi - unconstrained.phi) >
+          1e-9 * (1.0 + std::abs(unconstrained.phi))) {
+    return "generous-budget pack found a different optimum phi";
+  }
+
+  // Seeded hard budgets: reported counters within budget and equal to a
+  // recount from the returned allocation.
+  stab.max_moves = static_cast<int>(seed % 3);
+  stab.max_disturbed = static_cast<int>(seed % 2);
+  const mfa::solver::PackingResult budgeted = pack(&stab);
+  if (!budgeted.feasible || !budgeted.allocation) {
+    return "budgeted pack infeasible though the reference is in budget";
+  }
+  int torn = 0;
+  int disturbed = 0;
+  for (std::size_t k = 0; k < kernels; ++k) {
+    bool changed = false;
+    for (int f = 0; f < fpgas; ++f) {
+      const int old_n = base.cu(k, f);
+      const int new_n = budgeted.allocation->cu(k, f);
+      if (old_n != new_n) changed = true;
+      if (old_n > new_n) torn += old_n - new_n;
+    }
+    if (changed) ++disturbed;
+  }
+  if (torn != budgeted.cus_moved || disturbed != budgeted.disturbed) {
+    return "budgeted pack's reported diff disagrees with a recount";
+  }
+  if (budgeted.cus_moved > stab.max_moves ||
+      budgeted.disturbed > stab.max_disturbed) {
+    return "budgeted pack violated its own hard budgets";
+  }
+
+  // Soft move cost: staying put costs phi(reference), so the optimizer
+  // can never return anything strictly worse than that.
+  stab.max_moves = -1;
+  stab.max_disturbed = -1;
+  stab.move_cost = 0.25;
+  const mfa::solver::PackingResult soft = pack(&stab);
+  if (!soft.feasible) return "soft-cost pack lost a feasible placement";
+  if (soft.proved_optimal &&
+      soft.phi + stab.move_cost * soft.cus_moved >
+          base_phi + 1e-9 * (1.0 + base_phi)) {
+    return "soft-cost pack did worse than the free stay-put option";
+  }
+
+  // GP+A plumbing: a re-solve with zero-budget stability must hand back
+  // the incumbent placement unchanged (deterministic GP totals match).
+  // Only unconditional when the greedy stayed within the original
+  // resource fraction — the repack runs at that fraction, so an
+  // escalated incumbent may legitimately not fit and be skipped.
+  if (gpa.value().used_fraction > problem.resource_fraction + 1e-12) {
+    return nullptr;
+  }
+  stab.move_cost = 0.0;
+  stab.max_moves = 0;
+  stab.max_disturbed = 0;
+  gpa_options.stability = &stab;
+  const auto held = mfa::alloc::GpaSolver(gpa_options).solve(problem);
+  if (!held.is_ok()) {
+    return "GP+A with zero-budget stability failed on a solvable seed";
+  }
+  if (!held.value().stability_applied) {
+    return "GP+A ignored a constrained stability reference";
+  }
+  for (std::size_t k = 0; k < kernels; ++k) {
+    for (int f = 0; f < fpgas; ++f) {
+      if (held.value().allocation.cu(k, f) != base.cu(k, f)) {
+        return "GP+A stability repack moved the incumbent at zero budget";
+      }
+    }
+  }
+  return nullptr;
+}
+
 /// Runs all solvers on one scenario; returns nullptr on agreement, else
 /// a static description of the first mismatch. Sets *feasible when the
 /// instance's feasibility was decided.
@@ -294,6 +461,8 @@ int main(int argc, char** argv) {
       opt.parity_only = true;
     } else if (std::strcmp(argv[i], "--batched") == 0) {
       opt.batched_only = true;
+    } else if (std::strcmp(argv[i], "--stability") == 0) {
+      opt.stability_only = true;
     } else if (argv[i][0] != '-') {
       opt.count = std::strtoull(argv[i], nullptr, 10);
       if (opt.count == 0) {
@@ -303,7 +472,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [num_seeds] [--start S] [--out failure.json]"
-                   " [--parity] [--batched]\n",
+                   " [--parity] [--batched] [--stability]\n",
                    argv[0]);
       return 2;
     }
@@ -320,6 +489,8 @@ int main(int argc, char** argv) {
       mismatch = check_patch_parity(problem);
     } else if (opt.batched_only) {
       mismatch = check_batched_parity(problem, seed);
+    } else if (opt.stability_only) {
+      mismatch = check_stability(problem, seed);
     } else {
       mismatch = check_seed(problem, seed, &feasible);
     }
@@ -335,11 +506,12 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("differential fuzz%s: %" PRIu64 " seeds ok\n",
-              opt.parity_only   ? " (patch parity)"
-              : opt.batched_only ? " (batched parity)"
-                                 : "",
+              opt.parity_only     ? " (patch parity)"
+              : opt.batched_only  ? " (batched parity)"
+              : opt.stability_only ? " (stability)"
+                                   : "",
               checked);
-  if (!opt.parity_only && !opt.batched_only) {
+  if (!opt.parity_only && !opt.batched_only && !opt.stability_only) {
     std::printf("(%" PRIu64 " infeasible instances exercised)\n", infeasible);
   }
   return 0;

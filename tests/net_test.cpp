@@ -281,6 +281,71 @@ TEST_F(ApiTest, UnknownEndpointIs404) {
 TEST_F(ApiTest, WrongMethodIs405) {
   EXPECT_EQ(call("GET", "/v1/events").status, 405);
   EXPECT_EQ(call("POST", "/v1/stats").status, 405);
+  EXPECT_EQ(call("POST", "/v1/occupancy").status, 405);
+}
+
+TEST_F(ApiTest, OutcomesCarryTheMigrationDiff) {
+  ASSERT_EQ(call("POST", "/v1/events", add_event_body("first")).status,
+            200);
+  // The second add has an incumbent to diff against.
+  const HttpResponse response =
+      call("POST", "/v1/events", add_event_body("second"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto doc = io::Json::parse(response.body);
+  ASSERT_TRUE(doc.is_ok());
+  const io::Json* outcome = &doc.value().find("outcomes")->at(0);
+  const io::Json* diff = outcome->find("diff");
+  ASSERT_NE(diff, nullptr);
+  for (const char* key : {"computed", "cus_moved", "disturbed",
+                          "goal_regret", "stability_applied",
+                          "budget_exceeded"}) {
+    EXPECT_NE(diff->find(key), nullptr) << key;
+  }
+  EXPECT_TRUE(diff->find("computed")->as_bool());
+}
+
+TEST_F(ApiTest, OccupancyReportsTheLedgerPerShard) {
+  // Empty pool: valid endpoint, invalid (cleared) ledgers.
+  auto empty = io::Json::parse(call("GET", "/v1/occupancy").body);
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_EQ(empty.value().find("schema_version")->as_number(),
+            static_cast<double>(io::kSchemaVersion));
+  ASSERT_EQ(empty.value().find("shards")->size(), 2u);
+
+  ASSERT_EQ(call("POST", "/v1/events", add_event_body("tenant-o")).status,
+            200);
+  auto doc = io::Json::parse(call("GET", "/v1/occupancy").body);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().find("active_pipelines")->as_number(), 1.0);
+  const io::Json* shards = doc.value().find("shards");
+  ASSERT_EQ(shards->size(), 2u);
+  std::size_t valid_shards = 0;
+  std::size_t placements = 0;
+  for (std::size_t i = 0; i < shards->size(); ++i) {
+    const io::Json& shard = shards->at(i);
+    EXPECT_EQ(shard.find("shard")->as_number(), static_cast<double>(i));
+    ASSERT_NE(shard.find("devices"), nullptr);
+    ASSERT_NE(shard.find("placements"), nullptr);
+    if (shard.find("valid")->as_bool()) ++valid_shards;
+    placements += shard.find("placements")->size();
+  }
+  // The pipeline hashed to exactly one shard, whose ledger is live.
+  EXPECT_EQ(valid_shards, 1u);
+  ASSERT_EQ(placements, 1u);
+}
+
+TEST_F(ApiTest, StatsExposeStabilityCounters) {
+  ASSERT_EQ(call("POST", "/v1/events", add_event_body("tenant-s")).status,
+            200);
+  auto stats = io::Json::parse(call("GET", "/v1/stats").body);
+  ASSERT_TRUE(stats.is_ok());
+  const io::Json* merged = stats.value().find("merged");
+  ASSERT_NE(merged, nullptr);
+  for (const char* key : {"cus_moved", "pipelines_disturbed",
+                          "stability_repacks", "budget_exceeded"}) {
+    ASSERT_NE(merged->find(key), nullptr) << key;
+    EXPECT_GE(merged->find(key)->as_number(), 0.0) << key;
+  }
 }
 
 TEST_F(ApiTest, ValidBatchRunsAndReturnsOutcomes) {

@@ -1,0 +1,224 @@
+// OccupancyTracker unit coverage: ledger rebuild from a solved
+// composite, per-pipeline placement records, the migration diff
+// (target exemption, departures, fleet-width mismatches after a
+// resize), and the packing-search stability reference it derives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "service/alloc_server.hpp"
+#include "service/occupancy.hpp"
+#include "testutil.hpp"
+
+namespace mfa::service {
+namespace {
+
+/// Two pipelines over the tiny_problem kernel set: p0 = {a, b},
+/// p1 = {c}, composite rows in that order.
+std::vector<PipelineSpec> two_pipelines() {
+  PipelineSpec p0;
+  p0.id = "p0";
+  p0.app.kernels = {test::make_kernel("a", 8.0, 10.0, 20.0, 5.0),
+                    test::make_kernel("b", 12.0, 8.0, 15.0, 4.0)};
+  PipelineSpec p1;
+  p1.id = "p1";
+  p1.app.kernels = {test::make_kernel("c", 4.0, 5.0, 10.0, 8.0)};
+  return {p0, p1};
+}
+
+/// tiny_problem is exactly the two_pipelines composite (kernels a,b,c on
+/// two FPGAs), so allocations built on it bind to both.
+core::Allocation place(const core::Problem& problem,
+                       const std::vector<std::vector<int>>& rows) {
+  core::Allocation alloc(problem);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    for (std::size_t f = 0; f < rows[k].size(); ++f) {
+      alloc.set_cu(k, static_cast<int>(f), rows[k][f]);
+    }
+  }
+  return alloc;
+}
+
+TEST(OccupancyTracker, UpdateBuildsLedgerAndPlacements) {
+  const core::Problem problem = test::tiny_problem();
+  const auto pipelines = two_pipelines();
+  const core::Allocation alloc =
+      place(problem, {{2, 1}, {0, 2}, {1, 0}});
+
+  OccupancyTracker occ;
+  EXPECT_FALSE(occ.valid());
+  occ.update(problem, pipelines, alloc);
+  ASSERT_TRUE(occ.valid());
+
+  ASSERT_EQ(occ.placements().size(), 2u);
+  const PipelinePlacement* p0 = occ.placement("p0");
+  ASSERT_NE(p0, nullptr);
+  ASSERT_EQ(p0->rows.size(), 2u);
+  EXPECT_EQ(p0->rows[0], (std::vector<int>{2, 1}));
+  EXPECT_EQ(p0->rows[1], (std::vector<int>{0, 2}));
+  EXPECT_EQ(p0->total_cus(), 5);
+  const PipelinePlacement* p1 = occ.placement("p1");
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->rows[0], (std::vector<int>{1, 0}));
+  EXPECT_EQ(occ.placement("nope"), nullptr);
+
+  ASSERT_EQ(occ.devices().size(), 2u);
+  EXPECT_EQ(occ.devices()[0].cus, 3);  // 2 + 0 + 1
+  EXPECT_EQ(occ.devices()[1].cus, 3);  // 1 + 2 + 0
+  // Effective (fraction-scaled) capacities, and used = what the rows pay.
+  EXPECT_DOUBLE_EQ(occ.devices()[0].capacity[core::Resource::kBram], 80.0);
+  EXPECT_DOUBLE_EQ(occ.devices()[0].used[core::Resource::kBram],
+                   2 * 10.0 + 1 * 5.0);
+  EXPECT_DOUBLE_EQ(occ.devices()[1].bw_used, 1 * 5.0 + 2 * 4.0);
+
+  const auto stats = occ.statistics();
+  EXPECT_EQ(stats.num_fpgas, 2);
+  EXPECT_EQ(stats.num_pipelines, 2u);
+  EXPECT_EQ(stats.total_cus, 6);
+  EXPECT_GT(stats.peak_utilization, 0.0);
+  EXPECT_GE(stats.peak_utilization, stats.mean_utilization);
+  EXPECT_EQ(stats.updates, 1u);
+
+  const std::string dump = occ.dump();
+  EXPECT_NE(dump.find("2 FPGAs, 2 pipelines, 6 CUs"), std::string::npos);
+  EXPECT_NE(dump.find("pipeline p0: 5 CUs [2,1] [0,2]"), std::string::npos);
+
+  occ.clear();
+  EXPECT_FALSE(occ.valid());
+  EXPECT_TRUE(occ.placements().empty());
+  EXPECT_TRUE(occ.devices().empty());
+  EXPECT_EQ(occ.statistics().updates, 2u);
+}
+
+TEST(OccupancyTracker, DiffCountsTornCusAndDisturbedPipelines) {
+  const core::Problem problem = test::tiny_problem();
+  const auto pipelines = two_pipelines();
+  OccupancyTracker occ;
+  occ.update(problem, pipelines, place(problem, {{2, 1}, {0, 2}, {1, 0}}));
+
+  // Identical candidate: a computed diff with nothing moved.
+  AllocationDiff same = occ.diff_against(
+      pipelines, place(problem, {{2, 1}, {0, 2}, {1, 0}}), "");
+  EXPECT_TRUE(same.computed);
+  EXPECT_EQ(same.cus_moved, 0);
+  EXPECT_EQ(same.pipelines_disturbed, 0);
+
+  // Kernel a loses one CU on FPGA 0 and gains one on FPGA 1: one torn
+  // CU (only shrinkage counts), one disturbed pipeline.
+  AllocationDiff moved = occ.diff_against(
+      pipelines, place(problem, {{1, 2}, {0, 2}, {1, 0}}), "");
+  EXPECT_EQ(moved.cus_moved, 1);
+  EXPECT_EQ(moved.pipelines_disturbed, 1);
+
+  // The event's own pipeline is exempt from both counters, mirroring
+  // the packing-search budgets (its churn is the event's purpose).
+  AllocationDiff target = occ.diff_against(
+      pipelines, place(problem, {{1, 2}, {0, 2}, {1, 0}}), "p0");
+  EXPECT_EQ(target.cus_moved, 0);
+  EXPECT_EQ(target.pipelines_disturbed, 0);
+
+  // Pure growth (a new CU lands on FPGA 0 for kernel c) changes the row
+  // but tears nothing.
+  AllocationDiff grown = occ.diff_against(
+      pipelines, place(problem, {{2, 1}, {0, 2}, {2, 0}}), "");
+  EXPECT_EQ(grown.cus_moved, 0);
+  EXPECT_EQ(grown.pipelines_disturbed, 1);
+
+  // An invalid tracker never claims a diff.
+  OccupancyTracker empty;
+  EXPECT_FALSE(empty.diff_against(pipelines, place(problem, {}), "")
+                   .computed);
+}
+
+TEST(OccupancyTracker, DiffIgnoresDepartedRecords) {
+  const core::Problem problem = test::tiny_problem();
+  const auto pipelines = two_pipelines();
+  OccupancyTracker occ;
+  occ.update(problem, pipelines, place(problem, {{2, 1}, {0, 2}, {1, 0}}));
+
+  // p1 departs: the survivor composite is just p0's two kernels. Its
+  // record is a departure, not a migration — freed CUs are free no
+  // matter what the solver decides, so the budgeted counters see
+  // nothing (with or without the remove attributed via target_id).
+  core::Problem survivor = problem;
+  survivor.app.kernels.pop_back();
+  const std::vector<PipelineSpec> remaining = {pipelines[0]};
+  const core::Allocation keep = place(survivor, {{2, 1}, {0, 2}});
+  for (const char* target : {"", "p1"}) {
+    AllocationDiff gone = occ.diff_against(remaining, keep, target);
+    EXPECT_TRUE(gone.computed);
+    EXPECT_EQ(gone.cus_moved, 0) << target;
+    EXPECT_EQ(gone.pipelines_disturbed, 0) << target;
+  }
+
+  // The survivor still pays for its own moves.
+  AllocationDiff shuffled =
+      occ.diff_against(remaining, place(survivor, {{1, 2}, {0, 2}}), "");
+  EXPECT_EQ(shuffled.cus_moved, 1);
+  EXPECT_EQ(shuffled.pipelines_disturbed, 1);
+}
+
+TEST(OccupancyTracker, DiffSurvivesFleetWidthMismatch) {
+  // Records were taken on 2 FPGAs; after a resize the candidate runs on
+  // 3. Width mismatches must diff as implicit zeros, both directions.
+  const core::Problem before = test::tiny_problem();
+  const auto pipelines = two_pipelines();
+  OccupancyTracker occ;
+  occ.update(before, pipelines, place(before, {{2, 1}, {0, 2}, {1, 0}}));
+
+  core::Problem after = before;
+  after.platform = core::Platform{"3fpga", 3};
+  // Kernel b's pair moves from FPGA 1 to the new FPGA 2.
+  AllocationDiff widened = occ.diff_against(
+      pipelines, place(after, {{2, 1, 0}, {0, 0, 2}, {1, 0, 0}}), "");
+  EXPECT_TRUE(widened.computed);
+  EXPECT_EQ(widened.cus_moved, 2);
+  EXPECT_EQ(widened.pipelines_disturbed, 1);
+
+  // Shrink: records on 3 FPGAs, candidate on 2 — the CUs on the
+  // removed device count as torn.
+  OccupancyTracker wide;
+  wide.update(after, pipelines,
+              place(after, {{2, 1, 0}, {0, 0, 2}, {1, 0, 0}}));
+  AllocationDiff narrowed = wide.diff_against(
+      pipelines, place(before, {{2, 1}, {0, 2}, {1, 0}}), "");
+  EXPECT_EQ(narrowed.cus_moved, 2);
+  EXPECT_EQ(narrowed.pipelines_disturbed, 1);
+}
+
+TEST(OccupancyTracker, MakeStabilityMirrorsRecordsAndExemptsTarget) {
+  const core::Problem problem = test::tiny_problem();
+  const auto pipelines = two_pipelines();
+  OccupancyTracker occ;
+  occ.update(problem, pipelines, place(problem, {{2, 1}, {0, 2}, {1, 0}}));
+
+  solver::StabilityOptions stab = occ.make_stability(pipelines, "p1");
+  ASSERT_EQ(stab.reference.size(), 3u);
+  EXPECT_EQ(stab.reference[0], (std::vector<int>{2, 1}));
+  EXPECT_EQ(stab.reference[1], (std::vector<int>{0, 2}));
+  EXPECT_EQ(stab.reference[2], (std::vector<int>{1, 0}));
+  EXPECT_EQ(stab.group_of, (std::vector<int>{0, 0, 1}));
+  EXPECT_EQ(stab.exempt_group, 1);
+
+  // No target: nothing exempt.
+  EXPECT_EQ(occ.make_stability(pipelines, "").exempt_group, -1);
+
+  // A new arrival (no record yet) gets an empty — i.e. exempt —
+  // reference row, and its own group.
+  PipelineSpec fresh;
+  fresh.id = "p2";
+  fresh.app.kernels = {test::make_kernel("d", 5.0, 6.0, 9.0, 2.0)};
+  auto grown = pipelines;
+  grown.push_back(fresh);
+  solver::StabilityOptions with_new = occ.make_stability(grown, "p2");
+  ASSERT_EQ(with_new.reference.size(), 4u);
+  EXPECT_TRUE(with_new.reference[3].empty());
+  EXPECT_EQ(with_new.group_of, (std::vector<int>{0, 0, 1, 2}));
+  EXPECT_EQ(with_new.exempt_group, 2);
+}
+
+}  // namespace
+}  // namespace mfa::service

@@ -146,6 +146,182 @@ TEST(PackingSolver, ZeroTotalsAllowed) {
   EXPECT_EQ(r.allocation->total_cu(1), 1);
 }
 
+/// The rows of an allocation in StabilityOptions::reference layout.
+std::vector<std::vector<int>> rows_of(const core::Allocation& a) {
+  std::vector<std::vector<int>> rows(a.num_kernels());
+  for (std::size_t k = 0; k < a.num_kernels(); ++k) {
+    rows[k].resize(static_cast<std::size_t>(a.num_fpgas()));
+    for (int f = 0; f < a.num_fpgas(); ++f) {
+      rows[k][static_cast<std::size_t>(f)] = a.cu(k, f);
+    }
+  }
+  return rows;
+}
+
+TEST(PackingStability, NullStabilityMatchesUnconstrained) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget b1 = unlimited();
+  Budget b2 = unlimited();
+  const PackingResult plain =
+      packer.pack({3, 2, 2}, PackingMode::kMinSpreading, b1);
+  const PackingResult with_null = packer.pack(
+      {3, 2, 2}, PackingMode::kMinSpreading, b2, /*stability=*/nullptr);
+  ASSERT_TRUE(plain.feasible);
+  ASSERT_TRUE(with_null.feasible);
+  EXPECT_EQ(plain.phi, with_null.phi);  // bit-identical search
+  EXPECT_EQ(rows_of(*plain.allocation), rows_of(*with_null.allocation));
+}
+
+TEST(PackingStability, UnconstrainedReferenceMatchesPlainSearch) {
+  // Budgets off + zero cost: the stability bookkeeping must not perturb
+  // the search result even with a reference present.
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget b1 = unlimited();
+  const PackingResult plain =
+      packer.pack({3, 2, 2}, PackingMode::kMinSpreading, b1);
+  ASSERT_TRUE(plain.feasible);
+  StabilityOptions stab;
+  stab.reference = rows_of(*plain.allocation);
+  std::rotate(stab.reference.begin(), stab.reference.begin() + 1,
+              stab.reference.end());  // some other incumbent
+  Budget b2 = unlimited();
+  const PackingResult r = packer.pack(
+      {3, 2, 2}, PackingMode::kMinSpreading, b2, &stab);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.phi, plain.phi);
+  EXPECT_EQ(rows_of(*r.allocation), rows_of(*plain.allocation));
+}
+
+TEST(PackingStability, ZeroBudgetsReproduceTheReference) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget b1 = unlimited();
+  const PackingResult incumbent =
+      packer.pack({3, 2, 2}, PackingMode::kMinSpreading, b1);
+  ASSERT_TRUE(incumbent.feasible);
+
+  StabilityOptions stab;
+  stab.reference = rows_of(*incumbent.allocation);
+  stab.max_moves = 0;
+  stab.max_disturbed = 0;
+  Budget b2 = unlimited();
+  const PackingResult r = packer.pack(
+      {3, 2, 2}, PackingMode::kMinSpreading, b2, &stab);
+  ASSERT_TRUE(r.feasible);
+  // Same totals and zero torn CUs force the rows to match exactly.
+  EXPECT_EQ(r.cus_moved, 0);
+  EXPECT_EQ(r.disturbed, 0);
+  EXPECT_EQ(rows_of(*r.allocation), rows_of(*incumbent.allocation));
+}
+
+TEST(PackingStability, ShrinkingTotalsAgainstZeroMovesIsInfeasible) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget b1 = unlimited();
+  const PackingResult incumbent =
+      packer.pack({3, 2, 2}, PackingMode::kMinSpreading, b1);
+  ASSERT_TRUE(incumbent.feasible);
+
+  // Kernel 0 shrinks 3 → 2: at least one CU must be torn down wherever
+  // the survivors sit, so a zero-move budget has no feasible placement.
+  StabilityOptions stab;
+  stab.reference = rows_of(*incumbent.allocation);
+  stab.max_moves = 0;
+  Budget b2 = unlimited();
+  const PackingResult r = packer.pack(
+      {2, 2, 2}, PackingMode::kMinSpreading, b2, &stab);
+  EXPECT_FALSE(r.feasible);
+
+  // One allowed move makes it feasible again, and the report says so.
+  stab.max_moves = 1;
+  Budget b3 = unlimited();
+  const PackingResult loose = packer.pack(
+      {2, 2, 2}, PackingMode::kMinSpreading, b3, &stab);
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_EQ(loose.cus_moved, 1);
+  EXPECT_LE(loose.disturbed, 1);
+}
+
+TEST(PackingStability, ExemptGroupMovesForFree) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget b1 = unlimited();
+  const PackingResult incumbent =
+      packer.pack({3, 2, 2}, PackingMode::kMinSpreading, b1);
+  ASSERT_TRUE(incumbent.feasible);
+
+  // Same shrink as above, but kernel 0 belongs to the exempt group (it
+  // is the event's own target): its tear-down is not counted.
+  StabilityOptions stab;
+  stab.reference = rows_of(*incumbent.allocation);
+  stab.group_of = {0, 1, 1};
+  stab.exempt_group = 0;
+  stab.max_moves = 0;
+  stab.max_disturbed = 0;
+  Budget b2 = unlimited();
+  const PackingResult r = packer.pack(
+      {2, 2, 2}, PackingMode::kMinSpreading, b2, &stab);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cus_moved, 0);
+  EXPECT_EQ(r.disturbed, 0);
+  // The non-exempt kernels stayed exactly in place.
+  EXPECT_EQ(rows_of(*r.allocation)[1], stab.reference[1]);
+  EXPECT_EQ(rows_of(*r.allocation)[2], stab.reference[2]);
+}
+
+TEST(PackingStability, EmptyReferenceRowIsExempt) {
+  Problem p = tiny_problem();
+  PackingSolver packer(p);
+  Budget b1 = unlimited();
+  const PackingResult incumbent =
+      packer.pack({3, 2, 2}, PackingMode::kMinSpreading, b1);
+  ASSERT_TRUE(incumbent.feasible);
+
+  // A new arrival has no incumbent placement: an empty row never
+  // counts, whatever it forces the others to do stays the constraint.
+  StabilityOptions stab;
+  stab.reference = rows_of(*incumbent.allocation);
+  stab.reference[0].clear();
+  stab.max_moves = 0;
+  stab.max_disturbed = 0;
+  Budget b2 = unlimited();
+  const PackingResult r = packer.pack(
+      {2, 2, 2}, PackingMode::kMinSpreading, b2, &stab);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cus_moved, 0);
+  EXPECT_EQ(r.disturbed, 0);
+}
+
+TEST(PackingStability, MoveCostPrefersTheIncumbentPlacement) {
+  // One kernel, 2 CUs on 2 FPGAs: spreading 1+1 minimizes φ (2·1/2 = 1
+  // over max — per-kernel φ_k = 1/2 + 1/2 = 1) vs 2 on one FPGA
+  // (2/3 < 1)... so kMinSpreading puts both on one FPGA. Seed the
+  // reference on the OTHER FPGA: with zero cost the search is free to
+  // land anywhere φ-optimal; a hefty move cost must pull it onto the
+  // reference device.
+  Problem p;
+  p.app.kernels = {make_kernel("k", 8.0, 10.0, 20.0, 5.0)};
+  p.platform = Platform{"2", 2};
+  PackingSolver packer(p);
+
+  StabilityOptions stab;
+  stab.reference = {{0, 2}};  // incumbent holds both CUs on FPGA 1
+  stab.move_cost = 10.0;
+  Budget b1 = unlimited();
+  const PackingResult r =
+      packer.pack({2}, PackingMode::kMinSpreading, b1, &stab);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cus_moved, 0);
+  EXPECT_EQ(r.allocation->cu(0, 1), 2);  // stayed on the incumbent FPGA
+  // φ was not sacrificed: 2-on-one-FPGA is φ-optimal on either device.
+  Budget b2 = unlimited();
+  const PackingResult plain =
+      packer.pack({2}, PackingMode::kMinSpreading, b2);
+  EXPECT_EQ(r.phi, plain.phi);
+}
+
 /// Oracle: exhaustive enumeration of all placements for tiny instances.
 /// Returns the minimal φ, or nullopt if no feasible placement exists.
 std::optional<double> brute_force_min_phi(const Problem& p,

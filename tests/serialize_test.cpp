@@ -242,5 +242,108 @@ TEST(Serialize, MalformedInputNeverAborts) {
   }
 }
 
+TEST(Serialize, EventOutcomeKeepsThePr7BytePrefix) {
+  // The PR-8 consolidation into solve/cache/diff sections must not move
+  // a single byte of the historical flat wire shape: every key up to
+  // relax_hits serializes exactly as PR 7 did, and the migration diff
+  // is strictly appended. Byte-comparing the whole dump pins both.
+  service::EventOutcome o;
+  o.sequence = 7;
+  o.type = service::Event::Type::kAddPipeline;
+  o.id = "p1";
+  o.active_pipelines = 2;
+  o.solve.warm_started = true;
+  o.solve.ii = 1.5;
+  o.solve.phi = 0.5;
+  o.solve.goal = 2.0;
+  o.solve.totals = {2, 1};
+  o.solve.nodes = 12;
+  o.cache.delta = service::CompositeDelta::kStructural;
+  o.cache.gp_compiles = 1;
+  o.cache.gp_patches = 2;
+  o.cache.model_hits = 3;
+  o.cache.model_misses = 4;
+  o.cache.relax_hits = 5;
+  o.diff.computed = true;
+  o.diff.cus_moved = 3;
+  o.diff.pipelines_disturbed = 1;
+  o.diff.goal_regret = 0.25;
+  o.diff.stability_applied = true;
+  EXPECT_EQ(to_json(o).dump(),
+            "{\"seq\":7,\"type\":\"add\",\"id\":\"p1\",\"status\":\"ok\","
+            "\"solve_status\":\"ok\",\"active\":2,\"warm\":true,"
+            "\"ii_ms\":1.5,\"phi\":0.5,\"goal\":2,\"totals\":[2,1],"
+            "\"nodes\":12,\"delta\":\"structural\",\"gp_compiles\":1,"
+            "\"gp_patches\":2,\"model_hits\":3,\"model_misses\":4,"
+            "\"relax_hits\":5,\"diff\":{\"computed\":true,\"cus_moved\":3,"
+            "\"disturbed\":1,\"goal_regret\":0.25,"
+            "\"stability_applied\":true,\"budget_exceeded\":false}}");
+
+  // Targetless events (resize) still omit "id", as PR 7 did.
+  service::EventOutcome bare;
+  bare.type = service::Event::Type::kResizePlatform;
+  const std::string dump = to_json(bare).dump();
+  EXPECT_EQ(dump.find("\"id\""), std::string::npos);
+  EXPECT_EQ(dump.rfind("{\"seq\":0,\"type\":\"resize\",\"status\":\"ok\"", 0),
+            0u);
+}
+
+TEST(Serialize, WalSnapshotPlacementsRoundTrip) {
+  service::WalSnapshot snapshot;
+  snapshot.sequence = 12;
+  snapshot.platform = core::Platform{"pool", 2};
+  service::PipelineSpec pipe;
+  pipe.id = "p0";
+  pipe.app.kernels = {test::make_kernel("a", 8.0, 10.0, 20.0, 5.0)};
+  snapshot.pipelines = {pipe};
+  service::PipelinePlacement record;
+  record.id = "p0";
+  record.rows = {{2, 1}};
+  snapshot.placements = {record};
+
+  auto parsed = wal_snapshot_from_json(to_json(snapshot));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().placements.size(), 1u);
+  EXPECT_EQ(parsed.value().placements[0].id, "p0");
+  EXPECT_EQ(parsed.value().placements[0].rows,
+            (std::vector<std::vector<int>>{{2, 1}}));
+  // Round trip is lossless byte-wise, too.
+  EXPECT_EQ(to_json(parsed.value()).dump(), to_json(snapshot).dump());
+
+  // Pre-PR-8 snapshots carry no ledger: parse to an empty one.
+  Json legacy = to_json(snapshot);
+  legacy.set("placements", Json::array());
+  auto old = wal_snapshot_from_json(legacy);
+  ASSERT_TRUE(old.is_ok());
+  EXPECT_TRUE(old.value().placements.empty());
+
+  // A corrupt ledger (negative count) is rejected, not clamped.
+  Json bad_row = Json::array();
+  bad_row.push_back(Json::number(-1));
+  Json bad_rows = Json::array();
+  bad_rows.push_back(std::move(bad_row));
+  Json bad_placement = Json::object();
+  bad_placement.set("id", Json::string("p0"));
+  bad_placement.set("rows", std::move(bad_rows));
+  Json bad_list = Json::array();
+  bad_list.push_back(std::move(bad_placement));
+  Json corrupt = to_json(snapshot);
+  corrupt.set("placements", std::move(bad_list));
+  EXPECT_FALSE(wal_snapshot_from_json(corrupt).is_ok());
+}
+
+TEST(Serialize, OccupancyJsonShape) {
+  // The wire shape GET /v1/occupancy is built from.
+  service::PipelinePlacement p;
+  p.id = "p0";
+  p.rows = {{1, 0}, {2, 3}};
+  EXPECT_EQ(to_json(p).dump(),
+            "{\"id\":\"p0\",\"cus\":6,\"rows\":[[1,0],[2,3]]}");
+
+  service::OccupancyTracker empty;
+  EXPECT_EQ(to_json(empty).dump(),
+            "{\"valid\":false,\"devices\":[],\"placements\":[]}");
+}
+
 }  // namespace
 }  // namespace mfa::io

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,16 +62,24 @@ void expect_deterministic_eq(const std::vector<EventOutcome>& a,
     EXPECT_EQ(a[i].status.message(), b[i].status.message());
     EXPECT_EQ(a[i].solve_status.code(), b[i].solve_status.code());
     EXPECT_EQ(a[i].active_pipelines, b[i].active_pipelines);
-    EXPECT_EQ(a[i].warm_started, b[i].warm_started);
-    EXPECT_EQ(a[i].ii, b[i].ii);    // bit-identical, not merely close
-    EXPECT_EQ(a[i].phi, b[i].phi);
-    EXPECT_EQ(a[i].goal, b[i].goal);
-    EXPECT_EQ(a[i].totals, b[i].totals);
-    EXPECT_EQ(a[i].solve_nodes, b[i].solve_nodes);
+    EXPECT_EQ(a[i].solve.warm_started, b[i].solve.warm_started);
+    EXPECT_EQ(a[i].solve.ii, b[i].solve.ii);  // bit-identical
+    EXPECT_EQ(a[i].solve.phi, b[i].solve.phi);
+    EXPECT_EQ(a[i].solve.goal, b[i].solve.goal);
+    EXPECT_EQ(a[i].solve.totals, b[i].solve.totals);
+    EXPECT_EQ(a[i].solve.nodes, b[i].solve.nodes);
     // The delta class depends only on the event stream, never on lane
     // scheduling (the compile/patch counters, by contrast, are only
     // deterministic for sequential lanes — see EventOutcome).
-    EXPECT_EQ(a[i].delta, b[i].delta);
+    EXPECT_EQ(a[i].cache.delta, b[i].cache.delta);
+    // The migration diff is part of the deterministic replay contract
+    // (it is derived from consecutive incumbents, which are).
+    EXPECT_EQ(a[i].diff.computed, b[i].diff.computed);
+    EXPECT_EQ(a[i].diff.cus_moved, b[i].diff.cus_moved);
+    EXPECT_EQ(a[i].diff.pipelines_disturbed, b[i].diff.pipelines_disturbed);
+    EXPECT_EQ(a[i].diff.goal_regret, b[i].diff.goal_regret);
+    EXPECT_EQ(a[i].diff.stability_applied, b[i].diff.stability_applied);
+    EXPECT_EQ(a[i].diff.budget_exceeded, b[i].diff.budget_exceeded);
   }
 }
 
@@ -150,6 +159,116 @@ TEST(AllocServer, ReplayLogIsDeterministic) {
   expect_deterministic_eq(a, replay(trace, parallel));
 }
 
+TEST(AllocServer, StabilityOffMatchesGenerousBudgets) {
+  // The stability ladder must be a no-op unless a budget actually
+  // binds: a replay under absurdly generous budgets serializes to the
+  // very same bytes as the stability-off replay (the bench gate's
+  // --check property, asserted per event here).
+  const Trace trace = scenario::generate_trace(small_spec(120), 17);
+  const ServerOptions off;
+  ServerOptions generous;
+  generous.max_moves = 1 << 29;
+  generous.max_disturbed = 1 << 29;
+  const auto a = replay(trace, off);
+  const auto b = replay(trace, generous);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(io::to_json(a[i]).dump(), io::to_json(b[i]).dump());
+  }
+}
+
+TEST(AllocServer, StabilityBudgetsBoundDisturbance) {
+  // The hard contract: with max_disturbed = k, no accepted event
+  // disturbs more than k surviving pipelines unless the outcome says so
+  // (budget_exceeded marks the ladder falling through to rung 3).
+  const Trace trace = scenario::generate_trace(small_spec(120), 17);
+  ServerOptions options;
+  options.max_disturbed = 0;
+  const auto outcomes = replay(trace, options);
+  bool any_diff = false;
+  bool any_constrained = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    const EventOutcome& o = outcomes[i];
+    if (!o.diff.computed) continue;
+    any_diff = true;
+    any_constrained = any_constrained ||
+                      o.diff.stability_applied || o.diff.budget_exceeded;
+    if (!o.diff.budget_exceeded) {
+      EXPECT_EQ(o.diff.pipelines_disturbed, 0);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  // The trace churns enough that a zero budget must actually bind
+  // somewhere — otherwise this test is vacuous.
+  EXPECT_TRUE(any_constrained);
+}
+
+TEST(AllocServer, StabilityReplayIsDeterministic) {
+  // Budgeted replays (including the soft move-cost objective) stay on
+  // the deterministic-log contract, sequential or lane-parallel.
+  const Trace trace = scenario::generate_trace(small_spec(120), 17);
+  ServerOptions options;
+  options.max_moves = 3;
+  options.max_disturbed = 1;
+  options.move_cost = 0.05;
+  const auto a = replay(trace, options);
+  expect_deterministic_eq(a, replay(trace, options));
+
+  ServerOptions parallel = options;
+  parallel.solver_threads = 3;
+  expect_deterministic_eq(a, replay(trace, parallel));
+}
+
+TEST(AllocServer, OccupancyTracksTheIncumbent) {
+  core::Platform platform{"pool", 2};
+  AllocServer server(platform, ServerOptions{});
+  EXPECT_FALSE(server.occupancy().valid());
+
+  PipelineSpec p0;
+  p0.id = "p0";
+  p0.app.kernels = {test::make_kernel("a", 8.0, 10.0, 20.0, 5.0),
+                    test::make_kernel("b", 12.0, 8.0, 15.0, 4.0)};
+  PipelineSpec p1;
+  p1.id = "p1";
+  p1.app.kernels = {test::make_kernel("c", 4.0, 5.0, 10.0, 8.0)};
+  ASSERT_TRUE(server.apply(Event::add(p0)).solve_status.is_ok());
+  ASSERT_TRUE(server.apply(Event::add(p1)).solve_status.is_ok());
+
+  const OccupancyTracker occ = server.occupancy();
+  ASSERT_TRUE(occ.valid());
+  ASSERT_EQ(occ.placements().size(), 2u);
+  const std::optional<runtime::SolveResult> inc = server.incumbent();
+  ASSERT_TRUE(inc.has_value());
+  const core::Allocation& alloc = *inc->allocation;
+  int incumbent_cus = 0;
+  for (std::size_t k = 0; k < alloc.num_kernels(); ++k) {
+    incumbent_cus += alloc.total_cu(k);
+  }
+  int placed_cus = 0;
+  for (const PipelinePlacement& p : occ.placements()) {
+    placed_cus += p.total_cus();
+  }
+  EXPECT_EQ(placed_cus, incumbent_cus);
+  int device_cus = 0;
+  for (const DeviceOccupancy& dev : occ.devices()) device_cus += dev.cus;
+  EXPECT_EQ(device_cus, incumbent_cus);
+  ASSERT_NE(occ.placement("p0"), nullptr);
+  EXPECT_EQ(occ.placement("p0")->rows.size(), 2u);  // two kernels
+  EXPECT_EQ(occ.placement("ghost"), nullptr);
+  EXPECT_EQ(occ.statistics().num_pipelines, 2u);
+  EXPECT_EQ(occ.statistics().total_cus, incumbent_cus);
+
+  // Departures drop the record; emptying the pool forgets everything.
+  ASSERT_TRUE(server.apply(Event::remove("p0")).status.is_ok());
+  const OccupancyTracker after = server.occupancy();
+  ASSERT_TRUE(after.valid());
+  EXPECT_EQ(after.placement("p0"), nullptr);
+  ASSERT_TRUE(server.apply(Event::remove("p1")).status.is_ok());
+  EXPECT_FALSE(server.occupancy().valid());
+}
+
 TEST(AllocServer, WarmMatchesColdOnEveryEvent) {
   const Trace trace = scenario::generate_trace(small_spec(120), 29);
   ServerOptions warm;
@@ -161,14 +280,14 @@ TEST(AllocServer, WarmMatchesColdOnEveryEvent) {
   bool any_warm = false;
   for (std::size_t i = 0; i < w.size(); ++i) {
     SCOPED_TRACE("event " + std::to_string(i));
-    any_warm = any_warm || w[i].warm_started;
-    EXPECT_FALSE(c[i].warm_started);
+    any_warm = any_warm || w[i].solve.warm_started;
+    EXPECT_FALSE(c[i].solve.warm_started);
     // The warm start is a pure acceleration: identical solutions.
     EXPECT_EQ(w[i].solve_status.code(), c[i].solve_status.code());
-    EXPECT_EQ(w[i].totals, c[i].totals);
-    EXPECT_EQ(w[i].ii, c[i].ii);
-    EXPECT_EQ(w[i].phi, c[i].phi);
-    EXPECT_EQ(w[i].goal, c[i].goal);
+    EXPECT_EQ(w[i].solve.totals, c[i].solve.totals);
+    EXPECT_EQ(w[i].solve.ii, c[i].solve.ii);
+    EXPECT_EQ(w[i].solve.phi, c[i].solve.phi);
+    EXPECT_EQ(w[i].solve.goal, c[i].solve.goal);
   }
   EXPECT_TRUE(any_warm);
 }
@@ -188,7 +307,7 @@ TEST(AllocServer, WarmMatchesColdWithInteriorPointRoot) {
   for (std::size_t i = 0; i < w.size(); ++i) {
     SCOPED_TRACE("event " + std::to_string(i));
     EXPECT_EQ(w[i].solve_status.code(), c[i].solve_status.code());
-    EXPECT_EQ(w[i].totals, c[i].totals);
+    EXPECT_EQ(w[i].solve.totals, c[i].solve.totals);
   }
 }
 
@@ -277,7 +396,7 @@ TEST(AllocServer, IncrementalCompositeMatchesWholesaleRebuild) {
 
   EventOutcome re = server.apply(Event::reprioritize("p0", 2.0));
   ASSERT_TRUE(re.status.is_ok());
-  EXPECT_EQ(re.delta, CompositeDelta::kCoefficients);
+  EXPECT_EQ(re.cache.delta, CompositeDelta::kCoefficients);
   live[0].weight = 2.0;
   expect_composite_matches();
 
@@ -288,13 +407,13 @@ TEST(AllocServer, IncrementalCompositeMatchesWholesaleRebuild) {
 
   EventOutcome grown = server.apply(Event::resize(core::Platform{"pool3", 3}));
   ASSERT_TRUE(grown.status.is_ok());
-  EXPECT_EQ(grown.delta, CompositeDelta::kRhs);
+  EXPECT_EQ(grown.cache.delta, CompositeDelta::kRhs);
   platform = core::Platform{"pool3", 3};
   expect_composite_matches();
 
   EventOutcome removed = server.apply(Event::remove("p0"));
   ASSERT_TRUE(removed.status.is_ok());
-  EXPECT_EQ(removed.delta, CompositeDelta::kStructural);
+  EXPECT_EQ(removed.cache.delta, CompositeDelta::kStructural);
   live.erase(live.begin());
   expect_composite_matches();
 }
@@ -315,24 +434,24 @@ TEST(AllocServer, NumericDeltasPatchInsteadOfRecompiling) {
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     SCOPED_TRACE("event " + std::to_string(i));
     const EventOutcome& o = outcomes[i];
-    any_patch = any_patch || o.gp_patches > 0;
+    any_patch = any_patch || o.cache.gp_patches > 0;
     if (!o.status.is_ok()) {
-      EXPECT_EQ(o.delta, CompositeDelta::kNone);
+      EXPECT_EQ(o.cache.delta, CompositeDelta::kNone);
       continue;
     }
     switch (o.type) {
       case Event::Type::kAddPipeline:
       case Event::Type::kRemovePipeline:
-        EXPECT_EQ(o.delta, CompositeDelta::kStructural);
+        EXPECT_EQ(o.cache.delta, CompositeDelta::kStructural);
         break;
       case Event::Type::kReprioritize:
         any_reprioritize = true;
-        EXPECT_EQ(o.delta, CompositeDelta::kCoefficients);
-        EXPECT_EQ(o.gp_compiles, 0);
+        EXPECT_EQ(o.cache.delta, CompositeDelta::kCoefficients);
+        EXPECT_EQ(o.cache.gp_compiles, 0);
         break;
       case Event::Type::kResizePlatform:
-        EXPECT_EQ(o.delta, CompositeDelta::kRhs);
-        EXPECT_EQ(o.gp_compiles, 0);
+        EXPECT_EQ(o.cache.delta, CompositeDelta::kRhs);
+        EXPECT_EQ(o.cache.gp_compiles, 0);
         break;
     }
   }
@@ -345,7 +464,7 @@ TEST(AllocServer, NumericDeltasPatchInsteadOfRecompiling) {
                o.active_pipelines > 0;
       });
   ASSERT_NE(first_solved, outcomes.end());
-  EXPECT_GE(first_solved->gp_compiles, 1);
+  EXPECT_GE(first_solved->cache.gp_compiles, 1);
 
   // With sequential lanes (the default) the compile/patch/cache
   // counters are part of the deterministic replay contract.
@@ -353,12 +472,12 @@ TEST(AllocServer, NumericDeltasPatchInsteadOfRecompiling) {
   ASSERT_EQ(again.size(), outcomes.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     SCOPED_TRACE("event " + std::to_string(i));
-    EXPECT_EQ(outcomes[i].delta, again[i].delta);
-    EXPECT_EQ(outcomes[i].gp_compiles, again[i].gp_compiles);
-    EXPECT_EQ(outcomes[i].gp_patches, again[i].gp_patches);
-    EXPECT_EQ(outcomes[i].model_hits, again[i].model_hits);
-    EXPECT_EQ(outcomes[i].model_misses, again[i].model_misses);
-    EXPECT_EQ(outcomes[i].relax_hits, again[i].relax_hits);
+    EXPECT_EQ(outcomes[i].cache.delta, again[i].cache.delta);
+    EXPECT_EQ(outcomes[i].cache.gp_compiles, again[i].cache.gp_compiles);
+    EXPECT_EQ(outcomes[i].cache.gp_patches, again[i].cache.gp_patches);
+    EXPECT_EQ(outcomes[i].cache.model_hits, again[i].cache.model_hits);
+    EXPECT_EQ(outcomes[i].cache.model_misses, again[i].cache.model_misses);
+    EXPECT_EQ(outcomes[i].cache.relax_hits, again[i].cache.relax_hits);
   }
 }
 
@@ -379,7 +498,7 @@ TEST(AllocServer, RemoveUnknownIdFailsCleanly) {
   EXPECT_TRUE(outcome.status.is_ok());
   EXPECT_TRUE(outcome.solve_status.is_ok());
   EXPECT_EQ(outcome.active_pipelines, 1u);
-  EXPECT_GT(outcome.goal, 0.0);
+  EXPECT_GT(outcome.solve.goal, 0.0);
 
   // Unknown reprioritize targets fail the same way.
   outcome = server.apply(Event::reprioritize("ghost", 2.0));
@@ -409,7 +528,7 @@ TEST(AllocServer, MalformedEventRollsBackAndNeverPoisonsTheServer) {
   EventOutcome ok = server.apply(Event::add(pipe));
   ASSERT_TRUE(ok.status.is_ok());
   ASSERT_TRUE(ok.solve_status.is_ok());
-  const double goal_before = ok.goal;
+  const double goal_before = ok.solve.goal;
 
   // A resize that passes the shallow check (num_fpgas >= 1) but fails
   // structural validation: classes without a matching class_of. The
@@ -420,7 +539,7 @@ TEST(AllocServer, MalformedEventRollsBackAndNeverPoisonsTheServer) {
   broken.class_of = {0};  // one entry for two FPGAs
   EventOutcome bad = server.apply(Event::resize(broken));
   EXPECT_EQ(bad.status.code(), Code::kInvalid);
-  EXPECT_EQ(bad.goal, goal_before);  // incumbent untouched
+  EXPECT_EQ(bad.solve.goal, goal_before);  // incumbent untouched
 
   // An add whose kernel carries negative resource demand fails the
   // same way, without growing the live set.
@@ -476,20 +595,20 @@ TEST(AllocServer, LifecycleAndIncumbentTracking) {
   const EventOutcome heavier =
       server.apply(Event::reprioritize("heavy", 2.0));
   ASSERT_TRUE(heavier.solve_status.is_ok());
-  EXPECT_GT(heavier.goal, added.goal);
+  EXPECT_GT(heavier.solve.goal, added.solve.goal);
 
   // Growing the pool can only help the goal.
   const EventOutcome grown =
       server.apply(Event::resize(core::Platform{"pool4", 4}));
   ASSERT_TRUE(grown.solve_status.is_ok());
-  EXPECT_LE(grown.goal, heavier.goal + 1e-12);
+  EXPECT_LE(grown.solve.goal, heavier.solve.goal + 1e-12);
 
   // Removing the last pipeline clears the incumbent.
   const EventOutcome removed = server.apply(Event::remove("heavy"));
   EXPECT_TRUE(removed.status.is_ok());
   EXPECT_EQ(removed.active_pipelines, 0u);
   EXPECT_FALSE(server.incumbent().has_value());
-  EXPECT_EQ(removed.goal, 0.0);
+  EXPECT_EQ(removed.solve.goal, 0.0);
 }
 
 TEST(AllocServer, MpmcSubmissionProcessesEveryEventExactlyOnce) {

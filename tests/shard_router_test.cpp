@@ -171,15 +171,15 @@ TEST(ShardRouter, ShardsShareOneCompiledModelCache) {
   const EventOutcome a =
       router.value()->apply(Event::add(PipelineSpec{first, app, 1.0}));
   ASSERT_TRUE(a.status.is_ok()) << a.status.to_string();
-  EXPECT_GT(a.model_misses, 0u);  // first compile of this structure
+  EXPECT_GT(a.cache.model_misses, 0u);  // first compile of this structure
 
   const EventOutcome b =
       router.value()->apply(Event::add(PipelineSpec{second, app, 1.0}));
   ASSERT_TRUE(b.status.is_ok()) << b.status.to_string();
   // The second shard never compiled this structure itself — a hit here
   // can only come from the process-wide shared cache.
-  EXPECT_GT(b.model_hits, 0u);
-  EXPECT_EQ(b.gp_compiles, 0);
+  EXPECT_GT(b.cache.model_hits, 0u);
+  EXPECT_EQ(b.cache.gp_compiles, 0);
 }
 
 TEST(ShardRouter, RecoversEveryShardFromWalRoot) {

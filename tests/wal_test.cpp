@@ -67,11 +67,11 @@ void expect_solve_eq(const EventOutcome& a, const EventOutcome& b) {
   EXPECT_EQ(a.status.code(), b.status.code());
   EXPECT_EQ(a.solve_status.code(), b.solve_status.code());
   EXPECT_EQ(a.active_pipelines, b.active_pipelines);
-  EXPECT_EQ(a.warm_started, b.warm_started);
-  EXPECT_DOUBLE_EQ(a.ii, b.ii);
-  EXPECT_DOUBLE_EQ(a.phi, b.phi);
-  EXPECT_DOUBLE_EQ(a.goal, b.goal);
-  EXPECT_EQ(a.totals, b.totals);
+  EXPECT_EQ(a.solve.warm_started, b.solve.warm_started);
+  EXPECT_DOUBLE_EQ(a.solve.ii, b.solve.ii);
+  EXPECT_DOUBLE_EQ(a.solve.phi, b.solve.phi);
+  EXPECT_DOUBLE_EQ(a.solve.goal, b.solve.goal);
+  EXPECT_EQ(a.solve.totals, b.solve.totals);
 }
 
 std::string incumbent_json(const AllocServer& server) {
@@ -250,6 +250,60 @@ TEST(Wal, RecoveredServerMatchesUninterruptedRun) {
   // Both runs logged the same history, byte for byte.
   EXPECT_EQ(read_all(dir_full.path + "/wal.log"),
             read_all(dir_crash.path + "/wal.log"));
+}
+
+TEST(Wal, StabilityDiffsSurviveRecovery) {
+  // The occupancy ledger is rebuilt inside resolve_workload, so a
+  // snapshot-spliced recovery under migration budgets must reproduce
+  // the uninterrupted run's diffs (and repack decisions) exactly.
+  const TempDir dir("stab");
+  const scenario::Trace trace = small_trace(14);
+  const std::size_t crash_at = 9;
+
+  ServerOptions options;
+  options.snapshot_every = 4;  // force the snapshot splice path
+  options.max_moves = 2;
+  options.max_disturbed = 1;
+  std::vector<EventOutcome> full_log;
+  std::string full_incumbent;
+  {
+    AllocServer server(trace.platform, options);
+    for (const Event& event : trace.events) {
+      full_log.push_back(server.apply(event));
+    }
+    full_incumbent = incumbent_json(server);
+    server.stop();
+  }
+
+  options.wal_dir = dir.path;
+  {
+    auto server = AllocServer::open(trace.platform, options);
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+    for (std::size_t i = 0; i < crash_at; ++i) {
+      server.value()->apply(trace.events[i]);
+    }
+    server.value()->stop();
+  }
+  auto recovered = AllocServer::recover(options);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  // The rebuilt ledger matches the live one: same placements, same CUs.
+  for (std::size_t i = crash_at; i < trace.events.size(); ++i) {
+    SCOPED_TRACE("post-recovery event " + std::to_string(i));
+    const EventOutcome replayed =
+        recovered.value()->apply(trace.events[i]);
+    const EventOutcome& expected = full_log[i];
+    expect_solve_eq(replayed, expected);
+    EXPECT_EQ(replayed.diff.computed, expected.diff.computed);
+    EXPECT_EQ(replayed.diff.cus_moved, expected.diff.cus_moved);
+    EXPECT_EQ(replayed.diff.pipelines_disturbed,
+              expected.diff.pipelines_disturbed);
+    EXPECT_DOUBLE_EQ(replayed.diff.goal_regret, expected.diff.goal_regret);
+    EXPECT_EQ(replayed.diff.stability_applied,
+              expected.diff.stability_applied);
+    EXPECT_EQ(replayed.diff.budget_exceeded, expected.diff.budget_exceeded);
+  }
+  EXPECT_EQ(incumbent_json(*recovered.value()), full_incumbent);
+  recovered.value()->stop();
 }
 
 TEST(Wal, KillNineRecoveryIsByteIdentical) {
