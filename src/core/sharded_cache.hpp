@@ -31,13 +31,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
 #include "support/fingerprint.hpp"
+#include "support/mutex.hpp"
 
 namespace mfa::core {
 
@@ -83,7 +83,7 @@ class ShardedCache {
   [[nodiscard]] std::shared_ptr<const Value> lookup(
       const Fingerprint& key) const {
     Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -99,7 +99,7 @@ class ShardedCache {
   std::shared_ptr<const Value> insert(const Fingerprint& key, Value value) {
     auto entry = std::make_shared<const Value>(std::move(value));
     Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     auto [it, inserted] = shard.entries.emplace(key, std::move(entry));
     if (inserted && per_shard_capacity_ > 0) {
       shard.order.push_back(key);
@@ -139,7 +139,7 @@ class ShardedCache {
     s.misses = misses_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      LockGuard lock(shard.mutex);
       s.entries += shard.entries.size();
     }
     return s;
@@ -148,7 +148,7 @@ class ShardedCache {
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      LockGuard lock(shard.mutex);
       total += shard.entries.size();
     }
     return total;
@@ -156,7 +156,7 @@ class ShardedCache {
 
   void clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      LockGuard lock(shard.mutex);
       shard.entries.clear();
       shard.order.clear();
     }
@@ -177,11 +177,11 @@ class ShardedCache {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     std::unordered_map<Fingerprint, std::shared_ptr<const Value>, KeyHash>
-        entries;
+        entries MFA_GUARDED_BY(mutex);
     /// Insertion order of resident keys, oldest first (FIFO eviction).
-    std::deque<Fingerprint> order;
+    std::deque<Fingerprint> order MFA_GUARDED_BY(mutex);
   };
 
   [[nodiscard]] Shard& shard_for(const Fingerprint& key) const {

@@ -189,6 +189,9 @@ std::size_t BatchedModel::num_functions() const {
   return s_->fun_begin.size() - 1;
 }
 
+// mfa-lint: allow(warm-path-alloc) grow-once workspace sizing: resizes only
+// when the model outgrows the caller's scratch, a steady-state no-op (the
+// amortized-zero-allocation contract service_churn --check enforces).
 void BatchedModel::ensure_workspace(BatchedWorkspace& ws) const {
   const std::size_t L = lanes_;
   if (ws.z.size() < s_->max_terms * L) {
@@ -202,8 +205,9 @@ void BatchedModel::ensure_workspace(BatchedWorkspace& ws) const {
   }
 }
 
-void BatchedModel::value(std::size_t f, const LaneArray& y,
-                         BatchedWorkspace& ws, double* out) const {
+MFA_WARM_PATH void BatchedModel::value(std::size_t f, const LaneArray& y,
+                                       BatchedWorkspace& ws,
+                                       double* out) const {
   const CompiledGp::Structure& s = *s_;
   const std::size_t L = lanes_;
   MFA_ASSERT(f + 1 < s.fun_begin.size() && y.size() >= s.num_vars * L);
@@ -260,8 +264,9 @@ void BatchedModel::value(std::size_t f, const LaneArray& y,
   }
 }
 
-void BatchedModel::prepare(std::size_t f, const LaneArray& y,
-                           BatchedWorkspace& ws, double* out) const {
+MFA_WARM_PATH void BatchedModel::prepare(std::size_t f, const LaneArray& y,
+                                         BatchedWorkspace& ws,
+                                         double* out) const {
   value(f, y, ws, out);
   const std::size_t L = lanes_;
   const std::uint32_t m = s_->fun_begin[f + 1] - s_->fun_begin[f];
@@ -276,9 +281,10 @@ void BatchedModel::prepare(std::size_t f, const LaneArray& y,
   }
 }
 
-void BatchedModel::scatter(std::size_t f, const double* wg, const double* wm,
-                           const double* wr, LaneArray& grad, LaneArray& hess,
-                           BatchedWorkspace& ws) const {
+MFA_WARM_PATH void BatchedModel::scatter(std::size_t f, const double* wg,
+                                         const double* wm, const double* wr,
+                                         LaneArray& grad, LaneArray& hess,
+                                         BatchedWorkspace& ws) const {
   const CompiledGp::Structure& s = *s_;
   const std::size_t L = lanes_;
   const std::size_t n = s.num_vars;
@@ -358,13 +364,19 @@ void BatchedModel::scatter(std::size_t f, const double* wg, const double* wm,
 // Batched SPD solve
 // ---------------------------------------------------------------------------
 
-void batched_spd_solve(const LaneArray& a, const LaneArray& b, std::size_t n,
-                       std::size_t lanes, BatchedSpdWorkspace& ws,
-                       LaneArray& x, std::uint8_t* ok) {
+MFA_WARM_PATH void batched_spd_solve(const LaneArray& a, const LaneArray& b,
+                                     std::size_t n, std::size_t lanes,
+                                     BatchedSpdWorkspace& ws, LaneArray& x,
+                                     std::uint8_t* ok) {
   const std::size_t L = lanes;
   MFA_ASSERT(a.size() == n * n * L && b.size() == n * L);
+  // Grow-once scratch: a steady-state no-op once the workspace has seen
+  // the largest (n, L) it will be asked for.
+  // mfa-lint: allow(warm-path-alloc) grow-once workspace sizing
   if (ws.l.size() < n * n * L) ws.l.resize(n * n * L);
+  // mfa-lint: allow(warm-path-alloc) grow-once workspace sizing
   if (ws.fw.size() < n * L) ws.fw.resize(n * L);
+  // mfa-lint: allow(warm-path-alloc) grow-once workspace sizing
   if (x.size() < n * L) x.resize(n * L);
   for (std::size_t l = 0; l < L; ++l) ok[l] = 1;
   const double* ad = a.data();

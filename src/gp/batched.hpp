@@ -33,6 +33,7 @@
 
 #include "gp/compiled.hpp"
 #include "support/assert.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace mfa::gp {
 
@@ -136,13 +137,13 @@ class BatchedModel {
   /// trailing rows are ignored, which lets the phase-I feasibility check
   /// evaluate the main model directly on the slack iterate). out[l]
   /// receives lane l's value.
-  void value(std::size_t f, const LaneArray& y, BatchedWorkspace& ws,
-             double* out) const;
+  MFA_WARM_PATH void value(std::size_t f, const LaneArray& y,
+                           BatchedWorkspace& ws, double* out) const;
 
   /// As value(), and leaves each lane's normalized softmax weights in
   /// ws.w (term-major SoA) for a following scatter().
-  void prepare(std::size_t f, const LaneArray& y, BatchedWorkspace& ws,
-               double* out) const;
+  MFA_WARM_PATH void prepare(std::size_t f, const LaneArray& y,
+                             BatchedWorkspace& ws, double* out) const;
 
   /// Consumes the weights of the latest prepare(f, …): with g_l = ∇F_f
   /// of lane l and M_l = Σ_t w_t·a_t·a_tᵀ, accumulates per lane
@@ -152,9 +153,9 @@ class BatchedModel {
   ///
   /// A lane with all-zero weights is frozen: it still computes but
   /// contributes exactly zero.
-  void scatter(std::size_t f, const double* wg, const double* wm,
-               const double* wr, LaneArray& grad, LaneArray& hess,
-               BatchedWorkspace& ws) const;
+  MFA_WARM_PATH void scatter(std::size_t f, const double* wg, const double* wm,
+                             const double* wr, LaneArray& grad, LaneArray& hess,
+                             BatchedWorkspace& ws) const;
 
  private:
   BatchedModel();
@@ -176,8 +177,9 @@ struct BatchedSpdWorkspace {
 /// non-positive pivot (that lane's x is garbage; the caller re-solves it
 /// through the scalar regularizing path). Lanes are fully independent —
 /// a failing lane never perturbs its neighbors.
-void batched_spd_solve(const LaneArray& a, const LaneArray& b, std::size_t n,
-                       std::size_t lanes, BatchedSpdWorkspace& ws, LaneArray& x,
-                       std::uint8_t* ok);
+MFA_WARM_PATH void batched_spd_solve(const LaneArray& a, const LaneArray& b,
+                                     std::size_t n, std::size_t lanes,
+                                     BatchedSpdWorkspace& ws, LaneArray& x,
+                                     std::uint8_t* ok);
 
 }  // namespace mfa::gp

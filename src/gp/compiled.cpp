@@ -123,7 +123,8 @@ std::size_t CompiledGp::add_affine(
   return num_functions() - 1;
 }
 
-void CompiledGp::patch_function(std::size_t f, const Posynomial& p) {
+MFA_WARM_PATH void CompiledGp::patch_function(std::size_t f,
+                                              const Posynomial& p) {
   const Structure& s = *s_;
   MFA_ASSERT(f + 1 < s.fun_begin.size());
   const std::uint32_t t0 = s.fun_begin[f];
@@ -159,7 +160,7 @@ void CompiledGp::patch_function(std::size_t f, const Posynomial& p) {
   }
 }
 
-void CompiledGp::patch_affine(std::size_t f, double log_coeff) {
+MFA_WARM_PATH void CompiledGp::patch_affine(std::size_t f, double log_coeff) {
   const Structure& s = *s_;
   MFA_ASSERT(f + 1 < s.fun_begin.size());
   MFA_ASSERT_MSG(s.fun_begin[f + 1] - s.fun_begin[f] == 1,
@@ -370,9 +371,9 @@ void CompiledModel::patch_coefficients(const GpProblem& problem,
                      problem.structural_fingerprint());
 }
 
-void CompiledModel::patch_coefficients(const GpProblem& problem,
-                                       double variable_box,
-                                       const Fingerprint& problem_fp) {
+MFA_WARM_PATH void CompiledModel::patch_coefficients(
+    const GpProblem& problem, double variable_box,
+    const Fingerprint& problem_fp) {
   MFA_ASSERT_MSG(problem_fp == problem_fp_,
                  "patch_coefficients on a structurally different problem");
   gp_.patch_function(0, problem.objective());

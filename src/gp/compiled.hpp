@@ -47,6 +47,7 @@
 #include "gp/expr.hpp"
 #include "linalg/matrix.hpp"
 #include "support/fingerprint.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace mfa::gp {
 
@@ -115,11 +116,11 @@ class CompiledGp {
   /// to what a fresh add(p) would have produced. `p` must have the same
   /// monomial structure (count and exponent rows) as the posynomial the
   /// function was compiled from; shape mismatches assert.
-  void patch_function(std::size_t f, const Posynomial& p);
+  MFA_WARM_PATH void patch_function(std::size_t f, const Posynomial& p);
 
   /// Rewrites the log-coefficient of a single-term (add_affine-built)
   /// function.
-  void patch_affine(std::size_t f, double log_coeff);
+  MFA_WARM_PATH void patch_affine(std::size_t f, double log_coeff);
 
   // ---- Observers. ----------------------------------------------------
 
@@ -218,9 +219,11 @@ class CompiledModel {
 
   /// As above with the caller's already-computed
   /// problem.structural_fingerprint(), so a cache hit (which hashed the
-  /// problem to find the entry) does not hash it a second time.
-  void patch_coefficients(const GpProblem& problem, double variable_box,
-                          const Fingerprint& problem_fp);
+  /// problem to find the entry) does not hash it a second time. This is
+  /// the overload the steady-state numeric path takes.
+  MFA_WARM_PATH void patch_coefficients(const GpProblem& problem,
+                                        double variable_box,
+                                        const Fingerprint& problem_fp);
 
   /// The compiled functions: objective, problem constraints, box rows.
   [[nodiscard]] const CompiledGp& gp() const { return gp_; }

@@ -39,6 +39,9 @@ HttpServer::HttpServer(ServerConfig config, Handler handler)
 HttpServer::~HttpServer() { stop(); }
 
 Status HttpServer::start() {
+  // Held for the whole bind/listen/spawn sequence: two racing start()
+  // calls must not both pass the running_ check and double-bind.
+  LockGuard lock(lifecycle_mutex_);
   if (running_) return Status{Code::kInvalid, "server already running"};
   // Non-blocking listener: the loop drains accept4 until EAGAIN, and a
   // blocking fd would wedge the whole loop inside that drain.
@@ -82,7 +85,14 @@ Status HttpServer::start() {
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (epoll_fd_ < 0 || wake_fd_ < 0) {
     const Status s = errno_status("epoll/eventfd");
-    stop();
+    // Close inline rather than re-entering stop(): lifecycle_mutex_ is
+    // already held (and no loop thread exists yet to wake or join).
+    for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+      if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+      }
+    }
     return s;
   }
   epoll_event ev{};
@@ -98,6 +108,11 @@ Status HttpServer::start() {
 }
 
 void HttpServer::stop() {
+  // Held across wake/join/close so a concurrent stop() (destructor vs
+  // explicit call) cannot double-join the thread or double-close fds.
+  // The loop thread never takes this mutex, so joining under it cannot
+  // deadlock.
+  LockGuard lock(lifecycle_mutex_);
   if (running_) {
     const std::uint64_t one = 1;
     [[maybe_unused]] const ssize_t n =

@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "net/http.hpp"
+#include "support/mutex.hpp"
 #include "support/status.hpp"
 
 namespace mfa::net {
@@ -44,25 +45,47 @@ class HttpServer {
 
   /// Binds, listens, and spawns the loop thread. kInvalid on socket
   /// errors (port in use, bad address, ...).
-  Status start();
+  Status start() MFA_EXCLUDES(lifecycle_mutex_);
 
-  /// Idempotent: wakes and joins the loop, closes all sockets.
-  void stop();
+  /// Idempotent and safe against concurrent callers (an explicit stop()
+  /// racing the destructor's): wakes and joins the loop, closes all
+  /// sockets.
+  void stop() MFA_EXCLUDES(lifecycle_mutex_);
 
-  /// The bound port (resolved after start(), also for port 0).
+  /// The bound port (resolved after start(), also for port 0). Read it
+  /// after start() returns — publication is the caller's happens-before
+  /// edge, not a lock.
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
  private:
   void loop();
 
+  // mfa-lint: allow(mutex-hygiene) immutable after construction
   ServerConfig config_;
+  // mfa-lint: allow(mutex-hygiene) immutable after construction
   Handler handler_;
+  // The fds and port_ are *thread-confined with a handoff*, not
+  // lock-guarded: start() sets them before spawning the loop thread,
+  // the loop thread uses them exclusively while running, and stop()
+  // closes them only after join() — each transition is a
+  // happens-before edge, so no lock is needed (and the loop must not
+  // take one per event).
+  // mfa-lint: allow(mutex-hygiene) thread-confined with handoff (above)
   int listen_fd_ = -1;
+  // mfa-lint: allow(mutex-hygiene) thread-confined with handoff (above)
   int epoll_fd_ = -1;
-  int wake_fd_ = -1;  ///< eventfd; stop() signals it
+  /// eventfd; stop() signals it
+  // mfa-lint: allow(mutex-hygiene) thread-confined with handoff (above)
+  int wake_fd_ = -1;
+  // mfa-lint: allow(mutex-hygiene) thread-confined with handoff (above)
   std::uint16_t port_ = 0;
+  // mfa-lint: allow(mutex-hygiene) spawned/joined only under
+  // lifecycle_mutex_ in start()/stop()
   std::thread thread_;
-  bool running_ = false;
+  /// Serializes start()/stop() against each other; the loop thread
+  /// never takes it.
+  Mutex lifecycle_mutex_;
+  bool running_ MFA_GUARDED_BY(lifecycle_mutex_) = false;
 };
 
 }  // namespace mfa::net

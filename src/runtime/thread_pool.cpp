@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -31,7 +31,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   std::future<void> future = wrapped.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     MFA_ASSERT_MSG(!stopping_, "submit() on a stopping ThreadPool");
     queue_.push(std::move(wrapped));
   }
@@ -62,8 +62,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      LockGuard lock(mutex_);
+      // Explicit predicate loop (not a wait-with-lambda): the thread
+      // safety analysis follows this shape; see support/mutex.hpp.
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();

@@ -8,14 +8,14 @@
 // batch output ordering independent of the thread count.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
 
 namespace mfa::runtime {
 
@@ -44,11 +44,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // mfa-lint: allow(mutex-hygiene) filled in the ctor, joined in the
+  // dtor; never touched while workers run
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> queue_ MFA_GUARDED_BY(mutex_);
+  bool stopping_ MFA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mfa::runtime

@@ -70,8 +70,11 @@ AllocServer::AllocServer(core::Platform platform, ServerOptions options)
 }
 
 void AllocServer::start() {
-  MFA_ASSERT(!started_);
-  started_ = true;
+  {
+    LockGuard lock(stop_mutex_);
+    MFA_ASSERT(!started_);
+    started_ = true;
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -110,15 +113,23 @@ StatusOr<std::unique_ptr<AllocServer>> AllocServer::recover(
 }
 
 Status AllocServer::restore(const WalRecovery& recovery) {
-  replaying_ = true;
+  // restore() runs before start(), so no dispatcher or observer exists
+  // yet — but every guarded member is still touched under state_mutex_
+  // (the locks are uncontended and free; pre-start single-threadedness
+  // is a convention the analysis cannot see, and unguarded access here
+  // is exactly the kind of latent bug -Wthread-safety exists to stop).
+  {
+    LockGuard lock(state_mutex_);
+    replaying_ = true;
+  }
   if (recovery.snapshot) {
     // Splice the snapshotted workload in wholesale, then re-derive the
     // incumbent with one solve: the incumbent is a pure function of
     // (platform, live pipelines, options) and warm starts are
     // byte-transparent, so this lands on exactly the allocation the
     // uninterrupted run held at the snapshot point.
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    composite_.resize(recovery.snapshot->platform);
+    LockGuard lock(state_mutex_);
+    composite_.resize_platform(recovery.snapshot->platform);
     for (const PipelineSpec& pipe : recovery.snapshot->pipelines) {
       pipelines_.push_back(pipe);
       composite_.add_pipeline(pipelines_.back());
@@ -141,26 +152,29 @@ Status AllocServer::restore(const WalRecovery& recovery) {
     }
   }
   for (const WalRecord& record : recovery.tail) {
-    if (record.sequence < sequence_) {
-      replaying_ = false;
-      return Status{Code::kInvalid,
-                    "wal replay: record sequence " +
-                        std::to_string(record.sequence) +
-                        " behind server sequence " +
-                        std::to_string(sequence_)};
+    {
+      LockGuard lock(state_mutex_);
+      if (record.sequence < sequence_) {
+        replaying_ = false;
+        return Status{Code::kInvalid,
+                      "wal replay: record sequence " +
+                          std::to_string(record.sequence) +
+                          " behind server sequence " +
+                          std::to_string(sequence_)};
+      }
+      // Gaps are events that failed durability and were never applied.
+      sequence_ = record.sequence;
     }
-    // Gaps are events that failed durability and were never applied.
-    sequence_ = record.sequence;
     EventOutcome outcome = process(Event(record.event));
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    LockGuard lock(state_mutex_);
     retain_outcome(outcome);
   }
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    LockGuard lock(state_mutex_);
     sequence_ = std::max(sequence_, recovery.next_sequence);
     stats_.sequence = sequence_;
+    replaying_ = false;
   }
-  replaying_ = false;
   return Status::ok();
 }
 
@@ -220,7 +234,7 @@ Status AllocServer::restore_placements(
 AllocServer::~AllocServer() { stop(); }
 
 void AllocServer::stop() {
-  std::lock_guard<std::mutex> lock(stop_mutex_);
+  LockGuard lock(stop_mutex_);
   if (stopped_) return;
   stopped_ = true;
   queue_.close();
@@ -235,7 +249,7 @@ void AllocServer::dispatcher_loop() {
   while (auto item = queue_.pop()) {
     EventOutcome outcome = process(std::move(item->event));
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      LockGuard lock(state_mutex_);
       retain_outcome(outcome);
     }
     item->reply.set_value(std::move(outcome));
@@ -460,6 +474,16 @@ void AllocServer::apply_stability(runtime::SolveResult& result,
   outcome.diff.budget_exceeded = true;
 }
 
+MFA_WARM_PATH void AllocServer::apply_reprioritize(std::size_t index,
+                                                   double weight) {
+  pipelines_[index].weight = weight;
+  composite_.reprioritize(index, pipelines_[index]);
+}
+
+MFA_WARM_PATH void AllocServer::apply_resize(core::Platform platform) {
+  composite_.resize_platform(std::move(platform));
+}
+
 EventOutcome AllocServer::process(Event event) {
   const auto t0 = Clock::now();
   // The dispatcher is the only mutator, but observers (active_pipelines,
@@ -467,7 +491,7 @@ EventOutcome AllocServer::process(Event event) {
   // mutation *and* the re-solve so they always see a consistent pair of
   // (workload, incumbent). Events are coarse; observer latency under a
   // solve is acceptable for a serving loop.
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  LockGuard lock(state_mutex_);
   EventOutcome outcome;
   outcome.sequence = sequence_++;
   outcome.type = event.type;
@@ -556,8 +580,7 @@ EventOutcome AllocServer::process(Event event) {
         } else {
           touched = static_cast<std::size_t>(it - pipelines_.begin());
           old_weight = it->weight;
-          it->weight = event.weight;
-          composite_.reprioritize(touched, *it);
+          apply_reprioritize(touched, event.weight);
           outcome.cache.delta = CompositeDelta::kCoefficients;
           workload_changed = true;
         }
@@ -571,7 +594,7 @@ EventOutcome AllocServer::process(Event event) {
           outcome.status = std::move(valid);
         } else {
           old_platform = composite_.platform();
-          composite_.resize(std::move(event.platform));
+          apply_resize(std::move(event.platform));
           outcome.cache.delta = CompositeDelta::kRhs;
           workload_changed = true;
         }
@@ -608,11 +631,10 @@ EventOutcome AllocServer::process(Event event) {
                 std::move(*removed));
             break;
           case Event::Type::kReprioritize:
-            pipelines_[touched].weight = old_weight;
-            composite_.reprioritize(touched, pipelines_[touched]);
+            apply_reprioritize(touched, old_weight);
             break;
           case Event::Type::kResizePlatform:
-            composite_.resize(std::move(old_platform));
+            apply_resize(std::move(old_platform));
             break;
         }
         outcome.cache.delta = CompositeDelta::kNone;
@@ -683,27 +705,27 @@ EventOutcome AllocServer::process(Event event) {
 }
 
 std::size_t AllocServer::active_pipelines() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  LockGuard lock(state_mutex_);
   return pipelines_.size();
 }
 
 std::optional<runtime::SolveResult> AllocServer::incumbent() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  LockGuard lock(state_mutex_);
   return incumbent_;
 }
 
 std::vector<EventOutcome> AllocServer::log() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  LockGuard lock(state_mutex_);
   return {log_.begin(), log_.end()};
 }
 
 OccupancyTracker AllocServer::occupancy() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  LockGuard lock(state_mutex_);
   return occupancy_;
 }
 
 ServiceStats AllocServer::stats() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  LockGuard lock(state_mutex_);
   ServiceStats stats = stats_;
   if (!log_.empty()) {
     std::vector<double> seconds;

@@ -52,7 +52,6 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -72,6 +71,7 @@
 #include "service/occupancy.hpp"
 #include "service/wal.hpp"
 #include "solver/packing.hpp"
+#include "support/mutex.hpp"
 
 namespace mfa::service {
 
@@ -270,84 +270,125 @@ class AllocServer {
   void start();
 
   void dispatcher_loop();
-  EventOutcome process(Event event);
+  /// Applies one event end to end (WAL append, composite delta,
+  /// re-solve, snapshot); acquires state_mutex_ for the whole mutation.
+  EventOutcome process(Event event) MFA_EXCLUDES(state_mutex_);
 
   /// Re-solves the current composite and refreshes incumbent/seed/
   /// occupancy state, recording solve provenance and the migration diff
   /// into `outcome` (outcome.id names the event's target, "" for
   /// resize). Requires state_mutex_ held and a non-empty pipeline set.
-  void resolve_workload(EventOutcome& outcome);
+  void resolve_workload(EventOutcome& outcome) MFA_REQUIRES(state_mutex_);
 
   /// Stability ladder for an over-budget unconstrained result: tries a
   /// constrained repack of its totals, then a pinned placement that
   /// keeps every surviving pipeline exactly in place; on success swaps
   /// the accepted allocation into `result` and stamps outcome.diff.
   /// Requires state_mutex_ held.
-  void apply_stability(runtime::SolveResult& result, EventOutcome& outcome);
+  void apply_stability(runtime::SolveResult& result, EventOutcome& outcome)
+      MFA_REQUIRES(state_mutex_);
+
+  /// The two numeric deltas (weight rewrite, platform swap), shared by
+  /// the forward path and the structural-validation rollback. These are
+  /// the dispatcher's end of the warm event path — coefficient/RHS
+  /// rewrites that must stay allocation-free through the composite,
+  /// patch_function/patch_affine and the batched kernels (see ROADMAP
+  /// item 1; the static face of `service_churn --check`). Require
+  /// state_mutex_ held.
+  MFA_WARM_PATH void apply_reprioritize(std::size_t index, double weight)
+      MFA_REQUIRES(state_mutex_);
+  MFA_WARM_PATH void apply_resize(core::Platform platform)
+      MFA_REQUIRES(state_mutex_);
 
   /// Rebuilds dispatcher state from a loaded WAL (called before
   /// start(); see recover()).
-  Status restore(const WalRecovery& recovery);
+  Status restore(const WalRecovery& recovery) MFA_EXCLUDES(state_mutex_);
 
   /// Splices a snapshot's placement ledger into the just-re-derived
   /// incumbent (exact rows, recomputed II/φ/goal, occupancy refresh) —
   /// the path-dependence fix for recovery under migration budgets.
   /// No-op for empty (pre-PR-8) ledgers. Requires state_mutex_ held.
-  Status restore_placements(
-      const std::vector<PipelinePlacement>& placements);
+  Status restore_placements(const std::vector<PipelinePlacement>& placements)
+      MFA_REQUIRES(state_mutex_);
 
   /// Appends the retained outcome and trims to log_capacity. Requires
   /// state_mutex_ held.
-  void retain_outcome(const EventOutcome& outcome);
+  void retain_outcome(const EventOutcome& outcome)
+      MFA_REQUIRES(state_mutex_);
 
   /// Warm seed for the next solve, aligned to `problem`'s kernels from
   /// the per-pipeline totals of the previous one (nullopt on cold
   /// starts or when disabled).
   [[nodiscard]] std::optional<core::RelaxedSolution> make_warm(
-      const core::Problem& problem) const;
+      const core::Problem& problem) const MFA_REQUIRES(state_mutex_);
 
+  // ---- Construction-time wiring: set before the dispatcher starts,
+  // immutable afterwards (or internally synchronized). No GUARDED_BY —
+  // each carries its own thread-model justification. -------------------
+  // mfa-lint: allow(mutex-hygiene) immutable after construction
   ServerOptions options_;
+  // mfa-lint: allow(mutex-hygiene) ShardedCache, internally synchronized
   core::RelaxationCache cache_;
+  // mfa-lint: allow(mutex-hygiene) ShardedCache, internally synchronized
   core::CompiledModelCache models_;
   /// Memoized greedy placements (alloc/greedy.hpp): service churn
   /// re-places identical (problem, totals) pairs across events and
   /// portfolio lanes, so placements are computed once and replayed.
+  // mfa-lint: allow(mutex-hygiene) ShardedCache, internally synchronized
   alloc::GreedyCache greedy_cache_;
   /// Effective caches: ServerOptions::context overrides the owned ones.
+  // mfa-lint: allow(mutex-hygiene) set in ctor, immutable afterwards
   core::RelaxationCache* relax_cache_ = nullptr;
+  // mfa-lint: allow(mutex-hygiene) set in ctor, immutable afterwards
   core::CompiledModelCache* model_cache_ = nullptr;
   /// The single wiring point handed to the portfolio (caches + pool).
+  // mfa-lint: allow(mutex-hygiene) immutable after construction
   core::SolverContext ctx_;
-  std::unique_ptr<runtime::ThreadPool> pool_;  ///< null → sequential lanes
+  /// null → sequential lanes
+  // mfa-lint: allow(mutex-hygiene) set in ctor; ThreadPool self-syncs
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  // mfa-lint: allow(mutex-hygiene) set in ctor; solves serialized by
+  // the dispatcher
   std::unique_ptr<runtime::Portfolio> portfolio_;
 
-  // ---- Dispatcher-owned workload state (read under state_mutex_). ------
+  // ---- Dispatcher-owned workload state, guarded by state_mutex_
+  // (declared first so the GUARDED_BY annotations can name it). The
+  // dispatcher is the only mutator; observers take the same lock so
+  // they always see a consistent (workload, incumbent) pair. -----------
+  mutable Mutex state_mutex_;
   /// The live composite problem, maintained by event deltas (owns the
   /// platform; see service/composite.hpp).
-  CompositeBuilder composite_;
-  std::vector<PipelineSpec> pipelines_;  ///< live set, arrival order
-  std::optional<runtime::SolveResult> incumbent_;
+  CompositeBuilder composite_ MFA_GUARDED_BY(state_mutex_);
+  /// Live set, arrival order.
+  std::vector<PipelineSpec> pipelines_ MFA_GUARDED_BY(state_mutex_);
+  std::optional<runtime::SolveResult> incumbent_
+      MFA_GUARDED_BY(state_mutex_);
   /// Per-FPGA ledger + per-pipeline placement records, lock-step with
   /// incumbent_ (updated inside resolve_workload, cleared with it).
-  OccupancyTracker occupancy_;
+  OccupancyTracker occupancy_ MFA_GUARDED_BY(state_mutex_);
   /// Previous solve's per-pipeline CU totals and ÎI, the warm seed.
-  std::unordered_map<std::string, std::vector<double>> last_totals_;
-  double last_ii_ = 0.0;
-  std::deque<EventOutcome> log_;  ///< newest log_capacity outcomes
-  std::uint64_t sequence_ = 0;
-  ServiceStats stats_;
+  std::unordered_map<std::string, std::vector<double>> last_totals_
+      MFA_GUARDED_BY(state_mutex_);
+  double last_ii_ MFA_GUARDED_BY(state_mutex_) = 0.0;
+  /// Newest log_capacity outcomes.
+  std::deque<EventOutcome> log_ MFA_GUARDED_BY(state_mutex_);
+  std::uint64_t sequence_ MFA_GUARDED_BY(state_mutex_) = 0;
+  ServiceStats stats_ MFA_GUARDED_BY(state_mutex_);
 
-  std::optional<Wal> wal_;  ///< durability; engaged by open()/recover()
+  /// Durability; engaged by open()/recover() before the dispatcher
+  /// starts, then appended to by process() under state_mutex_.
+  std::optional<Wal> wal_ MFA_GUARDED_BY(state_mutex_);
   /// True while restore() replays the log: suppresses re-appending the
   /// replayed events to the WAL and re-counting snapshots.
-  bool replaying_ = false;
+  bool replaying_ MFA_GUARDED_BY(state_mutex_) = false;
 
-  mutable std::mutex state_mutex_;
+  // mfa-lint: allow(mutex-hygiene) EventQueue, internally synchronized
   EventQueue queue_;
+  // mfa-lint: allow(mutex-hygiene) started/joined only under stop_mutex_
   std::thread dispatcher_;
-  bool started_ = false;
-  bool stopped_ = false;
-  std::mutex stop_mutex_;
+  Mutex stop_mutex_;
+  bool started_ MFA_GUARDED_BY(stop_mutex_) = false;
+  bool stopped_ MFA_GUARDED_BY(stop_mutex_) = false;
 };
 
 }  // namespace mfa::service

@@ -32,6 +32,9 @@ CompositeBuilder::CompositeBuilder(core::Platform platform,
   problem_->beta = config.beta;
 }
 
+// mfa-lint: allow(warm-path-alloc) copy-on-write cold branch: clones only
+// while a solve still holds the previous snapshot; the steady-state numeric
+// path hits the use_count()==1 fast path. ROADMAP item 1 removes the clone.
 void CompositeBuilder::ensure_unique() {
   if (problem_.use_count() > 1) {
     problem_ = std::make_shared<core::Problem>(*problem_);
@@ -76,8 +79,8 @@ void CompositeBuilder::remove_pipeline(std::size_t index) {
   }
 }
 
-void CompositeBuilder::reprioritize(std::size_t index,
-                                    const PipelineSpec& pipe) {
+MFA_WARM_PATH void CompositeBuilder::reprioritize(std::size_t index,
+                                                  const PipelineSpec& pipe) {
   MFA_ASSERT(index < ranges_.size());
   MFA_ASSERT_MSG(ranges_[index].count == pipe.app.kernels.size(),
                  "reprioritize spec shape drifted from the composite");
@@ -92,7 +95,7 @@ void CompositeBuilder::reprioritize(std::size_t index,
   }
 }
 
-void CompositeBuilder::resize(core::Platform platform) {
+MFA_WARM_PATH void CompositeBuilder::resize_platform(core::Platform platform) {
   ensure_unique();
   problem_->platform = std::move(platform);
 }

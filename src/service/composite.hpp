@@ -36,6 +36,7 @@
 
 #include "core/problem.hpp"
 #include "service/event.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace mfa::service {
 
@@ -70,10 +71,12 @@ class CompositeBuilder {
   /// Rewrites pipeline `index`'s scaled WCETs from `pipe` (which carries
   /// the new weight). Coefficient-only: names, order and every other
   /// kernel field stay untouched.
-  void reprioritize(std::size_t index, const PipelineSpec& pipe);
+  MFA_WARM_PATH void reprioritize(std::size_t index, const PipelineSpec& pipe);
 
   /// Swaps the platform. RHS-only: the kernel set stays untouched.
-  void resize(core::Platform platform);
+  /// (Named resize_platform, not resize, so the lexical warm-path lint
+  /// can tell it apart from container resize calls.)
+  MFA_WARM_PATH void resize_platform(core::Platform platform);
 
   // ---- Observers. ----------------------------------------------------
 

@@ -9,15 +9,14 @@
 // still-queued submissions instead of dropping their promises.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "service/event.hpp"
+#include "support/mutex.hpp"
 #include "support/status.hpp"
 
 namespace mfa::service {
@@ -42,7 +41,7 @@ class EventQueue {
     std::promise<EventOutcome> reply;
     std::future<EventOutcome> future = reply.get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (closed_) {
         EventOutcome outcome;
         outcome.type = event.type;
@@ -59,8 +58,10 @@ class EventQueue {
   /// Blocks until an item is available or the queue is closed; nullopt
   /// means closed *and* drained (consumers should exit).
   std::optional<Item> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    LockGuard lock(mutex_);
+    // Explicit predicate loop (not a wait-with-lambda): the thread
+    // safety analysis follows this shape; see support/mutex.hpp.
+    while (!closed_ && items_.empty()) cv_.wait(mutex_);
     if (items_.empty()) return std::nullopt;
     Item item = std::move(items_.front());
     items_.pop_front();
@@ -71,22 +72,22 @@ class EventQueue {
   /// dispatcher drains them before exiting.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Item> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<Item> items_ MFA_GUARDED_BY(mutex_);
+  bool closed_ MFA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mfa::service

@@ -18,6 +18,11 @@
 // Everything here is plain data derived from (platform, pipelines,
 // allocation); the tracker never solves and holds no references into
 // the composite, so copies are cheap snapshots.
+//
+// Thread model: no internal synchronization. The live instance is
+// AllocServer::occupancy_, MFA_GUARDED_BY(state_mutex_); readers get a
+// copy through AllocServer::occupancy(), which snapshots under that
+// lock. Copies are owned by their holder.
 #pragma once
 
 #include <cstdint>

@@ -26,6 +26,14 @@
 // rarely repeats across shards, and sharing would add contention for
 // no hit-rate).
 //
+// Thread model: the router itself is immutable after open()/recover()
+// — ring_, shards_ and the shared caches are built once and never
+// mutated, so submit()/stats()/shard_of() need no router-level lock
+// from any thread. All mutable state lives inside the individual
+// AllocServers (guarded by their state_mutex_) and the sharded caches
+// (per-shard mfa::Mutex). stop() only calls the shards' own idempotent
+// stop().
+//
 // Durability: with RouterOptions::wal_root set, shard i logs to
 // <wal_root>/shard-<i> (its own WAL + snapshots), and recover()
 // rebuilds every shard. The shard count is part of the on-disk layout:

@@ -88,6 +88,12 @@ struct WalRecovery {
 /// Append handle on a WAL directory. Single writer (the dispatcher);
 /// movable, closes on destruction. All I/O failures surface as Status —
 /// a full disk fails the *event*, never the process.
+///
+/// Thread model: Wal is deliberately unsynchronized. The instance lives
+/// in AllocServer::wal_, which is MFA_GUARDED_BY(state_mutex_) — the
+/// server's lock is the capability; appends and snapshots only ever
+/// happen with it held. A standalone Wal (tests, tools) is
+/// single-threaded by construction.
 class Wal {
  public:
   struct Options {

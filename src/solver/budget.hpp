@@ -10,6 +10,15 @@
 // races strategies under one deadline): tick()/consume() are lock-free,
 // the node count is exact under concurrency, and expire() cooperatively
 // cancels every solver polling the same budget.
+//
+// Thread model (for -Wthread-safety readers): Budget holds no mutex and
+// therefore carries no capability annotations — every shared member is
+// a relaxed atomic and every invariant is per-field, so there is no
+// multi-field critical section for the analysis to check. The
+// non-atomic members (max_nodes_, deadline_, has_deadline_) are set at
+// construction and immutable afterwards; copy/assign are *not*
+// concurrency-safe against a racing tick() on the source and are only
+// used before a budget is shared.
 #pragma once
 
 #include <algorithm>

@@ -1,0 +1,82 @@
+// Capability-annotated mutex/lock/condvar wrappers.
+//
+// These are the only synchronization primitives src/ is allowed to use
+// directly (mfa_lint rule mutex-hygiene bans raw std::mutex &
+// std::lock_guard elsewhere): clang's Thread Safety Analysis only
+// checks lock discipline on types that carry capability attributes, so
+// routing every mutex through mfa::Mutex is what makes MFA_GUARDED_BY
+// membership annotations enforceable at compile time.
+//
+// The wrappers are zero-cost shims over the std primitives, with one
+// deliberate substitution: CondVar is a std::condition_variable_any
+// waiting on the Mutex itself rather than a std::unique_lock. That
+// keeps the wait annotated (MFA_REQUIRES(m)) and keeps call sites on
+// the explicit `while (!pred) cv.wait(m);` shape, which the analysis
+// can follow — a predicate lambda would be analyzed as a separate
+// function and spuriously flagged. Events and solver tasks here are
+// coarse (each triggers a solve), so condition_variable_any's extra
+// internal mutex is noise.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace mfa {
+
+/// std::mutex with the capability attribute the analysis tracks.
+class MFA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MFA_ACQUIRE() { m_.lock(); }
+  void unlock() MFA_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() MFA_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII scoped lock over mfa::Mutex (the std::lock_guard shape, carrying
+/// the scoped-capability attribute).
+class MFA_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) MFA_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() MFA_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable waiting directly on mfa::Mutex. Use the explicit
+/// predicate-loop shape under a LockGuard:
+///
+///   LockGuard lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `m`, blocks, and re-acquires before returning.
+  /// The analysis treats the capability as held throughout (the wake-up
+  /// re-establishes it before user code runs again).
+  void wait(Mutex& m) MFA_REQUIRES(m) { cv_.wait(m); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mfa

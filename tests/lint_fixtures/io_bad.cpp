@@ -1,0 +1,9 @@
+// mfa_lint golden fixture: banned-io.
+//
+// Expected findings (exact lines asserted by lint_test.cpp):
+//   line 8   printf outside cli/bench
+//   line 9   std::cout outside cli/bench
+#include <cstdio>
+
+void log_result(int x) { printf("%d\n", x); }
+void trace(int x) { std::cout << x; }

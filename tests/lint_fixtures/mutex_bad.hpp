@@ -1,0 +1,26 @@
+// mfa_lint golden fixture: mutex-hygiene.
+//
+// Expected findings (exact lines asserted by lint_test.cpp):
+//   line 18  unguarded sibling of a Mutex member
+// The guarded member (line 20), the suppressed member (line 23), the
+// CondVar / atomic / const members and the Mutex itself must NOT be
+// reported.
+#pragma once
+
+class Mutex {};
+class CondVar {};
+
+class Broken {
+ public:
+  void poke();
+
+ private:
+  int unguarded_count_ = 0;
+  Mutex mutex_;
+  double guarded_value_ MFA_GUARDED_BY(mutex_) = 0.0;
+  CondVar cv_;
+  // mfa-lint: allow(mutex-hygiene) fixture: documented thread-confined
+  int documented_handoff_ = 0;
+  std::atomic<int> lock_free_ = 0;
+  const int immutable_ = 7;
+};

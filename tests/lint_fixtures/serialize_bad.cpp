@@ -1,0 +1,25 @@
+// mfa_lint golden fixture: serialize-determinism.
+//
+// Expected findings (exact lines asserted by lint_test.cpp):
+//   line 10  <unordered_map> included by a TU that defines to_json
+//   line 15  rand() reachable from the serialization root
+//   line 21  unordered_map used in serialization-reachable code
+//   line 22  pointer-keyed map in serialization-reachable code
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Json {};
+
+Json to_json(int x) {
+  int noise = rand() + x;
+  shuffle_fields(noise);
+  return Json{};
+}
+
+void shuffle_fields(int n) {
+  std::unordered_map<int, int> order;
+  std::map<const char*, int> by_pointer;
+  order[n] = n;
+  by_pointer["k"] = n;
+}

@@ -1,0 +1,32 @@
+// mfa_lint clean fixture in a /solver/ path: none of these may be
+// reported — they are the word-boundary and context look-alikes the
+// tokenizer must distinguish from real findings.
+//
+//   start_time( / finish_time(  must not match `time(`
+//   steady_clock                is the sanctioned timer
+//   "rand()" in a string, rand() in a comment
+//   randomize_order(            must not match `rand(`
+
+struct Sim {
+  double start_time_ms = 0.0;
+};
+
+double start_time(const Sim& sim) { return sim.start_time_ms; }
+double finish_time(const Sim& sim) { return sim.start_time_ms + 1.0; }
+
+long elapsed() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// Calling rand() here would be a finding; this comment is not.
+const char* describe() { return "uses rand() internally? no."; }
+
+void randomize_order(int* xs, int n) {
+  // Deterministic seeded shuffle — name merely *contains* "rand".
+  for (int i = n - 1; i > 0; --i) {
+    const int j = (i * 2654435761u) % (i + 1);
+    const int tmp = xs[i];
+    xs[i] = xs[j];
+    xs[j] = tmp;
+  }
+}

@@ -1,0 +1,18 @@
+// mfa_lint golden fixture: solver-clock (the path contains /solver/).
+//
+// Expected findings (exact lines asserted by lint_test.cpp):
+//   line 8   clock() in a solver path
+//   line 12  rand() in a solver path
+//   line 17  system_clock in a solver path
+
+double jitter_seconds() { return clock() * 1e-6; }
+
+// A deterministic solver must draw from a seeded engine, never the
+// process-global generator.
+int tie_break() { return rand(); }
+
+// Wall-clock timestamps differ across replays; steady_clock via Budget
+// is the sanctioned timer.
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

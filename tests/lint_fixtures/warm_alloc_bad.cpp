@@ -1,0 +1,24 @@
+// mfa_lint golden fixture: warm-path-alloc.
+//
+// Expected findings (exact lines asserted by lint_test.cpp):
+//   line 12  push_back in a MFA_WARM_PATH function
+//   line 20  operator new reached through the call graph
+//   line 21  std::string constructed on a warm path
+// The suppressed resize on line 14 must NOT be reported.
+#define MFA_WARM_PATH
+
+MFA_WARM_PATH void hot_delta(std::vector<double>& xs) {
+  xs[0] = 1.0;
+  xs.push_back(2.0);
+  // mfa-lint: allow(warm-path-alloc) grow-once fixture scratch
+  xs.resize(8);
+  cold_helper();
+}
+
+void cold_helper() {
+  // Reached from hot_delta: both lines below are warm-path findings.
+  int* leak = new int(3);
+  std::string name = "boom";
+  (void)leak;
+  (void)name;
+}

@@ -1,0 +1,37 @@
+// Negative-compile probe for the thread-safety annotations.
+//
+// This TU is built only under clang with MFA_THREAD_SAFETY, as an
+// EXCLUDE_FROM_ALL object library whose build is a WILL_FAIL ctest
+// entry: it reads MFA_GUARDED_BY state without holding the lock, so
+// -Werror=thread-safety MUST reject it. If this file ever compiles,
+// the annotation plumbing has gone soft (e.g. the macros expanded to
+// nothing under clang) and the "analysis is actually on" guarantee is
+// lost — which is exactly what the inverted test reports.
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    mfa::LockGuard lock(mutex_);
+    ++value_;
+  }
+
+  // Deliberate violation: no lock held while reading value_.
+  int read_unlocked() const { return value_; }
+
+ private:
+  mutable mfa::Mutex mutex_;
+  int value_ MFA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int thread_safety_negative_probe() {
+  Counter counter;
+  counter.bump();
+  return counter.read_unlocked();
+}
