@@ -30,9 +30,13 @@
 //     to the non-WAL warm replay — durability is observability-free
 //     (PR-6, the property crash recovery rides on),
 //   * every full IR lowering must match a compiled-model cache miss
-//     (no path compiles structures behind the cache's back), and
+//     (no path compiles structures behind the cache's back),
 //   * zero batched-kernel misgroupings: fingerprint grouping must never
-//     hand the lane-parallel kernel models of different structure.
+//     hand the lane-parallel kernel models of different structure, and
+//   * zero heap allocations inside warm delta application — the runtime
+//     half of the zero-allocation warm path (support/alloc_count.hpp).
+//     Enforced when the counting interposer is linked
+//     (-DMFA_COUNT_ALLOC=ON); skipped with a notice otherwise.
 // `--smoke` shrinks the trace for CI wiring checks.
 //
 // With MFA_BENCH_OUT set to a directory, the measurements are written
@@ -53,6 +57,7 @@
 #include "io/serialize.hpp"
 #include "scenario/trace.hpp"
 #include "service/alloc_server.hpp"
+#include "support/alloc_count.hpp"
 
 namespace {
 
@@ -65,6 +70,12 @@ struct ReplayStats {
   double mean_event_ms = 0.0;
   double p50_event_ms = 0.0;
   double p95_event_ms = 0.0;
+  double p99_event_ms = 0.0;
+  double max_event_ms = 0.0;
+  /// Heap allocations inside warm delta application, summed over the
+  /// replay's reprioritize/resize events (0 unless the counting
+  /// interposer is linked; --check gates it at zero when it is).
+  std::uint64_t warm_allocs = 0;
   std::int64_t gp_compiles = 0;  ///< full IR lowerings
   std::int64_t gp_patches = 0;   ///< coefficient patches
   /// Batched-kernel misgroupings (lanes whose compiled models did not
@@ -124,6 +135,7 @@ ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start,
         event.type == mfa::service::Event::Type::kResizePlatform) {
       stats.numeric_event_compiles += outcome.cache.gp_compiles;
     }
+    stats.warm_allocs += outcome.warm_allocs;
     event_ms.push_back(outcome.seconds * 1e3);
     stats.log_digest += mfa::io::to_json(outcome).dump();
     stats.log_digest += '\n';
@@ -139,6 +151,10 @@ ReplayStats replay(const mfa::scenario::Trace& trace, bool warm_start,
       event_ms.empty() ? 0.0 : total_ms / static_cast<double>(event_ms.size());
   stats.p50_event_ms = percentile(event_ms, 0.50);
   stats.p95_event_ms = percentile(event_ms, 0.95);
+  stats.p99_event_ms = percentile(event_ms, 0.99);
+  stats.max_event_ms =
+      event_ms.empty() ? 0.0
+                       : *std::max_element(event_ms.begin(), event_ms.end());
   stats.relax = server.cache_stats();
   stats.model = server.model_cache_stats();
   return stats;
@@ -186,6 +202,14 @@ void emit_json(int events, const ReplayStats& cold, const ReplayStats& warm,
                                       : 0.0));
     doc.set("wal_log_identical",
             mfa::io::Json::boolean(wal.log_digest == warm.log_digest));
+    // Tail latency and the zero-allocation gate's inputs.
+    doc.set("warm_p99_event_ms", mfa::io::Json::number(warm.p99_event_ms));
+    doc.set("warm_max_event_ms", mfa::io::Json::number(warm.max_event_ms));
+    doc.set("alloc_counting_linked",
+            mfa::io::Json::boolean(mfa::alloc_counting_linked()));
+    doc.set("warm_allocs",
+            mfa::io::Json::number(static_cast<double>(
+                cold.warm_allocs + warm.warm_allocs + wal.warm_allocs)));
     write_json(std::string(dir) + "/BENCH_service_churn.json", doc);
   }
   {
@@ -208,6 +232,8 @@ void emit_json(int events, const ReplayStats& cold, const ReplayStats& warm,
                   static_cast<double>(stats.numeric_event_compiles)));
       row.set("p50_event_ms", mfa::io::Json::number(stats.p50_event_ms));
       row.set("p95_event_ms", mfa::io::Json::number(stats.p95_event_ms));
+      row.set("p99_event_ms", mfa::io::Json::number(stats.p99_event_ms));
+      row.set("max_event_ms", mfa::io::Json::number(stats.max_event_ms));
       row.set("mean_event_ms", mfa::io::Json::number(stats.mean_event_ms));
       row.set("model_cache_hits",
               mfa::io::Json::number(static_cast<double>(stats.model.hits)));
@@ -245,6 +271,13 @@ void print_mode_table(const ReplayStats& cold, const ReplayStats& warm,
         wal.p50_event_ms);
   row_f("p95 event latency (ms)", cold.p95_event_ms, warm.p95_event_ms,
         wal.p95_event_ms);
+  row_f("p99 event latency (ms)", cold.p99_event_ms, warm.p99_event_ms,
+        wal.p99_event_ms);
+  row_f("max event latency (ms)", cold.max_event_ms, warm.max_event_ms,
+        wal.max_event_ms);
+  row_i("warm-path allocations", static_cast<std::int64_t>(cold.warm_allocs),
+        static_cast<std::int64_t>(warm.warm_allocs),
+        static_cast<std::int64_t>(wal.warm_allocs));
   row_i("GP full compiles", cold.gp_compiles, warm.gp_compiles,
         wal.gp_compiles);
   row_i("GP coefficient patches", cold.gp_patches, warm.gp_patches,
@@ -342,6 +375,24 @@ int main(int argc, char** argv) {
       std::printf("FAIL: WAL-enabled replay produced a different event log "
                   "(durability must be byte-transparent)\n");
       rc = 1;
+    }
+    // Zero-allocation warm path: with the counting interposer linked
+    // (-DMFA_COUNT_ALLOC=ON), no reprioritize/resize delta may allocate.
+    // The static half is mfa_lint's suppression-free warm-path-alloc
+    // rule; this is the runtime witness.
+    if (mfa::alloc_counting_linked()) {
+      const std::uint64_t total_warm_allocs =
+          cold.warm_allocs + warm.warm_allocs + wal.warm_allocs;
+      if (total_warm_allocs != 0) {
+        std::printf("FAIL: warm deltas performed %llu heap allocations "
+                    "(expected 0)\n",
+                    static_cast<unsigned long long>(total_warm_allocs));
+        rc = 1;
+      }
+    } else {
+      std::printf("note: zero-allocation gate skipped — counting "
+                  "interposer not linked (build with -DMFA_COUNT_ALLOC=ON "
+                  "to enable it)\n");
     }
     // Every full IR lowering must be accounted for by a compiled-model
     // cache miss: a compile the cache never saw would mean some path

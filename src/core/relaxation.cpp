@@ -76,6 +76,16 @@ CuBounds CuBounds::defaults(const Problem& problem) {
 StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
                                            const CuBounds& bounds,
                                            double ii_hint) {
+  RelaxedSolution sol;
+  if (Status st = solve_relaxation_into(problem, bounds, ii_hint, sol);
+      !st.is_ok()) {
+    return st;
+  }
+  return sol;
+}
+
+Status solve_relaxation_into(const Problem& problem, const CuBounds& bounds,
+                             double ii_hint, RelaxedSolution& out) {
   MFA_ASSERT(bounds.lower.size() == problem.num_kernels());
   MFA_ASSERT(bounds.upper.size() == problem.num_kernels());
   for (std::size_t k = 0; k < problem.num_kernels(); ++k) {
@@ -113,9 +123,8 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
                   "pooled resource constraints violated at minimum CUs"};
   }
 
-  RelaxedSolution sol;
   if (feasible_at(t_lo)) {
-    sol.ii = t_lo;  // bound-limited: cannot go below t_lo by construction
+    out.ii = t_lo;  // bound-limited: cannot go below t_lo by construction
   } else {
     // Monotone bisection: infeasible at lo, feasible at hi. A warm hint
     // inside the bracket is probed once and replaces the matching end,
@@ -138,11 +147,13 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
         lo = mid;
       }
     }
-    sol.ii = hi;
+    out.ii = hi;
   }
-  cheapest_n_into(problem, bounds, sol.ii, n);
-  sol.n_hat = n;
-  return sol;
+  cheapest_n_into(problem, bounds, out.ii, n);
+  // Copy-assignment from the scratch reuses out's capacity — same-size
+  // callers (every node of one branch-and-bound tree) never allocate.
+  out.n_hat = n;
+  return Status::ok();
 }
 
 std::vector<StatusOr<RelaxedSolution>> solve_relaxation_batch(

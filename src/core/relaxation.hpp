@@ -63,6 +63,18 @@ StatusOr<RelaxedSolution> solve_relaxation(const Problem& problem,
                                            const CuBounds& bounds,
                                            double ii_hint);
 
+/// Allocation-free flavor of the warm-started bisection: writes the
+/// solution into `out`, reusing its n_hat capacity, instead of
+/// returning a fresh RelaxedSolution. Bit-identical arithmetic to
+/// solve_relaxation(problem, bounds, ii_hint) — same probes, same
+/// bits — so results remain interchangeable with cached entries under
+/// relaxation_cache_key. On a non-ok status `out` is unspecified. The
+/// discretizer's patched-bounds search routes every node solve through
+/// this with per-depth pooled solutions, which is what removes the
+/// per-node n_hat allocation from branch-and-bound.
+Status solve_relaxation_into(const Problem& problem, const CuBounds& bounds,
+                             double ii_hint, RelaxedSolution& out);
+
 /// Solves several bounds variants of one problem back to back — the
 /// discretizer routes sibling branch-and-bound children (which share the
 /// parent's kernel set and differ only in one tightened bound) through

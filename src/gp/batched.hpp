@@ -98,8 +98,10 @@ class LaneArray {
   std::size_t size_ = 0;
 };
 
-/// Reusable scratch for BatchedModel evaluation; sized lazily by the
-/// model that uses it (ensure_workspace). One per thread of evaluation.
+/// Reusable scratch for BatchedModel evaluation; sized up front by the
+/// model that uses it (ensure_workspace, called at build/rebuild time —
+/// the warm evaluators only assert sufficiency). One per thread of
+/// evaluation.
 struct BatchedWorkspace {
   LaneArray z;     ///< per-term shifted exponents, [max_terms × L]
   LaneArray w;     ///< per-term softmax weights,   [max_terms × L]
@@ -130,6 +132,11 @@ class BatchedModel {
   [[nodiscard]] std::size_t num_vars() const;
   [[nodiscard]] std::size_t num_functions() const;
 
+  /// Sizes `ws` for this model (cold path — grows only, never shrinks,
+  /// so one workspace serves a sequence of models). Call after build()
+  /// and after every rebuild; value()/prepare()/scatter() assert the
+  /// workspace is large enough instead of growing it, which is what
+  /// keeps the warm evaluation path allocation-free by construction.
   void ensure_workspace(BatchedWorkspace& ws) const;
 
   /// F_f(y_l) for every lane l: y is var-major SoA (y[j·L + l] is
@@ -165,11 +172,18 @@ class BatchedModel {
   LaneArray coeff_;  ///< [total_terms × L], term-major SoA
 };
 
-/// Scratch for batched_spd_solve.
+/// Scratch for batched_spd_solve; size with reserve_spd_workspace.
 struct BatchedSpdWorkspace {
   LaneArray l;   ///< Cholesky factors, [n·n × L]
   LaneArray fw;  ///< forward-substitution intermediate, [n × L]
 };
+
+/// Sizes `ws` and the solution array `x` for batched_spd_solve calls of
+/// up to n variables × lanes lanes (cold path — grows only). The solve
+/// itself asserts sufficiency instead of growing, so presizing here is
+/// what keeps the warm Newton step allocation-free.
+void reserve_spd_workspace(std::size_t n, std::size_t lanes,
+                           BatchedSpdWorkspace& ws, LaneArray& x);
 
 /// Lane-strided dense SPD solve: factors each lane's n×n matrix
 /// a[(i·n+j)·L+l] with an unregularized Cholesky and solves for

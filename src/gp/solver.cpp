@@ -564,6 +564,8 @@ class FeasibilityStop final : public BatchEarlyStop {
     auto m = BatchedModel::build(gps_);
     MFA_ASSERT_MSG(m.has_value(), "phase-I lanes lost their shared structure");
     model_.emplace(std::move(*m));
+    // Presize here so check()'s value() calls stay allocation-free.
+    model_->ensure_workspace(ws_);
   }
 
   std::vector<const CompiledGp*> gps_;
@@ -607,6 +609,10 @@ void run_batched_path(const SolverOptions& opts,
   BatchedSpdWorkspace spd_ws;
   LaneArray grad(n * L), hess(n * n * L), rhs(n * L), step(n * L),
       trial(n * L);
+  // All evaluation/solve scratch is sized here, before the iteration
+  // loop: value()/scatter()/batched_spd_solve assert rather than grow.
+  model.ensure_workspace(ws);
+  reserve_spd_workspace(n, L, spd_ws, step);
   std::vector<double> wg(L), wm(L), wr(L), fval(L), h0(L), h_acc(L), slope(L),
       alpha(L), h_trial(L);
   std::vector<std::uint8_t> ok(L), centered(L), searching(L), stepped(L),
@@ -654,6 +660,9 @@ void run_batched_path(const SolverOptions& opts,
       auto rebuilt = BatchedModel::build(gps);
       MFA_ASSERT(rebuilt.has_value());
       model = std::move(*rebuilt);
+      // Compaction only shrinks L, so this is a no-op resize-wise, but
+      // it keeps the sized-before-use invariant explicit.
+      model.ensure_workspace(ws);
       if (early != nullptr) early->compact(live);
       L = L2;
       grad.resize(n * L);
@@ -1027,6 +1036,7 @@ std::vector<GpSolution> GpSolver::solve_batch(
       for (std::size_t k = 0; k < K; ++k) y0[j * K + k] = y[k][j];
     }
     BatchedWorkspace ws;
+    batched->ensure_workspace(ws);
     std::vector<double> fval(K);
     for (std::size_t f = 1; f <= num_constraints; ++f) {
       batched->value(f, y0, ws, fval.data());

@@ -505,6 +505,9 @@ Json to_json(const service::EventOutcome& o) {
   // Migration diff, appended after the PR-7 flat keys so consumers that
   // parse (or byte-compare) the historical prefix keep working.
   j.set("diff", to_json(o.diff));
+  // Warm-path allocation count, appended last for the same reason (0
+  // unless the build links the counting interposer).
+  j.set("warm_allocs", Json::number(static_cast<double>(o.warm_allocs)));
   return j;
 }
 

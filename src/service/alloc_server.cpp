@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "support/alloc_count.hpp"
 #include "support/assert.hpp"
 
 namespace mfa::service {
@@ -580,7 +581,14 @@ EventOutcome AllocServer::process(Event event) {
         } else {
           touched = static_cast<std::size_t>(it - pipelines_.begin());
           old_weight = it->weight;
-          apply_reprioritize(touched, event.weight);
+          {
+            // Runtime half of the zero-allocation gate: count every
+            // heap allocation the warm delta performs (0 unless the
+            // interposer TU is linked; see support/alloc_count.hpp).
+            WarmAllocScope allocs;
+            apply_reprioritize(touched, event.weight);
+            outcome.warm_allocs = allocs.allocations();
+          }
           outcome.cache.delta = CompositeDelta::kCoefficients;
           workload_changed = true;
         }
@@ -594,7 +602,11 @@ EventOutcome AllocServer::process(Event event) {
           outcome.status = std::move(valid);
         } else {
           old_platform = composite_.platform();
-          apply_resize(std::move(event.platform));
+          {
+            WarmAllocScope allocs;
+            apply_resize(std::move(event.platform));
+            outcome.warm_allocs = allocs.allocations();
+          }
           outcome.cache.delta = CompositeDelta::kRhs;
           workload_changed = true;
         }
@@ -611,7 +623,12 @@ EventOutcome AllocServer::process(Event event) {
       last_totals_.clear();
       last_ii_ = 0.0;
     } else {
-      if (Status valid = composite_.snapshot()->validate();
+      // live(), not snapshot(): validation must not cycle the publish
+      // ring — in the steady state the ring alternates between the
+      // incumbent's pinned snapshot and the one being refreshed for
+      // this event's solve, and a third reference per event would force
+      // the refresh back into a full clone.
+      if (Status valid = composite_.live().validate();
           valid.code() == Code::kInvalid) {
         // Structurally malformed composite: apply the inverse delta and
         // fail the *event*, keeping the previous (valid) workload and
@@ -701,6 +718,7 @@ EventOutcome AllocServer::process(Event event) {
       std::max(0, outcome.diff.pipelines_disturbed));
   if (outcome.diff.stability_applied) ++stats_.stability_repacks;
   if (outcome.diff.budget_exceeded) ++stats_.budget_exceeded;
+  stats_.warm_allocs += outcome.warm_allocs;
   return outcome;
 }
 
@@ -739,6 +757,8 @@ ServiceStats AllocServer::stats() const {
     };
     stats.p50_ms = pct(0.50);
     stats.p95_ms = pct(0.95);
+    stats.p99_ms = pct(0.99);
+    stats.max_ms = seconds.back() * 1e3;
   }
   return stats;
 }

@@ -195,8 +195,14 @@ struct ServiceStats {
   std::uint64_t budget_exceeded = 0;
   std::uint64_t snapshots = 0;   ///< snapshots successfully written
   std::uint64_t wal_errors = 0;  ///< failed appends/snapshots
+  /// Heap allocations observed inside warm delta application across all
+  /// events (see EventOutcome::warm_allocs; 0 unless the counting
+  /// interposer is linked).
+  std::uint64_t warm_allocs = 0;
   double p50_ms = 0.0;  ///< event latency percentiles over log()
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;  ///< slowest event in the retained log window
 };
 
 class AllocServer {

@@ -22,23 +22,19 @@ core::Kernel scaled_kernel(const PipelineSpec& pipe, const core::Kernel& k) {
 }  // namespace
 
 CompositeBuilder::CompositeBuilder(core::Platform platform,
-                                   const CompositeConfig& config)
-    : problem_(std::make_shared<core::Problem>()) {
-  problem_->app.name = "composite";
-  problem_->platform = std::move(platform);
-  problem_->resource_fraction = config.resource_fraction;
-  problem_->bw_fraction = config.bw_fraction;
-  problem_->alpha = config.alpha;
-  problem_->beta = config.beta;
+                                   const CompositeConfig& config) {
+  problem_.app.name = "composite";
+  problem_.platform = std::move(platform);
+  problem_.resource_fraction = config.resource_fraction;
+  problem_.bw_fraction = config.bw_fraction;
+  problem_.alpha = config.alpha;
+  problem_.beta = config.beta;
+  rebind_structure();
 }
 
-// mfa-lint: allow(warm-path-alloc) copy-on-write cold branch: clones only
-// while a solve still holds the previous snapshot; the steady-state numeric
-// path hits the use_count()==1 fast path. ROADMAP item 1 removes the clone.
-void CompositeBuilder::ensure_unique() {
-  if (problem_.use_count() > 1) {
-    problem_ = std::make_shared<core::Problem>(*problem_);
-  }
+void CompositeBuilder::rebind_structure() {
+  structure_ = core::ProblemStructure::capture(problem_);
+  problem_.structure = structure_;
 }
 
 void CompositeBuilder::add_pipeline(const PipelineSpec& pipe) {
@@ -48,35 +44,35 @@ void CompositeBuilder::add_pipeline(const PipelineSpec& pipe) {
 void CompositeBuilder::insert_pipeline(std::size_t index,
                                        const PipelineSpec& pipe) {
   MFA_ASSERT(index <= ranges_.size());
-  ensure_unique();
   const std::size_t begin =
-      index == ranges_.size() ? problem_->app.kernels.size()
+      index == ranges_.size() ? problem_.app.kernels.size()
                               : ranges_[index].begin;
   const std::size_t count = pipe.app.kernels.size();
-  auto at = problem_->app.kernels.begin() +
+  auto at = problem_.app.kernels.begin() +
             static_cast<std::ptrdiff_t>(begin);
   for (const core::Kernel& k : pipe.app.kernels) {
-    at = problem_->app.kernels.insert(at, scaled_kernel(pipe, k)) + 1;
+    at = problem_.app.kernels.insert(at, scaled_kernel(pipe, k)) + 1;
   }
   for (std::size_t i = index; i < ranges_.size(); ++i) {
     ranges_[i].begin += count;
   }
   ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(index),
                  Range{begin, count});
+  rebind_structure();
 }
 
 void CompositeBuilder::remove_pipeline(std::size_t index) {
   MFA_ASSERT(index < ranges_.size());
-  ensure_unique();
   const Range r = ranges_[index];
-  auto first = problem_->app.kernels.begin() +
+  auto first = problem_.app.kernels.begin() +
                static_cast<std::ptrdiff_t>(r.begin);
-  problem_->app.kernels.erase(first,
-                              first + static_cast<std::ptrdiff_t>(r.count));
+  problem_.app.kernels.erase(first,
+                             first + static_cast<std::ptrdiff_t>(r.count));
   ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(index));
   for (std::size_t i = index; i < ranges_.size(); ++i) {
     ranges_[i].begin -= r.count;
   }
+  rebind_structure();
 }
 
 MFA_WARM_PATH void CompositeBuilder::reprioritize(std::size_t index,
@@ -84,24 +80,39 @@ MFA_WARM_PATH void CompositeBuilder::reprioritize(std::size_t index,
   MFA_ASSERT(index < ranges_.size());
   MFA_ASSERT_MSG(ranges_[index].count == pipe.app.kernels.size(),
                  "reprioritize spec shape drifted from the composite");
-  ensure_unique();
   const Range r = ranges_[index];
   // Always rescale from the pipeline's *base* WCETs — never compound on
   // the previous scale — so the value matches a from-scratch compose
-  // bit-for-bit after any number of weight changes.
+  // bit-for-bit after any number of weight changes. The builder owns
+  // problem_ by value, so these are plain double stores: no snapshot
+  // can alias the live problem (see snapshot()).
   for (std::size_t i = 0; i < r.count; ++i) {
-    problem_->app.kernels[r.begin + i].wcet_ms =
+    problem_.app.kernels[r.begin + i].wcet_ms =
         pipe.app.kernels[i].wcet_ms * pipe.weight;
   }
 }
 
 MFA_WARM_PATH void CompositeBuilder::resize_platform(core::Platform platform) {
-  ensure_unique();
-  problem_->platform = std::move(platform);
+  problem_.platform = std::move(platform);
 }
 
 std::shared_ptr<const core::Problem> CompositeBuilder::snapshot() {
-  return problem_;
+  // Round-robin over the publish ring: in the steady state the server's
+  // incumbent pins the previous event's snapshot, so alternating slots
+  // means the slot picked here was released when the event before last
+  // retired — use_count() == 1 and a numerics-only refresh suffices.
+  // Any holder that outlives two events (or a structural edit) forces a
+  // fresh copy into the slot instead; the held snapshot is never
+  // touched either way.
+  std::shared_ptr<core::Problem>& slot = publish_[next_slot_];
+  next_slot_ = (next_slot_ + 1) % publish_.size();
+  if (slot == nullptr || slot.use_count() > 1 ||
+      slot->structure != structure_) {
+    slot = std::make_shared<core::Problem>(problem_);
+  } else {
+    slot->assign_numerics_from(problem_);
+  }
+  return slot;
 }
 
 }  // namespace mfa::service

@@ -25,11 +25,22 @@
 // which is where the serving-path speedup comes from (see
 // core/compiled_cache.hpp).
 //
-// Snapshots are copy-on-write: snapshot() hands out a shared_ptr to the
-// current problem; the next mutation clones only if someone (the solve
-// result, the incumbent) still holds that snapshot.
+// The builder owns the live problem *by value* — the warm deltas above
+// write doubles (or move-assign the platform) into memory nobody else
+// can see, so they are allocation-free by construction; there is no
+// copy-on-write clone left on the warm path (the old ensure_unique()).
+// snapshot() publishes through a two-slot ring of shared immutable
+// copies: each published Problem carries the builder's current
+// core::ProblemStructure skeleton, and a slot is reused with a
+// numerics-only refresh (Problem::assign_numerics_from — no allocation
+// for an unchanged shape) when nothing outside the builder still holds
+// it and its skeleton is current; otherwise the slot is replaced by a
+// fresh copy, leaving the old snapshot untouched for its holders. Two
+// slots cover the steady state exactly: the server's incumbent pins
+// event N−1's snapshot while event N publishes into the other slot.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -70,10 +81,11 @@ class CompositeBuilder {
 
   /// Rewrites pipeline `index`'s scaled WCETs from `pipe` (which carries
   /// the new weight). Coefficient-only: names, order and every other
-  /// kernel field stay untouched.
+  /// kernel field stay untouched — plain double stores, no allocation.
   MFA_WARM_PATH void reprioritize(std::size_t index, const PipelineSpec& pipe);
 
-  /// Swaps the platform. RHS-only: the kernel set stays untouched.
+  /// Swaps the platform. RHS-only: the kernel set stays untouched; the
+  /// incoming platform is move-assigned, so no allocation either.
   /// (Named resize_platform, not resize, so the lexical warm-path lint
   /// can tell it apart from container resize calls.)
   MFA_WARM_PATH void resize_platform(core::Platform platform);
@@ -83,18 +95,26 @@ class CompositeBuilder {
   [[nodiscard]] std::size_t num_pipelines() const { return ranges_.size(); }
   [[nodiscard]] bool empty() const { return ranges_.empty(); }
   [[nodiscard]] const core::Platform& platform() const {
-    return problem_->platform;
+    return problem_.platform;
   }
 
+  /// The live composite by const reference — for validation and
+  /// inspection that must not cycle (or pin) the publish ring. Valid
+  /// only until the next mutation; callers that need to keep the
+  /// problem use snapshot().
+  [[nodiscard]] const core::Problem& live() const { return problem_; }
+
   /// Shared snapshot of the current composite. The returned problem is
-  /// immutable; later mutations clone first (copy-on-write) when the
-  /// snapshot is still referenced, so a solve result keeps its problem
-  /// alive unchanged for as long as it needs it.
+  /// immutable for as long as the caller holds it: the builder only
+  /// refreshes a publish slot it is the sole owner of, and replaces the
+  /// slot (never the object) when a previous snapshot is still alive.
+  /// Byte-identical to the live problem at the time of the call.
   [[nodiscard]] std::shared_ptr<const core::Problem> snapshot();
 
  private:
-  /// Clones the problem if a snapshot still shares it.
-  void ensure_unique();
+  /// Re-captures the structure skeleton after a structural edit and
+  /// rebinds it to the live problem.
+  void rebind_structure();
 
   /// Kernel range [begin, begin + count) of one live pipeline.
   struct Range {
@@ -102,7 +122,15 @@ class CompositeBuilder {
     std::size_t count = 0;
   };
 
-  std::shared_ptr<core::Problem> problem_;
+  /// The live composite, owned by value: warm deltas mutate it freely.
+  core::Problem problem_;
+  /// Current structure skeleton; problem_.structure aliases it. Used as
+  /// a pointer-equality witness that a publish slot needs only a
+  /// numeric refresh.
+  std::shared_ptr<const core::ProblemStructure> structure_;
+  /// Round-robin publish ring (see file comment).
+  std::array<std::shared_ptr<core::Problem>, 2> publish_;
+  std::size_t next_slot_ = 0;
   std::vector<Range> ranges_;  ///< parallel to the server's live list
 };
 

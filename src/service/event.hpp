@@ -199,6 +199,14 @@ struct EventOutcome {
   SolveCounters solve;
   CacheCounters cache;
   AllocationDiff diff;
+  /// Heap allocations observed while applying the warm composite delta
+  /// (Reprioritize weight patch / ResizePlatform swap). Always 0 in a
+  /// regular build; with the counting interposer linked (CMake option
+  /// MFA_COUNT_ALLOC, see support/alloc_count.hpp) it is the runtime
+  /// half of the zero-allocation warm-path gate — bench/service_churn
+  /// --check fails on any nonzero value. Deterministic per build
+  /// configuration, so it is serialized with the other counters.
+  std::uint64_t warm_allocs = 0;
   double seconds = 0.0;  ///< wall-clock event latency (not logged)
 };
 

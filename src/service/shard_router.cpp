@@ -204,8 +204,11 @@ ServiceStats ShardRouter::stats() const {
     merged.budget_exceeded += s.budget_exceeded;
     merged.snapshots += s.snapshots;
     merged.wal_errors += s.wal_errors;
+    merged.warm_allocs += s.warm_allocs;
     merged.p50_ms = std::max(merged.p50_ms, s.p50_ms);
     merged.p95_ms = std::max(merged.p95_ms, s.p95_ms);
+    merged.p99_ms = std::max(merged.p99_ms, s.p99_ms);
+    merged.max_ms = std::max(merged.max_ms, s.max_ms);
   }
   return merged;
 }

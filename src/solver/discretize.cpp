@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <deque>
 #include <limits>
 
 namespace mfa::solver {
@@ -96,6 +97,127 @@ std::array<StatusOr<core::RelaxedSolution>, 2> solve_children_batched(
   return out;
 }
 
+/// Patched-mode node solve: fills `out` (a pooled solution whose n_hat
+/// capacity is reused across the search) instead of returning a fresh
+/// RelaxedSolution. Cache interaction mirrors the legacy paths — per
+/// child lookup, scalar solve of the miss, first-writer-wins insert —
+/// and is hit/miss-identical to solve_children_batched's
+/// lookup-both-then-batch-solve order because sibling keys always
+/// differ (the down child tightens upper[k], the up child lower[k],
+/// and floor < ceil), so neither sibling's insert can satisfy the
+/// other's lookup. The solve itself is core::solve_relaxation_into,
+/// bit-identical to the scalar (and therefore the batch) solver.
+Status solve_node_into(const Problem& problem, const CuBounds& bounds,
+                       double ii_hint, core::RelaxationCache* cache,
+                       core::RelaxedSolution& out) {
+  if (cache == nullptr) {
+    return core::solve_relaxation_into(problem, bounds, ii_hint, out);
+  }
+  const core::Fingerprint key =
+      core::relaxation_cache_key(problem, bounds, ii_hint);
+  if (auto hit = cache->lookup(key)) {
+    if (!hit->is_ok()) return hit->status();
+    out = hit->value();  // copy-assign: pooled capacity absorbs it
+    return Status::ok();
+  }
+  const Status solved =
+      core::solve_relaxation_into(problem, bounds, ii_hint, out);
+  // First-writer-wins: the stored entry is what any thread would have
+  // computed, so keeping our own copy stays deterministic.
+  cache->insert(key, solved.is_ok() ? core::CachedRelaxation(out)
+                                    : core::CachedRelaxation(solved));
+  return solved;
+}
+
+/// The in-place branch-and-bound of DiscretizeOptions::patched_bounds:
+/// one shared CuBounds patched/restored around each subtree, per-depth
+/// pooled child solutions, and a recursion whose visit order is exactly
+/// the explicit-stack search's pop order (children solved down-then-up
+/// at the parent, up's subtree explored first). Equivalence argument:
+/// pushing {down, up} and popping LIFO *is* "recurse into up, then into
+/// down", the incumbent/prune state threads through in the same order,
+/// the node counter increments at visit entry exactly as it did at pop,
+/// and an exhausted node budget aborts every not-yet-visited frame just
+/// as the stack search abandoned its remaining stack.
+struct PatchedSearch {
+  const Problem& problem;
+  const DiscretizeOptions& options;
+  CuBounds bounds;  ///< THE bounds: patched in place, restored on return
+
+  double best_ii = std::numeric_limits<double>::infinity();
+  std::vector<int> best_totals;
+  std::int64_t nodes = 0;
+  bool aborted = false;
+
+  /// pool[d] holds the down/up solutions solved at depth d — alive for
+  /// the whole subtree below them, reused (capacity and all) by every
+  /// other branch that reaches depth d. A deque, not a vector: deeper
+  /// recursions append while shallower frames hold references.
+  std::deque<std::array<core::RelaxedSolution, 2>> pool;
+
+  void visit(const core::RelaxedSolution& relax, std::size_t depth) {
+    if (aborted) return;  // a deeper frame exhausted the node budget
+    if (nodes >= options.max_nodes) {
+      aborted = true;
+      return;
+    }
+    ++nodes;
+
+    // Prune: the node relaxation bounds every integer solution below it.
+    if (relax.ii >= best_ii * (1.0 - 1e-12)) return;
+
+    const std::size_t k =
+        most_fractional(relax.n_hat, options.integrality_tol);
+    if (k == std::string::npos) {
+      // Integral node: a candidate totals vector.
+      std::vector<int> totals(problem.num_kernels());
+      double ii = 0.0;
+      for (std::size_t j = 0; j < totals.size(); ++j) {
+        totals[j] = static_cast<int>(std::llround(relax.n_hat[j]));
+        MFA_ASSERT(totals[j] >= 1);
+        ii = std::max(ii, problem.app.kernels[j].wcet_ms / totals[j]);
+      }
+      if (ii < best_ii) {
+        best_ii = ii;
+        best_totals = std::move(totals);
+      }
+      return;
+    }
+
+    const double floor_v = std::floor(relax.n_hat[k]);
+    const double ceil_v = std::ceil(relax.n_hat[k]);
+    const double hint = options.warm_start_nodes ? relax.ii : 0.0;
+    if (pool.size() <= depth) pool.resize(depth + 1);
+    std::array<core::RelaxedSolution, 2>& kids = pool[depth];
+
+    // Solve both children at the parent, down then up — the order the
+    // stack search solves (or batch-solves, bit-identically) them in.
+    const double saved_upper = bounds.upper[k];
+    const double saved_lower = bounds.lower[k];
+    bounds.upper[k] = std::min(saved_upper, floor_v);
+    const bool down_ok =
+        solve_node_into(problem, bounds, hint, options.cache, kids[0])
+            .is_ok();
+    bounds.upper[k] = saved_upper;
+    bounds.lower[k] = std::max(saved_lower, ceil_v);
+    const bool up_ok =
+        solve_node_into(problem, bounds, hint, options.cache, kids[1])
+            .is_ok();
+
+    // Descend up-first (more CUs → lower II incumbent sooner, and the
+    // stack search pushes up last so it pops first), re-applying each
+    // child's single-bound patch around its subtree. `relax` may alias
+    // a shallower pool row but is dead past this point.
+    if (up_ok) visit(kids[1], depth + 1);
+    bounds.lower[k] = saved_lower;
+    if (down_ok) {
+      bounds.upper[k] = std::min(saved_upper, floor_v);
+      visit(kids[0], depth + 1);
+      bounds.upper[k] = saved_upper;
+    }
+  }
+};
+
 }  // namespace
 
 StatusOr<DiscretizeResult> Discretizer::run(const Problem& problem) const {
@@ -116,6 +238,31 @@ StatusOr<DiscretizeResult> Discretizer::run(const Problem& problem,
   std::vector<int> best_totals;
   std::int64_t nodes = 0;
   bool aborted = false;
+
+  if (options_.patched_bounds) {
+    // In-place bound patching over one shared CuBounds; the explicit
+    // stack below is the bit-parity oracle (differential_fuzz
+    // --patched-bounds replays both and compares).
+    PatchedSearch search{problem, options_, CuBounds::defaults(problem)};
+    search.visit(root, 0);
+    best_ii = search.best_ii;
+    best_totals = std::move(search.best_totals);
+    nodes = search.nodes;
+    aborted = search.aborted;
+    result.nodes = nodes;
+    result.proved_optimal = !aborted;
+    if (best_totals.empty()) {
+      if (aborted) {
+        return Status{Code::kLimit,
+                      "node cap reached before an integral solution"};
+      }
+      return Status{Code::kInfeasible, "no integral totals satisfy the "
+                                       "pooled resource constraints"};
+    }
+    result.totals = std::move(best_totals);
+    result.ii = best_ii;
+    return result;
+  }
 
   struct Node {
     CuBounds bounds;

@@ -43,6 +43,18 @@ struct DiscretizeOptions {
   /// shared relaxation cache (hits are taken per child, only the misses
   /// are batch-solved, and solutions are published per child key).
   bool batch_children = true;
+  /// Branch by patching the branched variable's two bound values in
+  /// place on ONE shared CuBounds (each child's patch applied around
+  /// its subtree and restored on backtrack) instead of materializing a
+  /// CuBounds copy per node, with per-depth pooled node solutions
+  /// (core::solve_relaxation_into) instead of a fresh n_hat per node —
+  /// the allocation-free warm-path half of ROADMAP item 1's B&B work.
+  /// Purely a memory/speed change: visit order, prune timing, node
+  /// counts, cache keys/hits and results are bit-identical to the
+  /// explicit-stack search (patched_bounds = false, kept as the parity
+  /// oracle; differential_fuzz --patched-bounds asserts the
+  /// equivalence across seeds).
+  bool patched_bounds = true;
   /// Optional shared memoization of node relaxations, keyed by problem
   /// fingerprint × bounds × warm hint (core/relax_cache.hpp). Portfolio
   /// lanes and duplicate batch instances walk identical trees, so a

@@ -1,0 +1,35 @@
+#include "support/alloc_count.hpp"
+
+#include <atomic>
+
+namespace mfa {
+namespace {
+
+// Constant-initialized (no dynamic initializer), so the interposer's
+// static-init call and allocations during other TUs' dynamic init are
+// both safe regardless of initialization order.
+std::atomic<bool> g_interposer_linked{false};
+
+// Plain thread-local integer: zero-initialized per thread, no guard
+// variable, safe to touch from inside operator new.
+thread_local std::uint64_t t_alloc_count = 0;
+
+}  // namespace
+
+bool alloc_counting_linked() {
+  return g_interposer_linked.load(std::memory_order_relaxed);
+}
+
+std::uint64_t thread_alloc_count() { return t_alloc_count; }
+
+namespace detail {
+
+void note_interposer_linked() {
+  g_interposer_linked.store(true, std::memory_order_relaxed);
+}
+
+void count_allocation() { ++t_alloc_count; }
+
+}  // namespace detail
+
+}  // namespace mfa

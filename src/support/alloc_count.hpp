@@ -1,0 +1,59 @@
+// Opt-in runtime allocation counting for the warm event path.
+//
+// The static half of the zero-allocation guarantee is mfa_lint's
+// warm-path-alloc rule: no in-tree call chain from an MFA_WARM_PATH
+// root may reach heap allocation *lexically*. This header is the
+// dynamic half: when the counting interposer TU
+// (support/alloc_interpose.cpp) is linked into a binary — CMake option
+// MFA_COUNT_ALLOC adds it to the bench and test executables — every
+// global `operator new` (plain, array, nothrow and aligned forms) bumps
+// a thread-local counter, and a WarmAllocScope placed around the warm
+// deltas in AllocServer::process() reads off exactly how many
+// allocations the event's apply performed. `service_churn --check`
+// gates that number at zero.
+//
+// Without the interposer the counter never moves: scopes report zero
+// allocations and alloc_counting_linked() returns false, so gates know
+// to skip (with a notice) instead of vacuously passing. The counter is
+// thread-local, so a scope only observes its own thread — which is the
+// point: the dispatcher's warm path must be allocation-free regardless
+// of what other threads do.
+#pragma once
+
+#include <cstdint>
+
+namespace mfa {
+
+/// True when the counting `operator new` interposer TU is linked into
+/// this binary (set during its static initialization).
+[[nodiscard]] bool alloc_counting_linked();
+
+/// Number of global operator-new calls this thread has performed since
+/// it started (0 forever when the interposer is not linked).
+[[nodiscard]] std::uint64_t thread_alloc_count();
+
+/// RAII window over thread_alloc_count(): allocations() is the number
+/// of heap allocations the current thread performed since construction.
+class WarmAllocScope {
+ public:
+  WarmAllocScope() : start_(thread_alloc_count()) {}
+
+  /// Allocations on this thread since the scope opened.
+  [[nodiscard]] std::uint64_t allocations() const {
+    return thread_alloc_count() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+namespace detail {
+
+/// Called by the interposer TU: once from a static initializer (flips
+/// alloc_counting_linked) and once per operator-new call.
+void note_interposer_linked();
+void count_allocation();
+
+}  // namespace detail
+
+}  // namespace mfa

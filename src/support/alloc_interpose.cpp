@@ -1,0 +1,106 @@
+// Counting replacements for the global allocation functions.
+//
+// NOT part of libmfa: CMake links this TU directly into bench and test
+// executables when MFA_COUNT_ALLOC is ON (see support/alloc_count.hpp
+// for the contract). Replacing `operator new` must happen at the final
+// link, and must never leak into consumers of the library.
+//
+// Every form forwards to malloc — posix_memalign for the over-aligned
+// overloads, so all deletes can be plain free() — and bumps the
+// thread-local counter in support/alloc_count.cpp. The replacements are
+// deliberately boring: same failure semantics as the defaults
+// (bad_alloc on exhaustion, null for nothrow), no headers, no size
+// stashing.
+#include <cstdlib>
+#include <new>
+
+#include "support/alloc_count.hpp"
+
+namespace {
+
+// Flips mfa::alloc_counting_linked() during static initialization so
+// runtime gates can tell "zero allocations" from "nobody was counting".
+const bool g_interposer_registered = [] {
+  mfa::detail::note_interposer_linked();
+  return true;
+}();
+
+void* counted_alloc(std::size_t size) {
+  mfa::detail::count_allocation();
+  // Zero-size allocations must still return unique pointers.
+  return std::malloc(size > 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  mfa::detail::count_allocation();
+  void* p = nullptr;
+  std::size_t a = static_cast<std::size_t>(align);
+  if (a < sizeof(void*)) a = sizeof(void*);  // posix_memalign minimum
+  if (posix_memalign(&p, a, size > 0 ? size : a) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, align);
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

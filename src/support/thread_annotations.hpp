@@ -91,7 +91,11 @@
 /// Marks a function as part of the steady-state (warm) event path: no
 /// allocation may be reachable from it through the in-tree call graph.
 /// Checked by tools/mfa_lint (rule warm-path-alloc), not by the
-/// compiler. Suppress a deliberate cold branch with
-///   // mfa-lint: allow(warm-path-alloc) <justification>
-/// on the offending line.
+/// compiler. There is an `allow(...)`-comment suppression syntax for
+/// deliberate cold branches, but src/ must stay suppression-free for
+/// this rule (CI runs mfa_lint --forbid-suppression warm-path-alloc):
+/// restructure so sizing happens at setup instead — see
+/// gp::BatchedModel::ensure_workspace for the pattern. The runtime
+/// half of the same contract is support/alloc_count.hpp's counting
+/// interposer, gated by bench/service_churn --check.
 #define MFA_WARM_PATH

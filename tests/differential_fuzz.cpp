@@ -33,12 +33,20 @@
 //     the free stay-put option, and the GP+A stability plumbing must
 //     hold the incumbent in place at zero budgets.
 //
+//  7. patched-bounds parity — the discretizer's in-place bound-patching
+//     branch-and-bound reproduces the explicit-stack oracle bit for
+//     bit: node counts, incumbent, root relaxation, optimality
+//     provenance and (when sharing a relaxation cache) the hit/miss
+//     trace, across warm-start/batching flavors and under node caps.
+//
 // Usage: differential_fuzz [num_seeds] [--start S] [--out failure.json]
 //                          [--parity] [--batched] [--stability]
+//                          [--patched-bounds]
 //
-// --parity runs only check 4, --batched only check 5 and --stability
-// only check 6 (no exact/naive oracles); all are cheap enough for wide
-// ctest slices across heterogeneous platforms.
+// --parity runs only check 4, --batched only check 5, --stability only
+// check 6 and --patched-bounds only check 7 (no exact/naive oracles);
+// all are cheap enough for wide ctest slices across heterogeneous
+// platforms.
 //
 // On mismatch it prints the seed and the scenario JSON to stderr, writes
 // the scenario to --out (CI uploads it as an artifact) and exits 1.
@@ -52,11 +60,13 @@
 #include <vector>
 
 #include "alloc/gpa.hpp"
+#include "core/relax_cache.hpp"
 #include "core/relaxation.hpp"
 #include "gp/compiled.hpp"
 #include "gp/solver.hpp"
 #include "io/serialize.hpp"
 #include "scenario/generate.hpp"
+#include "solver/discretize.hpp"
 #include "solver/exact.hpp"
 #include "solver/naive.hpp"
 #include "solver/packing.hpp"
@@ -70,6 +80,7 @@ struct Options {
   bool parity_only = false;
   bool batched_only = false;
   bool stability_only = false;
+  bool patched_bounds_only = false;
 };
 
 /// Scenario shape small enough for the naive oracle to *prove* optima
@@ -202,6 +213,96 @@ const char* check_batched_parity(const mfa::core::Problem& problem,
     }
   }
   return nullptr;
+}
+
+/// Check 7: in-place bound-patching B&B (DiscretizeOptions::
+/// patched_bounds) vs the explicit-stack search it replaced on the warm
+/// path. The claim is *bit-for-bit* reproduction, not tolerance-level:
+/// node count, incumbent totals/ÎI, the root relaxation and the
+/// optimality provenance must all be identical, with and without a
+/// shared relaxation cache — and when caches are used, both modes must
+/// produce the same hit/miss trace (the patched mode's per-child
+/// sequential lookups must be indistinguishable from the stack mode's
+/// lookup-both-then-batch order). Warm-start and child-batching flavors
+/// rotate with the seed so every legacy configuration is covered. A
+/// tiny node cap on a third run checks the abort path counts nodes
+/// identically too.
+const char* check_patched_bounds(const mfa::core::Problem& problem,
+                                 std::uint64_t seed) {
+  using mfa::solver::DiscretizeResult;
+
+  const auto compare =
+      [](const mfa::StatusOr<DiscretizeResult>& stack,
+         const mfa::StatusOr<DiscretizeResult>& patched) -> const char* {
+    if (stack.is_ok() != patched.is_ok()) {
+      return "patched-bounds search disagrees with the stack oracle on "
+             "status";
+    }
+    if (!stack.is_ok()) {
+      if (stack.status().code() != patched.status().code()) {
+        return "patched-bounds search fails with a different status code";
+      }
+      return nullptr;
+    }
+    const DiscretizeResult& a = stack.value();
+    const DiscretizeResult& b = patched.value();
+    if (a.nodes != b.nodes) return "patched-bounds node count differs";
+    if (a.totals != b.totals) return "patched-bounds incumbent differs";
+    if (a.ii != b.ii || a.relaxed_ii != b.relaxed_ii) {
+      return "patched-bounds II is not bit-identical";
+    }
+    if (a.proved_optimal != b.proved_optimal) {
+      return "patched-bounds optimality provenance differs";
+    }
+    return nullptr;
+  };
+
+  mfa::solver::DiscretizeOptions stack_opts;
+  stack_opts.patched_bounds = false;
+  stack_opts.warm_start_nodes = (seed % 2) == 0;
+  stack_opts.batch_children = (seed % 3) != 0;
+  mfa::solver::DiscretizeOptions patched_opts = stack_opts;
+  patched_opts.patched_bounds = true;
+
+  // Cacheless runs.
+  if (const char* mismatch =
+          compare(mfa::solver::Discretizer(stack_opts).run(problem),
+                  mfa::solver::Discretizer(patched_opts).run(problem))) {
+    return mismatch;
+  }
+
+  // One private cache per mode: results and the hit/miss trace must
+  // both line up.
+  mfa::core::RelaxationCache stack_cache;
+  mfa::core::RelaxationCache patched_cache;
+  stack_opts.cache = &stack_cache;
+  patched_opts.cache = &patched_cache;
+  if (const char* mismatch =
+          compare(mfa::solver::Discretizer(stack_opts).run(problem),
+                  mfa::solver::Discretizer(patched_opts).run(problem))) {
+    return mismatch;
+  }
+  const auto stack_stats = stack_cache.stats();
+  const auto patched_stats = patched_cache.stats();
+  if (stack_stats.hits != patched_stats.hits ||
+      stack_stats.misses != patched_stats.misses) {
+    std::fprintf(stderr,
+                 "cache trace: stack %llu/%llu patched %llu/%llu "
+                 "(hits/misses)\n",
+                 static_cast<unsigned long long>(stack_stats.hits),
+                 static_cast<unsigned long long>(stack_stats.misses),
+                 static_cast<unsigned long long>(patched_stats.hits),
+                 static_cast<unsigned long long>(patched_stats.misses));
+    return "patched-bounds cache hit/miss trace differs from the oracle";
+  }
+
+  // Abort parity under a tiny node cap (cacheless, so the cap binds).
+  stack_opts.cache = nullptr;
+  patched_opts.cache = nullptr;
+  stack_opts.max_nodes = 1 + static_cast<std::int64_t>(seed % 7);
+  patched_opts.max_nodes = stack_opts.max_nodes;
+  return compare(mfa::solver::Discretizer(stack_opts).run(problem),
+                 mfa::solver::Discretizer(patched_opts).run(problem));
 }
 
 /// Migration-aware packing oracle (see file comment, check 6). The
@@ -463,6 +564,8 @@ int main(int argc, char** argv) {
       opt.batched_only = true;
     } else if (std::strcmp(argv[i], "--stability") == 0) {
       opt.stability_only = true;
+    } else if (std::strcmp(argv[i], "--patched-bounds") == 0) {
+      opt.patched_bounds_only = true;
     } else if (argv[i][0] != '-') {
       opt.count = std::strtoull(argv[i], nullptr, 10);
       if (opt.count == 0) {
@@ -472,7 +575,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [num_seeds] [--start S] [--out failure.json]"
-                   " [--parity] [--batched] [--stability]\n",
+                   " [--parity] [--batched] [--stability]"
+                   " [--patched-bounds]\n",
                    argv[0]);
       return 2;
     }
@@ -491,6 +595,8 @@ int main(int argc, char** argv) {
       mismatch = check_batched_parity(problem, seed);
     } else if (opt.stability_only) {
       mismatch = check_stability(problem, seed);
+    } else if (opt.patched_bounds_only) {
+      mismatch = check_patched_bounds(problem, seed);
     } else {
       mismatch = check_seed(problem, seed, &feasible);
     }
@@ -506,12 +612,14 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("differential fuzz%s: %" PRIu64 " seeds ok\n",
-              opt.parity_only     ? " (patch parity)"
-              : opt.batched_only  ? " (batched parity)"
-              : opt.stability_only ? " (stability)"
-                                   : "",
+              opt.parity_only          ? " (patch parity)"
+              : opt.batched_only       ? " (batched parity)"
+              : opt.stability_only     ? " (stability)"
+              : opt.patched_bounds_only ? " (patched bounds)"
+                                        : "",
               checked);
-  if (!opt.parity_only && !opt.batched_only && !opt.stability_only) {
+  if (!opt.parity_only && !opt.batched_only && !opt.stability_only &&
+      !opt.patched_bounds_only) {
     std::printf("(%" PRIu64 " infeasible instances exercised)\n", infeasible);
   }
   return 0;

@@ -150,6 +150,26 @@ TEST(LintTokenizer, IncludesAreRecorded) {
   EXPECT_EQ(f.includes[1].second, "lint.hpp");
 }
 
+TEST(LintForbidSuppression, FlagsOnlyTheForbiddenRule) {
+  const std::vector<std::pair<std::string, std::string>> sources = {
+      {"/x.cpp",
+       "int a;\n"
+       "// mfa-lint: allow(warm-path-alloc) grow-once scratch\n"
+       "int b;\n"
+       "// mfa-lint: allow(banned-io) CLI surface\n"
+       "int c;\n"}};
+  const auto none = mfa::lint::forbid_suppressions(sources, {});
+  EXPECT_TRUE(none.empty());
+  const auto found =
+      mfa::lint::forbid_suppressions(sources, {"warm-path-alloc"});
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].file, "/x.cpp");
+  EXPECT_EQ(found[0].line, 3) << "the suppression reports at the line it "
+                                 "attaches to, like the rule it silences";
+  EXPECT_EQ(found[0].rule, "forbid-suppression");
+  EXPECT_NE(found[0].message.find("warm-path-alloc"), std::string::npos);
+}
+
 TEST(LintIndex, WarmMarkingIsPerFile) {
   std::vector<mfa::lint::SourceFile> files;
   files.push_back(mfa::lint::tokenize(

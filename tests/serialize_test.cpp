@@ -245,8 +245,9 @@ TEST(Serialize, MalformedInputNeverAborts) {
 TEST(Serialize, EventOutcomeKeepsThePr7BytePrefix) {
   // The PR-8 consolidation into solve/cache/diff sections must not move
   // a single byte of the historical flat wire shape: every key up to
-  // relax_hits serializes exactly as PR 7 did, and the migration diff
-  // is strictly appended. Byte-comparing the whole dump pins both.
+  // relax_hits serializes exactly as PR 7 did, the migration diff is
+  // strictly appended, and the warm-path allocation counter is strictly
+  // appended after that. Byte-comparing the whole dump pins all three.
   service::EventOutcome o;
   o.sequence = 7;
   o.type = service::Event::Type::kAddPipeline;
@@ -269,6 +270,7 @@ TEST(Serialize, EventOutcomeKeepsThePr7BytePrefix) {
   o.diff.pipelines_disturbed = 1;
   o.diff.goal_regret = 0.25;
   o.diff.stability_applied = true;
+  o.warm_allocs = 6;
   EXPECT_EQ(to_json(o).dump(),
             "{\"seq\":7,\"type\":\"add\",\"id\":\"p1\",\"status\":\"ok\","
             "\"solve_status\":\"ok\",\"active\":2,\"warm\":true,"
@@ -277,7 +279,8 @@ TEST(Serialize, EventOutcomeKeepsThePr7BytePrefix) {
             "\"gp_patches\":2,\"model_hits\":3,\"model_misses\":4,"
             "\"relax_hits\":5,\"diff\":{\"computed\":true,\"cus_moved\":3,"
             "\"disturbed\":1,\"goal_regret\":0.25,"
-            "\"stability_applied\":true,\"budget_exceeded\":false}}");
+            "\"stability_applied\":true,\"budget_exceeded\":false},"
+            "\"warm_allocs\":6}");
 
   // Targetless events (resize) still omit "id", as PR 7 did.
   service::EventOutcome bare;

@@ -18,6 +18,7 @@
 #include "io/serialize.hpp"
 #include "scenario/trace.hpp"
 #include "service/alloc_server.hpp"
+#include "service/composite.hpp"
 #include "service/event_queue.hpp"
 #include "testutil.hpp"
 
@@ -416,6 +417,113 @@ TEST(AllocServer, IncrementalCompositeMatchesWholesaleRebuild) {
   EXPECT_EQ(removed.cache.delta, CompositeDelta::kStructural);
   live.erase(live.begin());
   expect_composite_matches();
+}
+
+TEST(CompositeBuilder, SnapshotsShareStructureAcrossNumericDeltas) {
+  // The contract behind the zero-allocation warm path: numeric deltas
+  // (reprioritize / resize) republish through the *same*
+  // core::ProblemStructure skeleton, so downstream consumers can use
+  // pointer equality of Problem::structure as a constant-time "no
+  // recompile needed" witness; structural edits mint a fresh skeleton.
+  // A pinned older snapshot must also keep its exact bytes while newer
+  // deltas publish — that immutability is what lets the server's
+  // incumbent outlive the event that replaced it.
+  CompositeBuilder builder(core::Platform{"pool", 2}, CompositeConfig{});
+
+  PipelineSpec p0;
+  p0.id = "p0";
+  p0.app.kernels = {test::make_kernel("a", 8.0, 10.0, 20.0, 5.0),
+                    test::make_kernel("b", 12.0, 8.0, 15.0, 4.0)};
+  builder.add_pipeline(p0);
+
+  const auto before = builder.snapshot();
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->structure, builder.live().structure);
+  const std::string before_bytes = io::to_json(*before).dump(2);
+
+  PipelineSpec hot = p0;
+  hot.weight = 2.0;
+  builder.reprioritize(0, hot);
+  const auto after = builder.snapshot();
+
+  EXPECT_EQ(before->structure, after->structure) << "coefficient patches "
+      "must not re-derive the structure skeleton";
+  EXPECT_EQ(io::to_json(*after).dump(2), io::to_json(builder.live()).dump(2));
+  EXPECT_EQ(io::to_json(*before).dump(2), before_bytes)
+      << "a held snapshot changed under its holder";
+  EXPECT_NE(io::to_json(*after).dump(2), before_bytes);
+
+  builder.resize_platform(core::Platform{"pool3", 3});
+  const auto resized = builder.snapshot();
+  EXPECT_EQ(resized->structure, after->structure)
+      << "an RHS patch is numeric too";
+
+  PipelineSpec p1;
+  p1.id = "p1";
+  p1.app.kernels = {test::make_kernel("c", 6.0, 5.0, 10.0, 3.0)};
+  builder.add_pipeline(p1);
+  const auto grown = builder.snapshot();
+  EXPECT_NE(grown->structure, resized->structure)
+      << "structural edits must mint a fresh skeleton";
+  EXPECT_EQ(io::to_json(*grown).dump(2), io::to_json(builder.live()).dump(2));
+}
+
+TEST(CompositeBuilder, PatchedBuilderMatchesFreshBuilderByteForByte) {
+  // A builder that lived through reprioritize + resize deltas (and
+  // their rollback inverses) must publish the same bytes as one
+  // constructed directly in the final state — the identity that keeps
+  // relaxation-cache keys and compiled-GP fingerprints honest.
+  PipelineSpec p0;
+  p0.id = "p0";
+  p0.app.kernels = {test::make_kernel("a", 8.0, 10.0, 20.0, 5.0),
+                    test::make_kernel("b", 12.0, 8.0, 15.0, 4.0)};
+  PipelineSpec p1;
+  p1.id = "p1";
+  p1.weight = 1.5;
+  p1.app.kernels = {test::make_kernel("c", 6.0, 5.0, 10.0, 3.0)};
+
+  CompositeBuilder veteran(core::Platform{"pool", 2}, CompositeConfig{});
+  veteran.add_pipeline(p0);
+  veteran.add_pipeline(p1);
+  const std::string original = io::to_json(veteran.live()).dump(2);
+
+  PipelineSpec hot = p0;
+  hot.weight = 3.0;
+  veteran.reprioritize(0, hot);
+  veteran.resize_platform(core::Platform{"pool4", 4});
+  // Rollback inverses: restoring the old weight and platform must be
+  // byte-exact, not merely approximately equal.
+  veteran.reprioritize(0, p0);
+  veteran.resize_platform(core::Platform{"pool", 2});
+  EXPECT_EQ(io::to_json(veteran.live()).dump(2), original);
+
+  veteran.reprioritize(0, hot);
+  veteran.resize_platform(core::Platform{"pool4", 4});
+
+  CompositeBuilder fresh(core::Platform{"pool4", 4}, CompositeConfig{});
+  fresh.add_pipeline(hot);
+  fresh.add_pipeline(p1);
+  EXPECT_EQ(io::to_json(veteran.live()).dump(2),
+            io::to_json(fresh.live()).dump(2));
+  EXPECT_EQ(io::to_json(*veteran.snapshot()).dump(2),
+            io::to_json(*fresh.snapshot()).dump(2));
+}
+
+TEST(AllocServer, WarmAllocCountersAreDeterministic) {
+  // Whatever the counting interposer reports (zero when it is not
+  // linked into this binary), two identical replays must report it
+  // identically per event — the counter is part of the replay-log
+  // surface and must not pick up noise from the environment.
+  const Trace trace = scenario::generate_trace(small_spec(80), 91);
+  ServerOptions options;
+  options.portfolio.gpa.use_interior_point = true;
+  const auto a = replay(trace, options);
+  const auto b = replay(trace, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(a[i].warm_allocs, b[i].warm_allocs);
+  }
 }
 
 TEST(AllocServer, NumericDeltasPatchInsteadOfRecompiling) {

@@ -836,6 +836,30 @@ std::vector<Diagnostic> run_lint(
   return run_rules(index(std::move(files)));
 }
 
+std::vector<Diagnostic> forbid_suppressions(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const std::vector<std::string>& rules) {
+  std::vector<Diagnostic> out;
+  for (const auto& [path, content] : sources) {
+    const SourceFile file = tokenize(path, content);
+    for (const auto& [line, rule] : file.allows) {
+      if (std::find(rules.begin(), rules.end(), rule) != rules.end()) {
+        out.push_back(
+            {file.path, line, "forbid-suppression",
+             "suppression of '" + rule +
+                 "' is not permitted in this tree: fix the finding "
+                 "instead of allowing it"});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return out;
+}
+
 std::string format(const std::vector<Diagnostic>& diagnostics) {
   std::string out;
   for (const Diagnostic& d : diagnostics) {

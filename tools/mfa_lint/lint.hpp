@@ -105,6 +105,16 @@ std::vector<Diagnostic> run_rules(const Corpus& corpus);
 std::vector<Diagnostic> run_lint(
     const std::vector<std::pair<std::string, std::string>>& sources);
 
+/// Reports every `mfa-lint: allow(<rule>)` comment whose rule id is in
+/// `rules` as a finding (rule "forbid-suppression"). Escalation knob
+/// for invariants a tree has fully paid off: once src/ is clean of a
+/// rule's suppressions, the CLI's repeatable `--forbid-suppression
+/// <rule>` flag keeps them from creeping back — the warm-path-alloc
+/// rule runs this way in tier-1 (see CMakeLists' mfa_lint_src).
+std::vector<Diagnostic> forbid_suppressions(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const std::vector<std::string>& rules);
+
 /// "path:line: [rule] message" per diagnostic.
 std::string format(const std::vector<Diagnostic>& diagnostics);
 
